@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Ablation: VQA's activity-analysis window (Algorithm 2, step 2:
+ * "calculating the number of CNOTs per qubit for [the] first t
+ * layers"). Sweeps t and reports the relative PST of VQA+VQM-style
+ * single-config compilation.
+ */
+#include "bench_util.hpp"
+
+#include "common/table.hpp"
+#include "graph/subgraph.hpp"
+#include "workloads/workloads.hpp"
+
+namespace
+{
+
+vaq::core::Mapper
+vqaWithWindow(std::size_t window)
+{
+    using namespace vaq::core;
+    RouterOptions options;
+    options.strategy = RouteStrategy::PerGate;
+    return Mapper("vqa-w" + std::to_string(window),
+                  std::make_unique<StrengthAllocator>(
+                      vaq::graph::SubgraphScore::InducedWeight,
+                      window),
+                  CostKind::Reliability, options);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace vaq;
+    bench::printHeader(
+        "Ablation", "VQA Activity-Analysis Window",
+        "Relative PST (vs baseline) when qubit activity is "
+        "estimated from the first\nt dependence layers (t = 0 "
+        "means the whole program).");
+
+    bench::Q20Environment env;
+    const core::Mapper baseline = core::makeBaselineMapper();
+    const std::size_t windows[] = {1, 4, 16, 64, 0};
+
+    TextTable table({"Benchmark", "t=1", "t=4", "t=16", "t=64",
+                     "whole program"});
+    for (const auto &w : workloads::standardSuite(env.machine)) {
+        const double base = bench::analyticPstOf(
+            baseline, w.circuit, env.machine, env.averaged);
+        std::vector<std::string> row{w.name};
+        for (std::size_t window : windows) {
+            const double pst = bench::analyticPstOf(
+                vqaWithWindow(window), w.circuit, env.machine,
+                env.averaged);
+            row.push_back(formatDouble(pst / base, 2) + "x");
+        }
+        table.addRow(row);
+    }
+    std::cout << table.render() << "\n";
+    std::cout << "Observation: short windows suffice for "
+                 "workloads with stable interaction\npatterns "
+                 "(bv); whole-program analysis helps phase-"
+                 "changing workloads.\n";
+    return 0;
+}

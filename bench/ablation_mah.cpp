@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Ablation: the Maximum-Additional-Hops (MAH) budget of VQM
+ * (DESIGN.md §5). Sweeps MAH = 0, 1, 2, 4, 8, unlimited for every
+ * benchmark and reports relative PST and inserted SWAPs. The paper
+ * uses MAH = 4 and reports it "has similar improvement to an
+ * unconstrained policy".
+ */
+#include "bench_util.hpp"
+
+#include "common/table.hpp"
+#include "workloads/workloads.hpp"
+
+int
+main()
+{
+    using namespace vaq;
+    bench::printHeader(
+        "Ablation", "MAH (Maximum Additional Hops) Sweep",
+        "Relative PST (vs baseline) and inserted SWAPs of VQM "
+        "under different hop budgets.");
+
+    bench::Q20Environment env;
+    const core::Mapper baseline = core::makeBaselineMapper();
+    const int budgets[] = {0, 1, 2, 4, 8, core::kUnlimitedHops};
+
+    TextTable table({"Benchmark", "MAH=0", "MAH=1", "MAH=2",
+                     "MAH=4", "MAH=8", "unlimited"});
+    for (const auto &w : workloads::standardSuite(env.machine)) {
+        const double base = bench::analyticPstOf(
+            baseline, w.circuit, env.machine, env.averaged);
+        std::vector<std::string> row{w.name};
+        for (int mah : budgets) {
+            const core::Mapper vqm = core::makeVqmMapper(mah);
+            const auto mapped =
+                vqm.map(w.circuit, env.machine, env.averaged);
+            const sim::NoiseModel model(env.machine,
+                                        env.averaged);
+            const double pst =
+                sim::analyticPst(mapped.physical, model);
+            row.push_back(formatDouble(pst / base, 2) + "x/" +
+                          std::to_string(mapped.insertedSwaps) +
+                          "sw");
+        }
+        table.addRow(row);
+    }
+    std::cout << table.render() << "\n";
+    std::cout << "Expected: gains saturate by MAH=4 (the paper's "
+                 "setting); MAH=0 already helps\nbecause link "
+                 "choice among hop-minimal routes remains "
+                 "variation-aware. A small\nbudget can "
+                 "occasionally beat a larger one: per-gate "
+                 "relocation is myopic, and\nextra freedom "
+                 "sometimes trades long-run placement quality for "
+                 "a local win.\n";
+    return 0;
+}

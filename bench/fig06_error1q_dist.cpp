@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fig. 6: distribution of single-qubit gate error rates over all 20
+ * qubits x 100 cycles (paper: "a large fraction of the error-rate
+ * below 1%", tail to ~4%).
+ */
+#include "bench_util.hpp"
+
+#include "common/histogram.hpp"
+#include "common/statistics.hpp"
+
+int
+main()
+{
+    using namespace vaq;
+    bench::printHeader(
+        "Figure 6", "Single-Qubit Operation Error Rates",
+        "20 qubits x " +
+            std::to_string(bench::kArchiveCycles) +
+            " calibration cycles.");
+
+    bench::Q20Environment env;
+    std::vector<double> errors;
+    for (const auto &snap : env.archive.snapshots()) {
+        for (double e : snap.allError1q())
+            errors.push_back(e * 100.0); // percent
+    }
+
+    Histogram hist(0.0, 4.0, 20);
+    hist.add(errors);
+    std::cout << hist.render("1q gate error rate (%)") << "\n";
+
+    std::size_t below = 0;
+    for (double e : errors) {
+        if (e < 1.0)
+            ++below;
+    }
+    std::cout << "mean = " << formatDouble(mean(errors), 3)
+              << " %, fraction below 1% = "
+              << formatDouble(
+                     100.0 * static_cast<double>(below) /
+                         static_cast<double>(errors.size()),
+                     1)
+              << " % (paper: 'large fraction below 1%')\n";
+    return 0;
+}

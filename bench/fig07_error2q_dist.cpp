@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fig. 7: distribution of two-qubit gate error rates over all links
+ * x 100 cycles (paper: 76 link characterizations per cycle, mean
+ * 4.3 %, stddev 3.02 %).
+ */
+#include "bench_util.hpp"
+
+#include "common/histogram.hpp"
+#include "common/statistics.hpp"
+
+int
+main()
+{
+    using namespace vaq;
+    bench::printHeader(
+        "Figure 7", "Two-Qubit Operation Error Rates",
+        "All IBM-Q20 links x " +
+            std::to_string(bench::kArchiveCycles) +
+            " calibration cycles.");
+
+    bench::Q20Environment env;
+    std::vector<double> errors;
+    for (const auto &snap : env.archive.snapshots()) {
+        for (double e : snap.allLinkErrors())
+            errors.push_back(e * 100.0); // percent
+    }
+
+    Histogram hist(0.0, 20.0, 20);
+    hist.add(errors);
+    std::cout << hist.render("2q gate error rate (%)") << "\n";
+    std::cout << "samples = " << errors.size() << " ("
+              << env.machine.linkCount() << " links x "
+              << bench::kArchiveCycles << " cycles)\n";
+    std::cout << "mean = " << formatDouble(mean(errors), 2)
+              << " % (paper: 4.3), stddev = "
+              << formatDouble(stddev(errors), 2)
+              << " % (paper: 3.02)\n";
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fig. 8: temporal variation of the two-qubit error rate for three
+ * named links (paper: CX6_5, CX19_13, CX5_11 over ~25 days; strong
+ * links tend to stay strong, weak stay weak).
+ */
+#include "bench_util.hpp"
+
+#include "common/table.hpp"
+
+int
+main()
+{
+    using namespace vaq;
+    bench::printHeader(
+        "Figure 8", "Temporal Variation in Two-Qubit Gate Errors",
+        "Daily error rate (%) of the paper's three tracked links "
+        "over 25 days\n(2 calibration cycles per day; the morning "
+        "cycle is shown).");
+
+    bench::Q20Environment env;
+    const auto links = {std::pair<int, int>{6, 5},
+                        std::pair<int, int>{19, 13},
+                        std::pair<int, int>{5, 11}};
+
+    TextTable table({"Day", "CX6_5 (%)", "CX19_13 (%)",
+                     "CX5_11 (%)"});
+    for (int day = 0; day < 25; ++day) {
+        const auto &snap =
+            env.archive.at(static_cast<std::size_t>(day) * 2);
+        std::vector<std::string> row{std::to_string(day + 1)};
+        for (const auto &[a, b] : links) {
+            row.push_back(formatDouble(
+                snap.linkError(env.machine, a, b) * 100.0, 2));
+        }
+        table.addRow(row);
+    }
+    std::cout << table.render() << "\n";
+
+    // Rank persistence: how often does the strongest of the three
+    // stay strongest day to day?
+    int ordered = 0, days = 0;
+    for (std::size_t c = 0; c + 2 < 50; c += 2) {
+        const auto &today = env.archive.at(c);
+        const auto &tomorrow = env.archive.at(c + 2);
+        const double t65 = today.linkError(env.machine, 6, 5);
+        const double t1913 =
+            today.linkError(env.machine, 19, 13);
+        const double m65 = tomorrow.linkError(env.machine, 6, 5);
+        const double m1913 =
+            tomorrow.linkError(env.machine, 19, 13);
+        ordered += ((t65 < t1913) == (m65 < m1913)) ? 1 : 0;
+        ++days;
+    }
+    std::cout << "day-to-day rank persistence (CX6_5 vs CX19_13): "
+              << formatDouble(
+                     100.0 * ordered / static_cast<double>(days),
+                     0)
+              << " % of days keep their order\n"
+              << "(paper: 'the strong link tends to remain strong "
+                 "and the weak tends to remain weak')\n";
+    return 0;
+}

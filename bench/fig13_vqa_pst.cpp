@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fig. 13: relative PST of the full policy stack — IBM-native-like
+ * randomized compiler (32 seeds, min/avg/max), baseline (= 1.0),
+ * VQM, and VQA+VQM. Paper shape: native is ~4x below baseline;
+ * VQA+VQM >= VQM >= baseline with up to ~1.7x gains (and up to 7x
+ * over the native compiler).
+ */
+#include "bench_util.hpp"
+
+#include <algorithm>
+
+#include "common/statistics.hpp"
+#include "common/table.hpp"
+#include "workloads/workloads.hpp"
+
+int
+main()
+{
+    using namespace vaq;
+    bench::printHeader(
+        "Figure 13", "PST for VQA and VQM+VQA vs IBM Native",
+        "Relative PST normalized to the baseline policy. The "
+        "randomized native\ncompiler is evaluated over 32 seeds "
+        "(avg [min..max] reported).");
+
+    bench::Q20Environment env;
+    const core::Mapper baseline = core::makeBaselineMapper();
+    const core::Mapper vqm = core::makeVqmMapper();
+    const core::Mapper vqaVqm = core::makeVqaVqmMapper();
+
+    TextTable table({"Benchmark", "IBM Native (avg [min..max])",
+                     "Baseline", "VQM", "VQA+VQM"});
+    for (const auto &w : workloads::standardSuite(env.machine)) {
+        const double base = bench::analyticPstOf(
+            baseline, w.circuit, env.machine, env.averaged);
+
+        std::vector<double> native;
+        for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+            native.push_back(
+                bench::analyticPstOf(
+                    core::makeRandomizedMapper(seed), w.circuit,
+                    env.machine, env.averaged) /
+                base);
+        }
+        const double lo =
+            *std::min_element(native.begin(), native.end());
+        const double hi =
+            *std::max_element(native.begin(), native.end());
+
+        const double aware = bench::analyticPstOf(
+            vqm, w.circuit, env.machine, env.averaged);
+        const double both = bench::analyticPstOf(
+            vqaVqm, w.circuit, env.machine, env.averaged);
+
+        table.addRow({w.name,
+                      formatDouble(mean(native), 2) + " [" +
+                          formatDouble(lo, 2) + ".." +
+                          formatDouble(hi, 2) + "]",
+                      "1.00", formatDouble(aware / base, 2),
+                      formatDouble(both / base, 2)});
+    }
+    std::cout << table.render() << "\n";
+    std::cout << "Expected shape (paper): native << baseline "
+                 "(~0.25x avg); VQA+VQM >= VQM >= 1.0\nfor every "
+                 "benchmark.\n";
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fig. 14: per-day effectiveness — relative PST of VQA+VQM for
+ * bv-16, recompiled against each day's calibration snapshot across
+ * the 52-day archive. Paper shape: benefit fluctuates between
+ * ~1.1x and ~1.9x and is larger on high-variability days.
+ */
+#include "bench_util.hpp"
+
+#include <cmath>
+
+#include "common/statistics.hpp"
+#include "common/table.hpp"
+#include "workloads/workloads.hpp"
+
+int
+main()
+{
+    using namespace vaq;
+    bench::printHeader(
+        "Figure 14", "Per-Day Relative PST for bv-16 (VQM+VQA)",
+        "Each day the workload is recompiled with that day's "
+        "calibration data\n(morning cycle of the 52-day "
+        "archive).");
+
+    bench::Q20Environment env;
+    const core::Mapper baseline = core::makeBaselineMapper();
+    const core::Mapper vqaVqm = core::makeVqaVqmMapper();
+    const auto bv = workloads::bernsteinVazirani(16);
+
+    TextTable table({"Day", "Link-error CoV", "Relative PST"});
+    RunningStats benefit;
+    std::vector<double> covs, benefits;
+    for (std::size_t day = 0; day < 52; ++day) {
+        const auto &snap = env.archive.at(day * 2);
+        const double base = bench::analyticPstOf(
+            baseline, bv, env.machine, snap);
+        const double aware = bench::analyticPstOf(
+            vqaVqm, bv, env.machine, snap);
+        const double rel = aware / base;
+        const double cov =
+            coefficientOfVariation(snap.allLinkErrors());
+        benefit.add(rel);
+        covs.push_back(cov);
+        benefits.push_back(rel);
+        table.addRow({std::to_string(day + 1),
+                      formatDouble(cov, 2),
+                      formatDouble(rel, 2) + "x"});
+    }
+    std::cout << table.render() << "\n";
+    std::cout << "average benefit = "
+              << formatDouble(benefit.mean(), 2)
+              << "x, min = " << formatDouble(benefit.min(), 2)
+              << "x, max = " << formatDouble(benefit.max(), 2)
+              << "x\n";
+
+    // Correlation between variability and benefit (paper: higher
+    // variation days benefit more).
+    const double mc = mean(covs);
+    const double mb = mean(benefits);
+    double num = 0.0, dc = 0.0, db = 0.0;
+    for (std::size_t i = 0; i < covs.size(); ++i) {
+        num += (covs[i] - mc) * (benefits[i] - mb);
+        dc += (covs[i] - mc) * (covs[i] - mc);
+        db += (benefits[i] - mb) * (benefits[i] - mb);
+    }
+    std::cout << "corr(link-error CoV, benefit) = "
+              << formatDouble(num / std::sqrt(dc * db + 1e-30), 2)
+              << "\n";
+    std::cout
+        << "(Paper shape: the benefit band ~1.1x..1.9x with "
+           "day-to-day fluctuation. Our\nsynthetic archive holds "
+           "aggregate variability nearly constant across days, "
+           "so\nthe fluctuation here comes from *which* links "
+           "drift, not from the total CoV;\nsee EXPERIMENTS.md.)\n";
+    return 0;
+}

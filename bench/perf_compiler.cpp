@@ -1,0 +1,135 @@
+/**
+ * @file
+ * google-benchmark timing of the compilation pipeline: allocation,
+ * movement planning, per-gate routing, layer-A* routing, and the
+ * full policy portfolios. NISQ compilation is run *per job* (the
+ * runtime recompiles against fresh calibration, Section 5.3), so
+ * compile latency matters.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "workloads/workloads.hpp"
+
+namespace
+{
+
+using namespace vaq;
+
+const bench::Q20Environment &
+env()
+{
+    static const bench::Q20Environment instance;
+    return instance;
+}
+
+void
+BM_AllocateLocality(benchmark::State &state)
+{
+    const auto bv = workloads::bernsteinVazirani(16);
+    const core::LocalityAllocator allocator;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(allocator.allocate(
+            bv, env().machine, env().averaged));
+    }
+}
+BENCHMARK(BM_AllocateLocality);
+
+void
+BM_AllocateStrength(benchmark::State &state)
+{
+    const auto bv = workloads::bernsteinVazirani(16);
+    const core::StrengthAllocator allocator;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(allocator.allocate(
+            bv, env().machine, env().averaged));
+    }
+}
+BENCHMARK(BM_AllocateStrength);
+
+void
+BM_MovementPlan(benchmark::State &state)
+{
+    const core::ReliabilityCost cost(env().machine,
+                                     env().averaged);
+    const core::MovementPlanner planner(env().machine, cost);
+    int a = 0;
+    for (auto _ : state) {
+        const int b = (a + 13) % 20;
+        benchmark::DoNotOptimize(planner.plan(a, b == a ? 19 : b));
+        a = (a + 1) % 20;
+    }
+}
+BENCHMARK(BM_MovementPlan);
+
+void
+BM_RoutePerGate(benchmark::State &state)
+{
+    const auto qft = workloads::qft(
+        static_cast<int>(state.range(0)));
+    const core::ReliabilityCost cost(env().machine,
+                                     env().averaged);
+    core::RouterOptions options;
+    options.strategy = core::RouteStrategy::PerGate;
+    const core::Router router(env().machine, cost, options);
+    const auto initial = core::Layout::identity(
+        qft.numQubits(), env().machine.numQubits());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(router.route(qft, initial));
+}
+BENCHMARK(BM_RoutePerGate)->Arg(8)->Arg(12)->Arg(14);
+
+void
+BM_RouteLayerAstar(benchmark::State &state)
+{
+    const auto qft = workloads::qft(
+        static_cast<int>(state.range(0)));
+    const core::SwapCountCost cost(env().machine);
+    core::RouterOptions options;
+    options.strategy = core::RouteStrategy::LayerAstar;
+    const core::Router router(env().machine, cost, options);
+    const auto initial = core::Layout::identity(
+        qft.numQubits(), env().machine.numQubits());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(router.route(qft, initial));
+}
+BENCHMARK(BM_RouteLayerAstar)->Arg(8)->Arg(12);
+
+void
+BM_FullPolicy(benchmark::State &state)
+{
+    const auto suite = workloads::standardSuite(env().machine);
+    const auto &w =
+        suite[static_cast<std::size_t>(state.range(0))];
+    const core::Mapper mapper = core::makeVqaVqmMapper();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            mapper.map(w.circuit, env().machine, env().averaged));
+    }
+    state.SetLabel(w.name);
+}
+BENCHMARK(BM_FullPolicy)->DenseRange(0, 2)->Unit(
+    benchmark::kMillisecond);
+
+void
+BM_StrongestSubgraph(benchmark::State &state)
+{
+    std::vector<graph::WeightedEdge> edges;
+    for (std::size_t l = 0; l < env().machine.linkCount(); ++l) {
+        const auto &link = env().machine.links()[l];
+        edges.push_back(graph::WeightedEdge{
+            link.a, link.b,
+            1.0 - env().averaged.linkError(l)});
+    }
+    const graph::WeightedGraph strength(
+        env().machine.numQubits(), edges);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(graph::bestConnectedSubgraph(
+            strength, static_cast<std::size_t>(state.range(0)),
+            graph::SubgraphScore::InducedWeight));
+    }
+}
+BENCHMARK(BM_StrongestSubgraph)->Arg(4)->Arg(8)->Arg(10)->Unit(
+    benchmark::kMillisecond);
+
+} // namespace

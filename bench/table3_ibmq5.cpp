@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Table 3: evaluation on the "real" IBM-Q5.
+ *
+ * SUBSTITUTION (DESIGN.md §2.1): the physical Tenerife machine is
+ * replaced by the trajectory simulator — a noisy state-vector
+ * executor whose error model (stochastic Pauli errors, readout
+ * flips, T1 decay) is deliberately *richer* than the Bernoulli
+ * model the compiler optimizes, playing the role of messy hardware.
+ *
+ * Paper values (baseline -> VQA+VQM): bv-3 0.31 -> 0.38 (1.22x),
+ * bv-4 0.21 -> 0.23 (1.09x), TriSwap 0.13 -> 0.25 (1.90x), GHZ-3
+ * 0.57 -> 0.77 (1.35x); geomean benefit 1.36x. Expected shape:
+ * VQA+VQM wins on every kernel, biggest on the movement-heavy
+ * TriSwap.
+ */
+#include "bench_util.hpp"
+
+#include "common/statistics.hpp"
+#include "common/table.hpp"
+#include "sim/trajectory_sim.hpp"
+#include "workloads/workloads.hpp"
+
+namespace
+{
+
+/** PST of a mapped circuit on the hardware surrogate. */
+double
+hardwarePst(const vaq::core::MappedCircuit &mapped,
+            const vaq::circuit::Circuit &logical,
+            vaq::sim::TrajectorySimulator &machine)
+{
+    using namespace vaq;
+    const auto counts = machine.run(mapped.physical);
+    std::vector<std::uint64_t> accept;
+    for (std::uint64_t outcome : sim::idealOutcomes(logical)) {
+        std::uint64_t phys = 0;
+        for (int q = 0; q < logical.numQubits(); ++q) {
+            if (outcome & (1ULL << q))
+                phys |= 1ULL << mapped.final.phys(q);
+        }
+        accept.push_back(phys & counts.measuredMask);
+    }
+    return sim::pstFromCounts(counts, accept);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace vaq;
+    bench::printHeader(
+        "Table 3", "PST on the (Simulated) IBM-Q5",
+        "4096 shots per experiment on the trajectory-simulator "
+        "hardware surrogate.\nPaper-era Tenerife errors: 2q mean "
+        "~4.2 %, worst link ~12 %.");
+
+    // Hand-written Tenerife-era calibration (see
+    // bench::paperEraTenerife for the provenance discussion).
+    const auto q5 = topology::ibmQ5Tenerife();
+    const calibration::Snapshot snap = bench::paperEraTenerife(q5);
+
+    const core::Mapper baseline = core::makeBaselineMapper();
+    const core::Mapper vqaVqm = core::makeVqaVqmMapper();
+    const sim::NoiseModel machineModel(q5, snap);
+    sim::TrajectoryOptions options;
+    options.shots = 4096;
+    sim::TrajectorySimulator machine(machineModel, options);
+
+    TextTable table({"Benchmark", "PST (Baseline)",
+                     "PST (VQA+VQM)", "Relative Benefit",
+                     "Paper"});
+    const char *paperRows[] = {"1.22x", "1.09x", "1.90x",
+                               "1.35x"};
+    std::vector<double> benefits;
+    std::size_t i = 0;
+    for (const auto &w : workloads::q5Suite()) {
+        const auto mappedBase =
+            baseline.map(w.circuit, q5, snap);
+        const auto mappedAware =
+            vqaVqm.map(w.circuit, q5, snap);
+        const double pstBase =
+            hardwarePst(mappedBase, w.circuit, machine);
+        const double pstAware =
+            hardwarePst(mappedAware, w.circuit, machine);
+        benefits.push_back(pstAware / pstBase);
+        table.addRow({w.name, formatDouble(pstBase, 2),
+                      formatDouble(pstAware, 2),
+                      formatDouble(pstAware / pstBase, 2) + "x",
+                      paperRows[i++]});
+    }
+    table.addRow({"GeoMean", "", "",
+                  formatDouble(geomean(benefits), 2) + "x",
+                  "1.36x"});
+    std::cout << table.render() << "\n";
+    std::cout << "Expected shape (paper): VQA+VQM >= baseline on "
+                 "every kernel even though the\nexecution-time "
+                 "error model is richer than the compile-time "
+                 "one.\n";
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Daily recompilation: the NISQ usage model from the paper's
+ * Section 5.3 footnote — every time a workload is scheduled, the
+ * runtime recompiles it against that day's calibration data.
+ *
+ * This example simulates two weeks of operation. Each "day" the
+ * machine drifts (strong links mostly stay strong, occasionally a
+ * link flips behaviour after recalibration) and we compare:
+ *   - a STALE binary, compiled once on day 0 with VQA+VQM,
+ *   - a FRESH binary, recompiled daily with VQA+VQM,
+ *   - the variation-unaware baseline as the yardstick.
+ */
+#include <iostream>
+
+#include "calibration/synthetic.hpp"
+#include "common/statistics.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/mapper.hpp"
+#include "sim/fault_sim.hpp"
+#include "topology/layouts.hpp"
+#include "workloads/workloads.hpp"
+
+int
+main()
+{
+    using namespace vaq;
+
+    const auto machine = topology::ibmQ20Tokyo();
+    calibration::SyntheticSource source(machine);
+    const auto program = workloads::bernsteinVazirani(16);
+
+    const core::Mapper aware = core::makeVqaVqmMapper();
+    const core::Mapper baseline = core::makeBaselineMapper();
+
+    // Day 0: the stale binary everyone keeps reusing.
+    const calibration::Snapshot day0 = source.nextCycle();
+    const core::MappedCircuit stale =
+        aware.map(program, machine, day0);
+
+    TextTable table({"day", "PST stale", "PST fresh",
+                     "PST baseline", "fresh/baseline"});
+    RunningStats staleStats, freshStats;
+
+    for (int day = 1; day <= 14; ++day) {
+        const calibration::Snapshot today = source.nextCycle();
+        const sim::NoiseModel model(machine, today);
+
+        // Yesterday's binary under today's errors.
+        const double pstStale =
+            sim::analyticPst(stale.physical, model);
+        // Recompiled against today's calibration.
+        const double pstFresh = sim::analyticPst(
+            aware.map(program, machine, today).physical, model);
+        const double pstBase = sim::analyticPst(
+            baseline.map(program, machine, today).physical,
+            model);
+
+        staleStats.add(pstStale / pstBase);
+        freshStats.add(pstFresh / pstBase);
+        table.addRow({std::to_string(day),
+                      formatDouble(pstStale, 4),
+                      formatDouble(pstFresh, 4),
+                      formatDouble(pstBase, 4),
+                      formatDouble(pstFresh / pstBase, 2) + "x"});
+    }
+
+    std::cout << "bv-16 on " << machine.name()
+              << ", 14 days of drift\n\n"
+              << table.render() << "\n";
+    std::cout << "average relative PST vs baseline:\n";
+    std::cout << "  stale day-0 binary: "
+              << formatDouble(staleStats.mean(), 2) << "x\n";
+    std::cout << "  daily recompiled  : "
+              << formatDouble(freshStats.mean(), 2) << "x\n";
+    std::cout << "\nRecompiling against fresh calibration keeps "
+                 "the variation-aware advantage;\nhand-optimized "
+                 "or stale mappings decay as the machine drifts "
+                 "(paper Section 10).\n";
+    return 0;
+}

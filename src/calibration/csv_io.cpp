@@ -1,0 +1,208 @@
+#include "calibration/csv_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace vaq::calibration
+{
+
+std::string
+toCsv(const Snapshot &snapshot,
+      const topology::CouplingGraph &graph)
+{
+    require(snapshot.numQubits() == graph.numQubits() &&
+                snapshot.numLinks() == graph.linkCount(),
+            "snapshot does not match graph shape");
+
+    std::ostringstream oss;
+    oss << "section,id,a,b,t1_us,t2_us,error_1q,readout_error,"
+           "error_2q\n";
+    for (int q = 0; q < snapshot.numQubits(); ++q) {
+        const QubitCalibration &cal = snapshot.qubit(q);
+        oss << "qubit," << q << ",,,"
+            << formatDouble(cal.t1Us, 6) << ","
+            << formatDouble(cal.t2Us, 6) << ","
+            << formatDouble(cal.error1q, 8) << ","
+            << formatDouble(cal.readoutError, 8) << ",\n";
+    }
+    for (std::size_t l = 0; l < graph.linkCount(); ++l) {
+        const topology::Link &link = graph.links()[l];
+        oss << "link," << l << "," << link.a << "," << link.b
+            << ",,,,," << formatDouble(snapshot.linkError(l), 8)
+            << "\n";
+    }
+    return oss.str();
+}
+
+Snapshot
+fromCsv(const std::string &text,
+        const topology::CouplingGraph &graph)
+{
+    Snapshot snap(graph);
+    std::vector<bool> qubitSeen(
+        static_cast<std::size_t>(graph.numQubits()), false);
+    std::vector<bool> linkSeen(graph.linkCount(), false);
+
+    std::istringstream in(text);
+    std::string line;
+    int lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        line = trim(line);
+        if (line.empty() || startsWith(line, "#") ||
+            startsWith(line, "section")) {
+            continue;
+        }
+        const auto fields = split(line, ',');
+        require(fields.size() == 9,
+                "calibration CSV line " + std::to_string(lineNo) +
+                    " has wrong field count");
+        const std::string &section = fields[0];
+        if (section == "qubit") {
+            const auto q = parseSize(fields[1]);
+            require(q < static_cast<std::size_t>(graph.numQubits()),
+                    "qubit id out of range in CSV");
+            require(!qubitSeen[q], "duplicate qubit row in CSV");
+            qubitSeen[q] = true;
+            QubitCalibration &cal =
+                snap.qubit(static_cast<int>(q));
+            cal.t1Us = parseDouble(fields[4]);
+            cal.t2Us = parseDouble(fields[5]);
+            cal.error1q = parseDouble(fields[6]);
+            cal.readoutError = parseDouble(fields[7]);
+        } else if (section == "link") {
+            const auto a = static_cast<int>(parseSize(fields[2]));
+            const auto b = static_cast<int>(parseSize(fields[3]));
+            const std::size_t idx = graph.linkIndex(a, b);
+            require(!linkSeen[idx], "duplicate link row in CSV");
+            linkSeen[idx] = true;
+            snap.setLinkError(idx, parseDouble(fields[8]));
+        } else {
+            throw VaqError("unknown CSV section '" + section +
+                           "' on line " + std::to_string(lineNo));
+        }
+    }
+
+    for (std::size_t q = 0; q < qubitSeen.size(); ++q) {
+        require(qubitSeen[q],
+                "missing qubit row " + std::to_string(q));
+    }
+    for (std::size_t l = 0; l < linkSeen.size(); ++l) {
+        require(linkSeen[l],
+                "missing link row " + std::to_string(l));
+    }
+    snap.validate();
+    return snap;
+}
+
+void
+saveCsv(const std::string &path, const Snapshot &snapshot,
+        const topology::CouplingGraph &graph)
+{
+    std::ofstream out(path);
+    require(static_cast<bool>(out),
+            "cannot open for write: " + path);
+    out << toCsv(snapshot, graph);
+    require(static_cast<bool>(out), "write failed: " + path);
+}
+
+Snapshot
+loadCsv(const std::string &path,
+        const topology::CouplingGraph &graph)
+{
+    std::ifstream in(path);
+    require(static_cast<bool>(in), "cannot open for read: " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return fromCsv(buffer.str(), graph);
+}
+
+std::string
+toCsvSeries(const CalibrationSeries &series,
+            const topology::CouplingGraph &graph)
+{
+    require(!series.empty(), "cannot serialize an empty series");
+    std::ostringstream oss;
+    oss << "cycle,section,id,a,b,t1_us,t2_us,error_1q,"
+           "readout_error,error_2q\n";
+    for (std::size_t cycle = 0; cycle < series.size(); ++cycle) {
+        const std::string body = toCsv(series.at(cycle), graph);
+        std::istringstream lines(body);
+        std::string line;
+        bool first = true;
+        while (std::getline(lines, line)) {
+            if (first) { // skip the per-snapshot header
+                first = false;
+                continue;
+            }
+            if (!trim(line).empty())
+                oss << cycle << "," << line << "\n";
+        }
+    }
+    return oss.str();
+}
+
+CalibrationSeries
+fromCsvSeries(const std::string &text,
+              const topology::CouplingGraph &graph)
+{
+    // Split rows per cycle, then reuse the snapshot parser.
+    std::vector<std::string> perCycle;
+    std::istringstream in(text);
+    std::string line;
+    int lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        const std::string trimmed = trim(line);
+        if (trimmed.empty() || startsWith(trimmed, "#") ||
+            startsWith(trimmed, "cycle")) {
+            continue;
+        }
+        const auto comma = trimmed.find(',');
+        require(comma != std::string::npos,
+                "malformed series row on line " +
+                    std::to_string(lineNo));
+        const std::size_t cycle =
+            parseSize(trimmed.substr(0, comma));
+        if (cycle >= perCycle.size()) {
+            require(cycle == perCycle.size(),
+                    "series cycles must be dense");
+            perCycle.emplace_back();
+        }
+        perCycle[cycle] += trimmed.substr(comma + 1) + "\n";
+    }
+    require(!perCycle.empty(), "series CSV has no rows");
+
+    CalibrationSeries series;
+    for (const std::string &body : perCycle)
+        series.add(fromCsv(body, graph));
+    return series;
+}
+
+void
+saveCsvSeries(const std::string &path,
+              const CalibrationSeries &series,
+              const topology::CouplingGraph &graph)
+{
+    std::ofstream out(path);
+    require(static_cast<bool>(out),
+            "cannot open for write: " + path);
+    out << toCsvSeries(series, graph);
+    require(static_cast<bool>(out), "write failed: " + path);
+}
+
+CalibrationSeries
+loadCsvSeries(const std::string &path,
+              const topology::CouplingGraph &graph)
+{
+    std::ifstream in(path);
+    require(static_cast<bool>(in), "cannot open for read: " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return fromCsvSeries(buffer.str(), graph);
+}
+
+} // namespace vaq::calibration

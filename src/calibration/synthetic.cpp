@@ -1,0 +1,148 @@
+#include "calibration/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace vaq::calibration
+{
+
+SyntheticSource::SyntheticSource(const topology::CouplingGraph &graph,
+                                 const SyntheticParams &params,
+                                 std::uint64_t seed)
+    : _graph(graph), _params(params), _rng(seed)
+{
+    // Spatial structure: normalized centrality of each link (0 =
+    // most central, 1 = most peripheral), from the mean hop
+    // distance of its endpoints to every qubit.
+    std::vector<double> periphery(graph.linkCount(), 0.5);
+    if (graph.isConnected() && graph.numQubits() > 1) {
+        const auto &hops = graph.hopDistances();
+        std::vector<double> nodeEcc(
+            static_cast<std::size_t>(graph.numQubits()), 0.0);
+        for (int v = 0; v < graph.numQubits(); ++v) {
+            double total = 0.0;
+            for (int u = 0; u < graph.numQubits(); ++u) {
+                total += hops[static_cast<std::size_t>(v)]
+                             [static_cast<std::size_t>(u)];
+            }
+            nodeEcc[static_cast<std::size_t>(v)] = total;
+        }
+        const double lo =
+            *std::min_element(nodeEcc.begin(), nodeEcc.end());
+        const double hi =
+            *std::max_element(nodeEcc.begin(), nodeEcc.end());
+        for (std::size_t l = 0; l < graph.linkCount(); ++l) {
+            const topology::Link &link = graph.links()[l];
+            const double ecc =
+                (nodeEcc[static_cast<std::size_t>(link.a)] +
+                 nodeEcc[static_cast<std::size_t>(link.b)]) /
+                2.0;
+            periphery[l] =
+                hi > lo ? (ecc - lo) / (hi - lo) : 0.5;
+        }
+    }
+
+    // Draw per-link long-run means from a log-normal whose mean is
+    // err2qMean (log-normal mean = exp(mu + sigma^2/2); correct mu
+    // for the multiplicative daily drift's own mean exp(sd^2/2)),
+    // shifted in log space by the periphery bias.
+    _linkBias.reserve(graph.linkCount());
+    for (std::size_t l = 0; l < graph.linkCount(); ++l) {
+        _linkBias.push_back(_params.peripheryBiasLog *
+                            (periphery[l] - 0.5));
+    }
+    _linkPersonality.reserve(graph.linkCount());
+    for (std::size_t l = 0; l < graph.linkCount(); ++l)
+        _linkPersonality.push_back(drawLinkPersonality(l));
+
+    _qubitPersonality.resize(
+        static_cast<std::size_t>(graph.numQubits()));
+    for (auto &q : _qubitPersonality) {
+        q.t1Us = _rng.truncatedGauss(_params.t1MeanUs,
+                                     _params.t1StdUs,
+                                     _params.t1MinUs,
+                                     _params.t1MaxUs);
+        q.t2Us = std::min(
+            _rng.truncatedGauss(_params.t2MeanUs, _params.t2StdUs,
+                                _params.t2MinUs, _params.t2MaxUs),
+            2.0 * q.t1Us);
+        q.error1q = std::clamp(
+            _params.err1qMedian *
+                std::exp(_rng.gauss(0.0, _params.err1qSigmaLog)),
+            _params.err1qMin, _params.err1qMax);
+        q.readoutError = std::clamp(
+            _params.readoutMedian *
+                std::exp(_rng.gauss(0.0, _params.readoutSigmaLog)),
+            _params.readoutMin, _params.readoutMax);
+    }
+}
+
+double
+SyntheticSource::drawLinkPersonality(std::size_t link)
+{
+    const double sigma = _params.err2qSigmaLog;
+    const double driftVar =
+        _params.dailyDriftSigmaLog * _params.dailyDriftSigmaLog;
+    const double mu = std::log(_params.err2qMean) -
+                      sigma * sigma / 2.0 - driftVar / 2.0 +
+                      _linkBias[link];
+    const double draw = _rng.logNormal(mu, sigma);
+    return std::clamp(draw, _params.linkPersonalityMin,
+                      _params.linkPersonalityMax);
+}
+
+Snapshot
+SyntheticSource::nextCycle()
+{
+    Snapshot snap(_graph);
+
+    for (std::size_t l = 0; l < _linkPersonality.size(); ++l) {
+        // Rare recalibration jump: the link re-rolls its long-run
+        // behaviour (the "opposite behavior on the other [day]"
+        // events of Section 3.4).
+        if (_rng.bernoulli(_params.jumpProbability))
+            _linkPersonality[l] = drawLinkPersonality(l);
+        const double observed =
+            _linkPersonality[l] *
+            std::exp(_rng.gauss(0.0, _params.dailyDriftSigmaLog));
+        snap.setLinkError(l, std::clamp(observed, _params.err2qMin,
+                                        _params.err2qMax));
+    }
+
+    for (int q = 0; q < _graph.numQubits(); ++q) {
+        const QubitCalibration &base =
+            _qubitPersonality[static_cast<std::size_t>(q)];
+        QubitCalibration &out = snap.qubit(q);
+        // Coherence times wander a little cycle to cycle.
+        out.t1Us = std::clamp(
+            base.t1Us * std::exp(_rng.gauss(0.0, 0.10)),
+            _params.t1MinUs, _params.t1MaxUs);
+        out.t2Us = std::min(
+            std::clamp(base.t2Us * std::exp(_rng.gauss(0.0, 0.10)),
+                       _params.t2MinUs, _params.t2MaxUs),
+            2.0 * out.t1Us);
+        out.error1q = std::clamp(
+            base.error1q * std::exp(_rng.gauss(0.0, 0.25)),
+            _params.err1qMin, _params.err1qMax);
+        out.readoutError = std::clamp(
+            base.readoutError * std::exp(_rng.gauss(0.0, 0.15)),
+            _params.readoutMin, _params.readoutMax);
+    }
+
+    snap.validate();
+    return snap;
+}
+
+CalibrationSeries
+SyntheticSource::series(std::size_t cycles)
+{
+    require(cycles >= 1, "series needs at least one cycle");
+    CalibrationSeries out;
+    for (std::size_t i = 0; i < cycles; ++i)
+        out.add(nextCycle());
+    return out;
+}
+
+} // namespace vaq::calibration

@@ -1,0 +1,211 @@
+#include "circuit/optimizer.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace vaq::circuit
+{
+
+namespace
+{
+
+/** Angle small enough to treat a rotation as identity. */
+constexpr double kZeroAngle = 1e-12;
+
+/** True for gates that are their own inverse. */
+bool
+isSelfInverse(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::X:
+      case GateKind::Y:
+      case GateKind::Z:
+      case GateKind::H:
+      case GateKind::CX:
+      case GateKind::CZ:
+      case GateKind::SWAP:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** True when a and b cancel as an adjacent pair. */
+bool
+cancels(const Gate &a, const Gate &b)
+{
+    if (a.isTwoQubit() != b.isTwoQubit())
+        return false;
+    if (isSelfInverse(a.kind) && a.kind == b.kind) {
+        if (a.isTwoQubit()) {
+            // CZ and SWAP are symmetric; CX is not.
+            if (a.kind == GateKind::CZ ||
+                a.kind == GateKind::SWAP) {
+                return (a.q0 == b.q0 && a.q1 == b.q1) ||
+                       (a.q0 == b.q1 && a.q1 == b.q0);
+            }
+            return a.q0 == b.q0 && a.q1 == b.q1;
+        }
+        return a.q0 == b.q0;
+    }
+    // S/Sdg and T/Tdg inverses (either order).
+    const auto inversePair = [&](GateKind x, GateKind y) {
+        return (a.kind == x && b.kind == y) ||
+               (a.kind == y && b.kind == x);
+    };
+    if (a.q0 == b.q0 && !a.isTwoQubit()) {
+        if (inversePair(GateKind::S, GateKind::Sdg))
+            return true;
+        if (inversePair(GateKind::T, GateKind::Tdg))
+            return true;
+    }
+    return false;
+}
+
+/** True when a and b are equal-axis rotations on the same qubit
+ *  (U3 is excluded: its angles do not add). */
+bool
+fusable(const Gate &a, const Gate &b)
+{
+    const bool singleAngle = a.kind == GateKind::RX ||
+                             a.kind == GateKind::RY ||
+                             a.kind == GateKind::RZ;
+    return singleAngle && a.kind == b.kind && a.q0 == b.q0;
+}
+
+/** One sweep; returns true when anything changed. */
+bool
+sweep(std::vector<Gate> &gates, OptimizerStats &stats)
+{
+    bool changed = false;
+    std::vector<Gate> out;
+    out.reserve(gates.size());
+    // lastOnQubit[q] = index in `out` of the latest survivor
+    // touching q, or -1.
+    std::vector<int> lastOnQubit;
+    std::vector<bool> alive;
+
+    auto lastIndexFor = [&](const Gate &g) -> int {
+        const auto q0 = static_cast<std::size_t>(g.q0);
+        int idx = lastOnQubit[q0];
+        if (g.isTwoQubit()) {
+            const auto q1 = static_cast<std::size_t>(g.q1);
+            // Both operands must agree on the predecessor, else
+            // something touched one of them in between.
+            if (lastOnQubit[q1] != idx)
+                return -1;
+        }
+        return idx;
+    };
+
+    auto widthNeeded = [&gates]() {
+        int w = 0;
+        for (const Gate &g : gates) {
+            w = std::max(w, g.q0 + 1);
+            w = std::max(w, g.q1 + 1);
+        }
+        return w;
+    }();
+    lastOnQubit.assign(static_cast<std::size_t>(
+                           std::max(widthNeeded, 1)),
+                       -1);
+
+    auto touch = [&](const Gate &g, int idx) {
+        lastOnQubit[static_cast<std::size_t>(g.q0)] = idx;
+        if (g.isTwoQubit())
+            lastOnQubit[static_cast<std::size_t>(g.q1)] = idx;
+    };
+
+    for (const Gate &g : gates) {
+        if (g.kind == GateKind::BARRIER) {
+            // Hard fence: nothing cancels across it.
+            out.push_back(g);
+            alive.push_back(true);
+            for (int &last : lastOnQubit)
+                last = static_cast<int>(out.size()) - 1;
+            continue;
+        }
+        const bool zeroRotation =
+            g.isParameterized() &&
+            std::abs(g.param) < kZeroAngle &&
+            std::abs(g.param2) < kZeroAngle &&
+            std::abs(g.param3) < kZeroAngle;
+        if (g.kind == GateKind::I || zeroRotation) {
+            ++stats.droppedIdentities;
+            changed = true;
+            continue;
+        }
+        if (g.kind == GateKind::MEASURE) {
+            out.push_back(g);
+            alive.push_back(true);
+            touch(g, static_cast<int>(out.size()) - 1);
+            continue;
+        }
+
+        const int prev = lastIndexFor(g);
+        if (prev >= 0 && alive[static_cast<std::size_t>(prev)]) {
+            const Gate &p = out[static_cast<std::size_t>(prev)];
+            if (p.kind != GateKind::BARRIER &&
+                p.kind != GateKind::MEASURE) {
+                if (cancels(p, g)) {
+                    alive[static_cast<std::size_t>(prev)] = false;
+                    ++stats.cancelledPairs;
+                    changed = true;
+                    // Predecessor info for these qubits is now the
+                    // gate *before* prev; conservatively reset so
+                    // no further cancellation reaches past it in
+                    // this sweep (the fixpoint loop catches it).
+                    lastOnQubit[static_cast<std::size_t>(g.q0)] =
+                        -1;
+                    if (g.isTwoQubit()) {
+                        lastOnQubit[static_cast<std::size_t>(
+                            g.q1)] = -1;
+                    }
+                    continue;
+                }
+                if (fusable(p, g)) {
+                    out[static_cast<std::size_t>(prev)].param +=
+                        g.param;
+                    ++stats.fusedRotations;
+                    changed = true;
+                    continue;
+                }
+            }
+        }
+        out.push_back(g);
+        alive.push_back(true);
+        touch(g, static_cast<int>(out.size()) - 1);
+    }
+
+    gates.clear();
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        if (alive[i])
+            gates.push_back(out[i]);
+    }
+    return changed;
+}
+
+} // namespace
+
+Circuit
+optimize(const Circuit &circuit, OptimizerStats *stats)
+{
+    OptimizerStats local;
+    std::vector<Gate> gates = circuit.gates();
+    // Fixpoint: each sweep can expose new adjacent pairs.
+    for (int iteration = 0; iteration < 64; ++iteration) {
+        if (!sweep(gates, local))
+            break;
+    }
+
+    Circuit out(circuit.numQubits());
+    for (const Gate &g : gates)
+        out.append(g);
+    if (stats != nullptr)
+        *stats = local;
+    return out;
+}
+
+} // namespace vaq::circuit

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * CNOT orientation pass: rewrite a routed circuit so every CX obeys
+ * the machine's native gate directions, inserting the standard
+ * H-conjugation for reversed gates (and lowering SWAPs first, since
+ * a SWAP has no orientation of its own).
+ */
+#ifndef VAQ_CIRCUIT_ORIENT_HPP
+#define VAQ_CIRCUIT_ORIENT_HPP
+
+#include "circuit/circuit.hpp"
+#include "topology/directions.hpp"
+
+namespace vaq::circuit
+{
+
+/** Statistics of one orientCnots() run. */
+struct OrientStats
+{
+    std::size_t reversedCnots = 0; ///< CX needing H-conjugation
+    std::size_t loweredSwaps = 0;  ///< SWAPs expanded to 3 CX
+};
+
+/**
+ * Rewrite `physical` (a routed circuit whose two-qubit gates sit on
+ * coupled pairs) to respect `directions`:
+ *  - SWAPs are lowered to 3 CX (alternating orientation, so at most
+ *    one per triple needs reversal... each is oriented natively),
+ *  - each CX whose control/target is not native becomes
+ *    H(c) H(t) CX(t, c) H(c) H(t),
+ *  - CZ is symmetric and passes through unchanged.
+ *
+ * @throws VaqError when a two-qubit gate sits on an uncoupled pair.
+ */
+Circuit orientCnots(const Circuit &physical,
+                    const topology::CnotDirections &directions,
+                    OrientStats *stats = nullptr);
+
+} // namespace vaq::circuit
+
+#endif // VAQ_CIRCUIT_ORIENT_HPP

@@ -1,0 +1,227 @@
+#include "circuit/qasm.hpp"
+
+#include <cmath>
+#include <optional>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace vaq::circuit
+{
+
+namespace
+{
+
+/** Render one operand as q[i]. */
+std::string
+operand(Qubit q)
+{
+    return "q[" + std::to_string(q) + "]";
+}
+
+/** Parse "q[i]" (whitespace-tolerant); returns the index. */
+Qubit
+parseOperand(const std::string &text, const std::string &reg)
+{
+    const std::string t = trim(text);
+    require(startsWith(t, reg + "[") && t.back() == ']',
+            "malformed QASM operand: '" + text + "'");
+    const std::string idx =
+        t.substr(reg.size() + 1, t.size() - reg.size() - 2);
+    return static_cast<Qubit>(parseSize(idx));
+}
+
+/**
+ * Parse an angle expression limited to the forms the writer emits:
+ * a decimal literal, "pi", "-pi", "pi/k", "-pi/k", or "k*pi/m".
+ */
+double
+parseAngle(const std::string &raw)
+{
+    std::string t = trim(raw);
+    require(!t.empty(), "empty QASM angle");
+    double sign = 1.0;
+    if (t.front() == '-') {
+        sign = -1.0;
+        t = trim(t.substr(1));
+    }
+    if (t.find("pi") == std::string::npos)
+        return sign * parseDouble(t);
+
+    double numerator = 1.0;
+    double denominator = 1.0;
+    const auto star = t.find('*');
+    if (star != std::string::npos) {
+        numerator = parseDouble(t.substr(0, star));
+        t = trim(t.substr(star + 1));
+    }
+    require(startsWith(t, "pi"), "malformed QASM angle: '" + raw + "'");
+    t = trim(t.substr(2));
+    if (!t.empty()) {
+        require(t.front() == '/',
+                "malformed QASM angle: '" + raw + "'");
+        denominator = parseDouble(t.substr(1));
+    }
+    return sign * numerator * M_PI / denominator;
+}
+
+} // namespace
+
+std::string
+toQasm(const Circuit &circuit)
+{
+    std::ostringstream oss;
+    oss << "OPENQASM 2.0;\n";
+    oss << "include \"qelib1.inc\";\n";
+    oss << "qreg q[" << circuit.numQubits() << "];\n";
+    oss << "creg c[" << circuit.numQubits() << "];\n";
+    for (const Gate &g : circuit.gates()) {
+        switch (g.kind) {
+          case GateKind::BARRIER:
+            oss << "barrier q;\n";
+            break;
+          case GateKind::MEASURE:
+            oss << "measure " << operand(g.q0) << " -> c["
+                << g.q0 << "];\n";
+            break;
+          default:
+            oss << gateName(g.kind);
+            if (g.kind == GateKind::U3) {
+                oss << "(" << formatDouble(g.param, 12) << ","
+                    << formatDouble(g.param2, 12) << ","
+                    << formatDouble(g.param3, 12) << ")";
+            } else if (g.isParameterized()) {
+                oss << "(" << formatDouble(g.param, 12) << ")";
+            }
+            oss << " " << operand(g.q0);
+            if (g.isTwoQubit())
+                oss << "," << operand(g.q1);
+            oss << ";\n";
+        }
+    }
+    return oss.str();
+}
+
+Circuit
+fromQasm(const std::string &text)
+{
+    std::optional<Circuit> circuit;
+    std::istringstream in(text);
+    std::string line;
+    int lineNo = 0;
+
+    while (std::getline(in, line)) {
+        ++lineNo;
+        // Strip comments.
+        const auto comment = line.find("//");
+        if (comment != std::string::npos)
+            line = line.substr(0, comment);
+        line = trim(line);
+        if (line.empty())
+            continue;
+
+        require(line.back() == ';',
+                "QASM line " + std::to_string(lineNo) +
+                " missing ';'");
+        line = trim(line.substr(0, line.size() - 1));
+
+        if (startsWith(line, "OPENQASM") ||
+            startsWith(line, "include") ||
+            startsWith(line, "creg")) {
+            continue;
+        }
+        if (startsWith(line, "qreg")) {
+            require(!circuit.has_value(),
+                    "multiple qreg declarations unsupported");
+            const auto open = line.find('[');
+            const auto close = line.find(']');
+            require(open != std::string::npos &&
+                        close != std::string::npos && close > open,
+                    "malformed qreg on line " +
+                        std::to_string(lineNo));
+            const auto n = parseSize(
+                line.substr(open + 1, close - open - 1));
+            circuit.emplace(static_cast<int>(n));
+            continue;
+        }
+
+        require(circuit.has_value(),
+                "gate before qreg on line " + std::to_string(lineNo));
+
+        if (startsWith(line, "barrier")) {
+            circuit->barrier();
+            continue;
+        }
+        if (startsWith(line, "measure")) {
+            const auto arrow = line.find("->");
+            require(arrow != std::string::npos,
+                    "malformed measure on line " +
+                        std::to_string(lineNo));
+            const Qubit q = parseOperand(
+                line.substr(7, arrow - 7), "q");
+            circuit->measure(q);
+            continue;
+        }
+
+        // General gate: name[(angle)] q[i][,q[j]]
+        std::size_t nameEnd = 0;
+        while (nameEnd < line.size() &&
+               (std::isalnum(
+                   static_cast<unsigned char>(line[nameEnd])))) {
+            ++nameEnd;
+        }
+        const std::string name = line.substr(0, nameEnd);
+        std::string rest = trim(line.substr(nameEnd));
+
+        std::vector<double> angles;
+        if (!rest.empty() && rest.front() == '(') {
+            const auto close = rest.find(')');
+            require(close != std::string::npos,
+                    "unterminated angle on line " +
+                        std::to_string(lineNo));
+            for (const std::string &piece :
+                 split(rest.substr(1, close - 1), ',')) {
+                angles.push_back(parseAngle(piece));
+            }
+            rest = trim(rest.substr(close + 1));
+        }
+        const double angle = angles.empty() ? 0.0 : angles[0];
+
+        const GateKind kind = gateKindFromName(name);
+        const auto ops = split(rest, ',');
+        if (gateArity(kind) == 2) {
+            require(ops.size() == 2,
+                    "two-qubit gate needs two operands on line " +
+                        std::to_string(lineNo));
+            circuit->append(Gate::twoQubit(
+                kind, parseOperand(ops[0], "q"),
+                parseOperand(ops[1], "q")));
+        } else {
+            require(ops.size() == 1,
+                    "one-qubit gate needs one operand on line " +
+                        std::to_string(lineNo));
+            if (kind == GateKind::U3 || name == "u2") {
+                const bool isU2 = name == "u2";
+                require(angles.size() == (isU2 ? 2u : 3u),
+                        "u2/u3 angle count wrong on line " +
+                            std::to_string(lineNo));
+                const double theta = isU2 ? M_PI / 2.0 : angles[0];
+                const double phi = isU2 ? angles[0] : angles[1];
+                const double lambda =
+                    isU2 ? angles[1] : angles[2];
+                circuit->append(Gate::u3(
+                    parseOperand(ops[0], "q"), theta, phi,
+                    lambda));
+            } else {
+                circuit->append(Gate::oneQubit(
+                    kind, parseOperand(ops[0], "q"), angle));
+            }
+        }
+    }
+
+    require(circuit.has_value(), "QASM program has no qreg");
+    return *circuit;
+}
+
+} // namespace vaq::circuit

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * OpenQASM 2.0 (subset) serialization of circuits.
+ *
+ * The writer emits programs loadable by standard toolchains (Qiskit,
+ * tket), and the reader accepts the same subset back, enabling
+ * round-trip tests and import of externally authored kernels.
+ *
+ * Supported subset: a single `qreg q[n]` / `creg c[n]` pair, the
+ * libvaq gate alphabet, `measure q[i] -> c[i]`, and whole-register
+ * `barrier`. Comments and blank lines are ignored.
+ */
+#ifndef VAQ_CIRCUIT_QASM_HPP
+#define VAQ_CIRCUIT_QASM_HPP
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace vaq::circuit
+{
+
+/** Render a circuit as an OpenQASM 2.0 program. */
+std::string toQasm(const Circuit &circuit);
+
+/**
+ * Parse an OpenQASM 2.0 (subset) program.
+ * @throws VaqError on any construct outside the supported subset.
+ */
+Circuit fromQasm(const std::string &text);
+
+} // namespace vaq::circuit
+
+#endif // VAQ_CIRCUIT_QASM_HPP

@@ -1,0 +1,20 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace vaq::detail
+{
+
+void
+assertFailed(const char *expr, const char *file, int line,
+             const std::string &msg)
+{
+    std::ostringstream oss;
+    oss << "internal assertion failed: (" << expr << ") at " << file
+        << ":" << line;
+    if (!msg.empty())
+        oss << " -- " << msg;
+    throw VaqInternalError(oss.str());
+}
+
+} // namespace vaq::detail

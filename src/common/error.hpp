@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Error handling primitives shared by every libvaq module.
+ *
+ * Two failure classes are distinguished, following the
+ * fatal-versus-panic convention used by architecture simulators:
+ *
+ *  - VaqError: the caller handed us something invalid (bad circuit,
+ *    unknown qubit, malformed calibration file). Thrown, recoverable.
+ *  - VAQ_ASSERT: an internal invariant was violated; indicates a bug
+ *    in libvaq itself. Also thrown (as VaqInternalError) so tests can
+ *    observe it, but callers should treat it as non-recoverable.
+ */
+#ifndef VAQ_COMMON_ERROR_HPP
+#define VAQ_COMMON_ERROR_HPP
+
+#include <stdexcept>
+#include <string>
+
+namespace vaq
+{
+
+/** Exception for user-caused errors (invalid inputs, bad config). */
+class VaqError : public std::runtime_error
+{
+  public:
+    explicit VaqError(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+/** Exception for violated internal invariants (libvaq bugs). */
+class VaqInternalError : public std::logic_error
+{
+  public:
+    explicit VaqInternalError(const std::string &what_arg)
+        : std::logic_error(what_arg)
+    {}
+};
+
+namespace detail
+{
+/** Build the assertion message and throw; out-of-line to keep the
+ *  macro cheap at every call site. */
+[[noreturn]] void assertFailed(const char *expr, const char *file,
+                               int line, const std::string &msg);
+} // namespace detail
+
+/**
+ * Throw VaqError with the given message when `cond` is false.
+ * Use for validating caller-supplied arguments.
+ */
+inline void
+require(bool cond, const std::string &msg)
+{
+    if (!cond)
+        throw VaqError(msg);
+}
+
+} // namespace vaq
+
+/**
+ * Internal invariant check. Active in all build types: the library is
+ * a research artifact where silent corruption is worse than the cost
+ * of a predictable branch.
+ */
+#define VAQ_ASSERT(expr, msg)                                            \
+    do {                                                                 \
+        if (!(expr))                                                     \
+            ::vaq::detail::assertFailed(#expr, __FILE__, __LINE__,       \
+                                        (msg));                          \
+    } while (false)
+
+#endif // VAQ_COMMON_ERROR_HPP

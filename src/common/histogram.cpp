@@ -1,0 +1,86 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace vaq
+{
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : _lo(lo),
+      _width((hi - lo) / static_cast<double>(bins)),
+      _counts(bins, 0)
+{
+    require(hi > lo, "histogram upper edge must exceed lower edge");
+    require(bins >= 1, "histogram needs at least one bin");
+}
+
+void
+Histogram::add(double x)
+{
+    auto bin = static_cast<long>(std::floor((x - _lo) / _width));
+    bin = std::clamp(bin, 0L, static_cast<long>(_counts.size()) - 1L);
+    ++_counts[static_cast<std::size_t>(bin)];
+    ++_total;
+}
+
+void
+Histogram::add(const std::vector<double> &xs)
+{
+    for (double x : xs)
+        add(x);
+}
+
+std::size_t
+Histogram::count(std::size_t i) const
+{
+    require(i < _counts.size(), "histogram bin index out of range");
+    return _counts[i];
+}
+
+double
+Histogram::frequency(std::size_t i) const
+{
+    if (_total == 0)
+        return 0.0;
+    return static_cast<double>(count(i)) /
+           static_cast<double>(_total);
+}
+
+double
+Histogram::binCenter(std::size_t i) const
+{
+    require(i < _counts.size(), "histogram bin index out of range");
+    return _lo + (static_cast<double>(i) + 0.5) * _width;
+}
+
+std::string
+Histogram::render(const std::string &label, std::size_t barWidth) const
+{
+    std::size_t peak = 0;
+    for (std::size_t c : _counts)
+        peak = std::max(peak, c);
+
+    std::ostringstream oss;
+    oss << label << " (" << _total << " samples)\n";
+    for (std::size_t i = 0; i < _counts.size(); ++i) {
+        const double freq = frequency(i);
+        std::size_t bar = 0;
+        if (peak > 0) {
+            bar = static_cast<std::size_t>(std::llround(
+                static_cast<double>(_counts[i]) /
+                static_cast<double>(peak) *
+                static_cast<double>(barWidth)));
+        }
+        oss << formatDouble(binCenter(i), 4) << "  "
+            << formatDouble(freq, 5) << "  "
+            << std::string(bar, '#') << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace vaq

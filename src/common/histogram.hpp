@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fixed-bin histogram used to regenerate the distribution figures
+ * (Figs. 5-7 of the paper) as textual tables and ASCII plots.
+ */
+#ifndef VAQ_COMMON_HISTOGRAM_HPP
+#define VAQ_COMMON_HISTOGRAM_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vaq
+{
+
+/**
+ * Equal-width histogram over [lo, hi) with a configurable number of
+ * bins. Out-of-range samples are clamped into the first/last bin so
+ * the tails of synthetic distributions remain visible.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower edge of the first bin.
+     * @param hi Upper edge of the last bin (must exceed lo).
+     * @param bins Number of bins (must be >= 1).
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Insert a sample. */
+    void add(double x);
+
+    /** Insert a batch of samples. */
+    void add(const std::vector<double> &xs);
+
+    /** Number of bins. */
+    std::size_t binCount() const { return _counts.size(); }
+
+    /** Total samples inserted. */
+    std::size_t totalCount() const { return _total; }
+
+    /** Raw count in bin i. */
+    std::size_t count(std::size_t i) const;
+
+    /** Fraction of samples in bin i (0 when empty). */
+    double frequency(std::size_t i) const;
+
+    /** Center of bin i. */
+    double binCenter(std::size_t i) const;
+
+    /** Width of each bin. */
+    double binWidth() const { return _width; }
+
+    /**
+     * Render a two-column "center frequency" table followed by an
+     * ASCII bar chart, suitable for dumping the paper's distribution
+     * figures to stdout.
+     * @param label Axis label printed in the header.
+     * @param barWidth Maximum bar width in characters.
+     */
+    std::string render(const std::string &label,
+                       std::size_t barWidth = 50) const;
+
+  private:
+    double _lo;
+    double _width;
+    std::vector<std::size_t> _counts;
+    std::size_t _total = 0;
+};
+
+} // namespace vaq
+
+#endif // VAQ_COMMON_HISTOGRAM_HPP

@@ -1,0 +1,157 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace vaq
+{
+
+namespace
+{
+
+/** SplitMix64 step, used only for seed expansion. */
+std::uint64_t
+splitMix64(std::uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : _state)
+        word = splitMix64(s);
+}
+
+Rng::result_type
+Rng::operator()()
+{
+    return nextRaw();
+}
+
+std::uint64_t
+Rng::nextRaw()
+{
+    const std::uint64_t result = rotl(_state[1] * 5, 7) * 9;
+    const std::uint64_t t = _state[1] << 17;
+
+    _state[2] ^= _state[0];
+    _state[3] ^= _state[1];
+    _state[1] ^= _state[2];
+    _state[0] ^= _state[3];
+    _state[2] ^= t;
+    _state[3] = rotl(_state[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(nextRaw() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    VAQ_ASSERT(lo <= hi, "uniform bounds inverted");
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t n)
+{
+    VAQ_ASSERT(n > 0, "uniformInt(0) is undefined");
+    // Lemire-style rejection to kill modulo bias.
+    const std::uint64_t threshold = (~n + 1) % n;
+    for (;;) {
+        std::uint64_t r = nextRaw();
+        if (r >= threshold)
+            return r % n;
+    }
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    VAQ_ASSERT(lo <= hi, "uniformInt bounds inverted");
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi - lo) + 1ULL;
+    return lo + static_cast<std::int64_t>(uniformInt(span));
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+double
+Rng::gauss()
+{
+    if (_hasSpare) {
+        _hasSpare = false;
+        return _spare;
+    }
+    double u1;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    _spare = r * std::sin(theta);
+    _hasSpare = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::gauss(double mean, double stddev)
+{
+    return mean + stddev * gauss();
+}
+
+double
+Rng::truncatedGauss(double mean, double stddev, double lo, double hi)
+{
+    VAQ_ASSERT(lo <= hi, "truncatedGauss bounds inverted");
+    for (int attempt = 0; attempt < 256; ++attempt) {
+        const double x = gauss(mean, stddev);
+        if (x >= lo && x <= hi)
+            return x;
+    }
+    const double x = gauss(mean, stddev);
+    return std::min(hi, std::max(lo, x));
+}
+
+double
+Rng::logNormal(double mu, double sigma)
+{
+    return std::exp(gauss(mu, sigma));
+}
+
+Rng
+Rng::split()
+{
+    return Rng(nextRaw());
+}
+
+} // namespace vaq

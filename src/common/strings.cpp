@@ -1,0 +1,85 @@
+#include "common/strings.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace vaq
+{
+
+std::string
+trim(std::string_view s)
+{
+    std::size_t begin = 0;
+    std::size_t end = s.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(s[begin]))) {
+        ++begin;
+    }
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+        --end;
+    }
+    return std::string(s.substr(begin, end - begin));
+}
+
+std::vector<std::string>
+split(std::string_view s, char delim)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == delim) {
+            out.emplace_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+bool
+startsWith(std::string_view s, std::string_view prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.substr(0, prefix.size()) == prefix;
+}
+
+std::string
+formatDouble(double x, int precision)
+{
+    std::ostringstream oss;
+    oss.setf(std::ios::fixed);
+    oss.precision(precision);
+    oss << x;
+    return oss.str();
+}
+
+double
+parseDouble(std::string_view s)
+{
+    const std::string text = trim(s);
+    require(!text.empty(), "cannot parse empty string as double");
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    require(end == text.c_str() + text.size(),
+            "malformed double: '" + text + "'");
+    return value;
+}
+
+std::size_t
+parseSize(std::string_view s)
+{
+    const std::string text = trim(s);
+    require(!text.empty(), "cannot parse empty string as integer");
+    std::size_t value = 0;
+    const auto [ptr, ec] = std::from_chars(
+        text.data(), text.data() + text.size(), value);
+    require(ec == std::errc() && ptr == text.data() + text.size(),
+            "malformed integer: '" + text + "'");
+    return value;
+}
+
+} // namespace vaq

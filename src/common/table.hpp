@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Aligned-column table printer and CSV writer.
+ *
+ * Every bench binary emits its results through TextTable so the
+ * reproduced tables/figures look like the rows the paper reports, and
+ * optionally through writeCsv for downstream plotting.
+ */
+#ifndef VAQ_COMMON_TABLE_HPP
+#define VAQ_COMMON_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace vaq
+{
+
+/**
+ * A simple text table: a header row plus data rows, rendered with
+ * per-column width alignment and a rule under the header.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must match the header arity. */
+    void addRow(std::vector<std::string> row);
+
+    /** Number of data rows. */
+    std::size_t rowCount() const { return _rows.size(); }
+
+    /** Render with two spaces between columns. */
+    std::string render() const;
+
+    /** Render as RFC-4180-ish CSV (fields with commas get quoted). */
+    std::string renderCsv() const;
+
+  private:
+    std::vector<std::string> _headers;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+/** Write text to a file, throwing VaqError on I/O failure. */
+void writeFile(const std::string &path, const std::string &text);
+
+} // namespace vaq
+
+#endif // VAQ_COMMON_TABLE_HPP

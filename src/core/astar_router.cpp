@@ -1,0 +1,216 @@
+#include "core/astar_router.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace vaq::core
+{
+
+namespace
+{
+
+/** Packed layout state: physToProg as a small vector. */
+using State = std::vector<int>;
+
+struct StateHash
+{
+    std::size_t
+    operator()(const State &s) const
+    {
+        // FNV-1a over the entries.
+        std::size_t h = 1469598103934665603ULL;
+        for (int v : s) {
+            h ^= static_cast<std::size_t>(v + 2);
+            h *= 1099511628211ULL;
+        }
+        return h;
+    }
+};
+
+/** Bookkeeping per visited state. */
+struct NodeInfo
+{
+    double g = 0.0;
+    State parent;
+    std::pair<int, int> action{-1, -1};
+    bool hasParent = false;
+};
+
+} // namespace
+
+std::optional<SwapSequence>
+planLayerSwaps(const topology::CouplingGraph &graph,
+               const CostModel &cost,
+               const MovementPlanner &planner, const Layout &layout,
+               const std::vector<ProgPair> &pairs,
+               std::size_t node_cap)
+{
+    require(!pairs.empty(), "layer has no two-qubit gates");
+
+    const int n = graph.numQubits();
+
+    // Per-gate cost bound for the heuristic, computed lazily. The
+    // bound is the *full* movement plan cost including the final
+    // CNOT, so the search also pays for the link each gate will
+    // execute on — at a goal state h collapses to exactly the
+    // layer's execution cost and f = swaps + execution, the true
+    // objective (uniform costs make this a constant offset, so the
+    // baseline's behaviour is unchanged).
+    std::vector<std::vector<double>> bound(
+        static_cast<std::size_t>(n),
+        std::vector<double>(static_cast<std::size_t>(n), -1.0));
+    auto boundFor = [&](int pa, int pb) {
+        auto &cell = bound[static_cast<std::size_t>(pa)]
+                          [static_cast<std::size_t>(pb)];
+        if (cell < 0.0) {
+            cell = planner.plan(pa, pb).cost;
+            bound[static_cast<std::size_t>(pb)]
+                 [static_cast<std::size_t>(pa)] = cell;
+        }
+        return cell;
+    };
+
+    // Program qubit positions derived from a state.
+    auto positions = [&](const State &s) {
+        std::vector<int> pos(
+            static_cast<std::size_t>(layout.numProg()), -1);
+        for (int p = 0; p < n; ++p) {
+            const int prog = s[static_cast<std::size_t>(p)];
+            if (prog != kFreeQubit)
+                pos[static_cast<std::size_t>(prog)] = p;
+        }
+        return pos;
+    };
+
+    auto heuristic = [&](const State &s) {
+        const std::vector<int> pos = positions(s);
+        double h = 0.0;
+        for (const auto &[qa, qb] : pairs) {
+            h += boundFor(pos[static_cast<std::size_t>(qa)],
+                          pos[static_cast<std::size_t>(qb)]);
+        }
+        return h;
+    };
+
+    auto isGoal = [&](const State &s) {
+        const std::vector<int> pos = positions(s);
+        for (const auto &[qa, qb] : pairs) {
+            if (!graph.coupled(pos[static_cast<std::size_t>(qa)],
+                               pos[static_cast<std::size_t>(qb)])) {
+                return false;
+            }
+        }
+        return true;
+    };
+
+    // Cost of actually executing the layer's gates on the links
+    // they would use in state s.
+    auto execCost = [&](const State &s) {
+        const std::vector<int> pos = positions(s);
+        double total = 0.0;
+        for (const auto &[qa, qb] : pairs) {
+            total +=
+                cost.cnotCost(pos[static_cast<std::size_t>(qa)],
+                              pos[static_cast<std::size_t>(qb)]);
+        }
+        return total;
+    };
+
+    State start(static_cast<std::size_t>(n), kFreeQubit);
+    for (int p = 0; p < n; ++p)
+        start[static_cast<std::size_t>(p)] = layout.prog(p);
+
+    std::unordered_map<State, NodeInfo, StateHash> visited;
+    visited[start] = NodeInfo{};
+
+    // (f, g, state); g in the key stabilizes pop order.
+    using Entry = std::tuple<double, double, State>;
+    std::priority_queue<Entry, std::vector<Entry>,
+                        std::greater<Entry>> open;
+    open.emplace(heuristic(start), 0.0, start);
+
+    // Best terminal found so far: a terminal is any state where all
+    // pairs are adjacent, with total objective g + execution cost.
+    // Goal states stay expandable — under non-uniform costs, moving
+    // *past* the first adjacency onto stronger links can lower the
+    // total.
+    double bestTotal = std::numeric_limits<double>::infinity();
+    State bestState;
+
+    auto reconstruct = [&](const State &terminal) {
+        SwapSequence swaps;
+        State cur = terminal;
+        while (true) {
+            const NodeInfo &info = visited.at(cur);
+            if (!info.hasParent)
+                break;
+            swaps.push_back(info.action);
+            cur = info.parent;
+        }
+        std::reverse(swaps.begin(), swaps.end());
+        return swaps;
+    };
+
+    std::size_t expanded = 0;
+    while (!open.empty()) {
+        auto [f, g, state] = open.top();
+        open.pop();
+        const auto it = visited.find(state);
+        VAQ_ASSERT(it != visited.end(), "popped unknown state");
+        if (g > it->second.g)
+            continue; // stale
+
+        // h never exceeds the true remaining cost of *this* branch's
+        // terminals by much; once the frontier minimum reaches the
+        // best terminal total, searching further cannot pay off.
+        if (f >= bestTotal)
+            return reconstruct(bestState);
+
+        if (isGoal(state)) {
+            const double total = g + execCost(state);
+            if (total < bestTotal) {
+                bestTotal = total;
+                bestState = state;
+            }
+        }
+
+        if (++expanded > node_cap) {
+            if (!bestState.empty())
+                return reconstruct(bestState);
+            return std::nullopt;
+        }
+
+        for (const topology::Link &link : graph.links()) {
+            // Swapping two free qubits never helps.
+            if (state[static_cast<std::size_t>(link.a)] ==
+                    kFreeQubit &&
+                state[static_cast<std::size_t>(link.b)] ==
+                    kFreeQubit) {
+                continue;
+            }
+            State next = state;
+            std::swap(next[static_cast<std::size_t>(link.a)],
+                      next[static_cast<std::size_t>(link.b)]);
+            const double ng = g + cost.swapCost(link.a, link.b);
+            auto [slot, inserted] =
+                visited.try_emplace(next, NodeInfo{});
+            if (!inserted && slot->second.g <= ng)
+                continue;
+            slot->second.g = ng;
+            slot->second.parent = state;
+            slot->second.action = {link.a, link.b};
+            slot->second.hasParent = true;
+            open.emplace(ng + heuristic(next), ng,
+                         std::move(next));
+        }
+    }
+    if (!bestState.empty())
+        return reconstruct(bestState);
+    return std::nullopt;
+}
+
+} // namespace vaq::core

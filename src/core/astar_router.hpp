@@ -1,0 +1,61 @@
+/**
+ * @file
+ * A* search for the per-layer SWAP set (step 5 of the paper's
+ * Section 4.5 / Algorithm 1).
+ *
+ * Given the current layout and the set of two-qubit gates of one
+ * dependence layer, search over layouts (actions = one SWAP on any
+ * link) for the cheapest SWAP sequence making *every* gate of the
+ * layer executable. The edge cost is the active cost model's
+ * swapCost — uniform for the baseline, -log reliability for VQM —
+ * and the heuristic is the sum of per-gate adjacency lower bounds.
+ *
+ * The search is capped: when the node budget is exhausted (deep
+ * layers on large machines), the caller falls back to per-gate
+ * movement planning, preserving the locality-first behaviour of the
+ * baseline compiler.
+ */
+#ifndef VAQ_CORE_ASTAR_ROUTER_HPP
+#define VAQ_CORE_ASTAR_ROUTER_HPP
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/layout.hpp"
+#include "core/movement_planner.hpp"
+
+namespace vaq::core
+{
+
+/** One program-qubit pair that must become adjacent. */
+using ProgPair = std::pair<circuit::Qubit, circuit::Qubit>;
+
+/** A SWAP sequence over physical links. */
+using SwapSequence =
+    std::vector<std::pair<topology::PhysQubit, topology::PhysQubit>>;
+
+/**
+ * Find a low-cost SWAP sequence after which every pair in `pairs`
+ * is adjacent under the updated layout.
+ *
+ * @param graph Machine connectivity.
+ * @param cost Active cost model.
+ * @param planner Movement planner used for heuristic bounds.
+ * @param layout Current (complete or partial) layout; the layout is
+ *        not modified.
+ * @param pairs Program-qubit pairs of one dependence layer.
+ * @param node_cap Maximum number of A* expansions before giving up.
+ * @return The SWAP sequence, or nullopt when the budget ran out.
+ */
+std::optional<SwapSequence>
+planLayerSwaps(const topology::CouplingGraph &graph,
+               const CostModel &cost,
+               const MovementPlanner &planner, const Layout &layout,
+               const std::vector<ProgPair> &pairs,
+               std::size_t node_cap);
+
+} // namespace vaq::core
+
+#endif // VAQ_CORE_ASTAR_ROUTER_HPP

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Program-qubit to physical-qubit layout.
+ *
+ * A Layout is the live "where does each program qubit sit" state
+ * that every mapping policy manipulates: allocation chooses the
+ * initial layout, and each inserted SWAP permutes it.
+ */
+#ifndef VAQ_CORE_LAYOUT_HPP
+#define VAQ_CORE_LAYOUT_HPP
+
+#include <vector>
+
+#include "circuit/gate.hpp"
+#include "topology/coupling_graph.hpp"
+
+namespace vaq::core
+{
+
+/** Sentinel: physical qubit holds no program qubit. */
+inline constexpr int kFreeQubit = -1;
+
+/**
+ * Bijective partial map from program qubits onto physical qubits.
+ * Physical qubits not backing a program qubit are "free" (they still
+ * hold quantum state — |0> unless SWAPs moved something in — but the
+ * program never reads them).
+ */
+class Layout
+{
+  public:
+    /**
+     * Create an empty layout for `num_prog` program qubits over
+     * `num_phys` physical qubits (num_prog <= num_phys).
+     */
+    Layout(int num_prog, int num_phys);
+
+    /** Identity layout: program qubit i on physical qubit i. */
+    static Layout identity(int num_prog, int num_phys);
+
+    /** Number of program qubits. */
+    int numProg() const
+    {
+        return static_cast<int>(_progToPhys.size());
+    }
+
+    /** Number of physical qubits. */
+    int numPhys() const
+    {
+        return static_cast<int>(_physToProg.size());
+    }
+
+    /** Physical location of a program qubit (throws if unassigned). */
+    topology::PhysQubit phys(circuit::Qubit prog) const;
+
+    /** Program qubit on a physical qubit, or kFreeQubit. */
+    circuit::Qubit prog(topology::PhysQubit phys) const;
+
+    /** True when every program qubit has a location. */
+    bool isComplete() const;
+
+    /** Assign program qubit `prog` to free physical qubit `phys`. */
+    void assign(circuit::Qubit prog, topology::PhysQubit phys);
+
+    /**
+     * Apply the effect of SWAP(p1, p2): whatever sits on the two
+     * physical qubits exchanges places (free slots swap too).
+     */
+    void applySwap(topology::PhysQubit p1, topology::PhysQubit p2);
+
+    /** prog -> phys vector (kFreeQubit never appears; throws if
+     *  incomplete). */
+    std::vector<int> progToPhys() const;
+
+    /** Structural equality. */
+    bool operator==(const Layout &other) const = default;
+
+  private:
+    void checkProg(circuit::Qubit prog) const;
+    void checkPhys(topology::PhysQubit phys) const;
+
+    std::vector<int> _progToPhys; ///< program -> physical (or -1)
+    std::vector<int> _physToProg; ///< physical -> program (or -1)
+};
+
+} // namespace vaq::core
+
+#endif // VAQ_CORE_LAYOUT_HPP

@@ -1,0 +1,295 @@
+#include "core/mapper.hpp"
+
+#include "common/error.hpp"
+#include "sim/fault_sim.hpp"
+#include "sim/noise_model.hpp"
+
+namespace vaq::core
+{
+
+using circuit::Circuit;
+
+Mapper::Mapper(std::string name,
+               std::unique_ptr<Allocator> allocator,
+               CostKind cost_kind, RouterOptions router_options)
+    : _name(std::move(name))
+{
+    require(allocator != nullptr, "mapper needs an allocator");
+    PolicyConfig config;
+    config.allocator = std::move(allocator);
+    config.costKind = cost_kind;
+    config.routerOptions = router_options;
+    _configs.push_back(std::move(config));
+}
+
+Mapper::Mapper(std::string name, std::vector<PolicyConfig> configs)
+    : _name(std::move(name)), _configs(std::move(configs))
+{
+    require(!_configs.empty(), "mapper needs a configuration");
+    for (const PolicyConfig &config : _configs) {
+        require(config.allocator != nullptr,
+                "configuration needs an allocator");
+    }
+}
+
+MappedCircuit
+Mapper::mapWithConfig(const PolicyConfig &config,
+                      const Circuit &logical,
+                      const topology::CouplingGraph &graph,
+                      const calibration::Snapshot &snapshot) const
+{
+    const Layout initial =
+        config.allocator->allocate(logical, graph, snapshot);
+    const std::unique_ptr<CostModel> cost =
+        makeCostModel(config.costKind, graph, snapshot);
+    const Router router(graph, *cost, config.routerOptions);
+    RouteResult routed = router.route(logical, initial);
+
+    MappedCircuit mapped(logical.numQubits(), graph.numQubits());
+    mapped.physical = std::move(routed.physical);
+    mapped.initial = initial;
+    mapped.final = routed.final;
+    mapped.insertedSwaps = routed.insertedSwaps;
+    mapped.policyName = _name;
+    return mapped;
+}
+
+MappedCircuit
+Mapper::map(const Circuit &logical,
+            const topology::CouplingGraph &graph,
+            const calibration::Snapshot &snapshot) const
+{
+    require(logical.numQubits() <= graph.numQubits(),
+            "program needs more qubits than the machine has");
+    require(graph.isConnected(),
+            "machine coupling graph must be connected");
+
+    // Score each configuration with the compile-time reliability
+    // estimate and keep the winner. Error rates are known at
+    // compile time (the premise of the whole paper), so the
+    // portfolio selection is itself a variation-aware step.
+    const sim::NoiseModel model(graph, snapshot,
+                                sim::CoherenceMode::PerOp);
+    MappedCircuit best(logical.numQubits(), graph.numQubits());
+    double bestScore = -1.0;
+    for (const PolicyConfig &config : _configs) {
+        MappedCircuit candidate =
+            mapWithConfig(config, logical, graph, snapshot);
+        const double score =
+            sim::analyticPst(candidate.physical, model);
+        if (score > bestScore) {
+            bestScore = score;
+            best = std::move(candidate);
+        }
+    }
+    return best;
+}
+
+MappedCircuit
+Mapper::mapInRegion(
+    const Circuit &logical, const topology::CouplingGraph &graph,
+    const calibration::Snapshot &snapshot,
+    const std::vector<topology::PhysQubit> &region) const
+{
+    require(region.size() >=
+                static_cast<std::size_t>(logical.numQubits()),
+            "region smaller than the program");
+
+    // Build the region-restricted machine and its calibration view.
+    const topology::CouplingGraph sub =
+        graph.inducedSubgraph(region);
+    require(sub.isConnected(), "partition region is disconnected");
+
+    calibration::Snapshot subSnapshot(sub);
+    subSnapshot.durations = snapshot.durations;
+    for (std::size_t i = 0; i < region.size(); ++i) {
+        subSnapshot.qubit(static_cast<int>(i)) =
+            snapshot.qubit(region[i]);
+    }
+    for (std::size_t l = 0; l < sub.linkCount(); ++l) {
+        const topology::Link &link = sub.links()[l];
+        subSnapshot.setLinkError(
+            l, snapshot.linkError(
+                   graph,
+                   region[static_cast<std::size_t>(link.a)],
+                   region[static_cast<std::size_t>(link.b)]));
+    }
+
+    const MappedCircuit inner = map(logical, sub, subSnapshot);
+
+    // Translate back to full-machine qubit ids.
+    MappedCircuit mapped(logical.numQubits(), graph.numQubits());
+    std::vector<int> toFull(region.begin(), region.end());
+    mapped.physical =
+        inner.physical.remapped(toFull, graph.numQubits());
+    for (int q = 0; q < logical.numQubits(); ++q) {
+        mapped.initial.assign(
+            q, region[static_cast<std::size_t>(
+                   inner.initial.phys(q))]);
+        mapped.final.assign(
+            q, region[static_cast<std::size_t>(
+                   inner.final.phys(q))]);
+    }
+    mapped.insertedSwaps = inner.insertedSwaps;
+    mapped.policyName = _name + "@region";
+    return mapped;
+}
+
+namespace
+{
+
+/** Baseline configuration (shared no-variation fallback). */
+PolicyConfig
+baselineConfig()
+{
+    PolicyConfig config;
+    config.allocator = std::make_unique<LocalityAllocator>();
+    config.costKind = CostKind::SwapCount;
+    config.routerOptions.strategy = RouteStrategy::LayerAstar;
+    return config;
+}
+
+/**
+ * The VQM portfolio: movement-only variation awareness. Allocation
+ * stays the baseline's variation-blind locality embedding — placing
+ * qubits by error rates is VQA's job (Section 6), so Fig. 12's
+ * "VQM standalone" is exactly reliability-aware routing on the
+ * baseline layout.
+ */
+std::vector<PolicyConfig>
+vqmConfigs(int mah)
+{
+    std::vector<PolicyConfig> configs;
+
+    // Baseline allocation + per-gate reliability routing
+    // (Algorithm 1 with single-mover planning).
+    {
+        PolicyConfig c;
+        c.allocator = std::make_unique<LocalityAllocator>();
+        c.costKind = CostKind::Reliability;
+        c.routerOptions.mah = mah;
+        c.routerOptions.strategy = RouteStrategy::PerGate;
+        configs.push_back(std::move(c));
+    }
+    // Same allocation, joint per-layer A* (Algorithm 1 step 5).
+    {
+        PolicyConfig c;
+        c.allocator = std::make_unique<LocalityAllocator>();
+        c.costKind = CostKind::Reliability;
+        c.routerOptions.mah = mah;
+        c.routerOptions.strategy = RouteStrategy::LayerAstar;
+        configs.push_back(std::move(c));
+    }
+    // No-variation fallback (Section 5.3: with uniform error rates
+    // VQM is "identical as [the] baseline").
+    configs.push_back(baselineConfig());
+    return configs;
+}
+
+} // namespace
+
+Mapper
+makeRandomizedMapper(std::uint64_t seed)
+{
+    // The IBM-native stand-in routes per gate: the production
+    // compiler of the time did not do layer-joint optimization.
+    RouterOptions options;
+    options.strategy = RouteStrategy::PerGate;
+    return Mapper("ibm-native",
+                  std::make_unique<RandomAllocator>(seed),
+                  CostKind::SwapCount, options);
+}
+
+Mapper
+makeBaselineMapper(RouteStrategy strategy)
+{
+    RouterOptions options;
+    options.strategy = strategy;
+    return Mapper("baseline", std::make_unique<LocalityAllocator>(),
+                  CostKind::SwapCount, options);
+}
+
+Mapper
+makeVqmMapper(int mah)
+{
+    const std::string name =
+        mah == kUnlimitedHops ? "vqm"
+                              : "vqm-mah" + std::to_string(mah);
+    return Mapper(name, vqmConfigs(mah));
+}
+
+Mapper
+makeVqaMapper()
+{
+    std::vector<PolicyConfig> configs;
+    {
+        PolicyConfig c;
+        c.allocator = std::make_unique<StrengthAllocator>(
+            graph::SubgraphScore::InducedWeight);
+        c.costKind = CostKind::SwapCount;
+        c.routerOptions.strategy = RouteStrategy::LayerAstar;
+        configs.push_back(std::move(c));
+    }
+    configs.push_back(baselineConfig());
+    return Mapper("vqa", std::move(configs));
+}
+
+Mapper
+makeVqaVqmMapper(int mah)
+{
+    // VQA allocation variants (strongest-subgraph placement, plus
+    // the strength-weighted locality embedding of Algorithm 1 step
+    // 4) on top of the full VQM portfolio, so VQA+VQM is never
+    // worse than VQM (Section 6.3 reports exactly that ordering).
+    std::vector<PolicyConfig> configs;
+    for (graph::SubgraphScore score :
+         {graph::SubgraphScore::InducedWeight,
+          graph::SubgraphScore::FullStrength}) {
+        PolicyConfig c;
+        c.allocator = std::make_unique<StrengthAllocator>(score);
+        c.costKind = CostKind::Reliability;
+        c.routerOptions.mah = mah;
+        c.routerOptions.strategy = RouteStrategy::PerGate;
+        configs.push_back(std::move(c));
+    }
+    {
+        PolicyConfig c;
+        c.allocator = std::make_unique<StrengthAllocator>(
+            graph::SubgraphScore::InducedWeight);
+        c.costKind = CostKind::Reliability;
+        c.routerOptions.mah = mah;
+        c.routerOptions.strategy = RouteStrategy::LayerAstar;
+        configs.push_back(std::move(c));
+    }
+    // Qubit-aware variant: readout/coherence quality feeds the
+    // subgraph choice (matters on machines with skewed readout,
+    // e.g. the Table 3 Tenerife profile).
+    {
+        PolicyConfig c;
+        c.allocator = std::make_unique<StrengthAllocator>(
+            graph::SubgraphScore::InducedWeight, 0, true);
+        c.costKind = CostKind::Reliability;
+        c.routerOptions.mah = mah;
+        c.routerOptions.strategy = RouteStrategy::PerGate;
+        configs.push_back(std::move(c));
+    }
+    {
+        PolicyConfig c;
+        c.allocator = std::make_unique<LocalityAllocator>(
+            CostKind::Reliability);
+        c.costKind = CostKind::Reliability;
+        c.routerOptions.mah = mah;
+        c.routerOptions.strategy = RouteStrategy::PerGate;
+        configs.push_back(std::move(c));
+    }
+    for (PolicyConfig &c : vqmConfigs(mah))
+        configs.push_back(std::move(c));
+
+    const std::string name =
+        mah == kUnlimitedHops
+            ? "vqa+vqm"
+            : "vqa+vqm-mah" + std::to_string(mah);
+    return Mapper(name, std::move(configs));
+}
+
+} // namespace vaq::core

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Mapper facade: the public entry point of libvaq's compilation
+ * pipeline.
+ *
+ * A Mapper bundles one or more policy configurations, each an
+ * {allocation policy, cost model, routing strategy} triple — exactly
+ * the {Qubit-Allocation, Qubit-Movement} decomposition the paper
+ * studies. Multi-configuration mappers compile every configuration
+ * and keep the one with the best estimated reliability (analytic
+ * PST under the compile-time error model). This portfolio step is
+ * how VQM realizes the paper's guarantee that it "leverages the
+ * locality-preserving traits of baseline while using a
+ * variation-aware heuristic" (Section 5.3): when variation cannot be
+ * exploited, the baseline configuration wins the portfolio and VQM
+ * degenerates to it.
+ *
+ * Ready-made policies:
+ *
+ * | factory               | allocation        | movement cost  |
+ * |-----------------------|-------------------|----------------|
+ * | makeRandomizedMapper  | random (IBM-like) | swap count     |
+ * | makeBaselineMapper    | locality          | swap count     |
+ * | makeVqmMapper         | strength-locality | reliability(*) |
+ * | makeVqaMapper         | VQA strength      | swap count     |
+ * | makeVqaVqmMapper      | VQA strength      | reliability(*) |
+ *
+ * (*) portfolio over routing strategies with a baseline fallback.
+ */
+#ifndef VAQ_CORE_MAPPER_HPP
+#define VAQ_CORE_MAPPER_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "calibration/snapshot.hpp"
+#include "circuit/circuit.hpp"
+#include "core/allocator.hpp"
+#include "core/cost_model.hpp"
+#include "core/mapped_circuit.hpp"
+#include "core/router.hpp"
+
+namespace vaq::core
+{
+
+/** One compilation policy configuration. */
+struct PolicyConfig
+{
+    std::unique_ptr<Allocator> allocator;
+    CostKind costKind = CostKind::SwapCount;
+    RouterOptions routerOptions;
+};
+
+/** Complete compilation policy (possibly a portfolio). */
+class Mapper
+{
+  public:
+    /** Single-configuration mapper. */
+    Mapper(std::string name, std::unique_ptr<Allocator> allocator,
+           CostKind cost_kind, RouterOptions router_options = {});
+
+    /** Portfolio mapper: map() keeps the best-scoring result. */
+    Mapper(std::string name, std::vector<PolicyConfig> configs);
+
+    /** Policy label. */
+    const std::string &name() const { return _name; }
+
+    /** Number of configurations in the portfolio. */
+    std::size_t configCount() const { return _configs.size(); }
+
+    /**
+     * Compile `logical` for the machine described by `graph` +
+     * `snapshot`. Every configuration is compiled; the result with
+     * the highest analytic PST under the compile-time error model
+     * is returned. The result's physical circuit is executable:
+     * every two-qubit gate acts on a coupled pair.
+     */
+    MappedCircuit map(const circuit::Circuit &logical,
+                      const topology::CouplingGraph &graph,
+                      const calibration::Snapshot &snapshot) const;
+
+    /**
+     * Like map(), but place program qubits only onto the physical
+     * qubits listed in `region` (used by the partitioning study of
+     * Section 8). The region must be large enough and connected;
+     * routing stays inside it.
+     */
+    MappedCircuit mapInRegion(
+        const circuit::Circuit &logical,
+        const topology::CouplingGraph &graph,
+        const calibration::Snapshot &snapshot,
+        const std::vector<topology::PhysQubit> &region) const;
+
+  private:
+    MappedCircuit mapWithConfig(
+        const PolicyConfig &config, const circuit::Circuit &logical,
+        const topology::CouplingGraph &graph,
+        const calibration::Snapshot &snapshot) const;
+
+    std::string _name;
+    std::vector<PolicyConfig> _configs;
+};
+
+/** Random allocation + fewest-SWAPs routing (IBM-native stand-in). */
+Mapper makeRandomizedMapper(std::uint64_t seed);
+
+/** Locality allocation + fewest-SWAPs routing (Zulehner-style
+ *  baseline, Section 4.5). */
+Mapper makeBaselineMapper(RouteStrategy strategy =
+                              RouteStrategy::LayerAstar);
+
+/**
+ * VQM (Section 5): reliability-cost routing over a portfolio of
+ * allocation/strategy combinations, with the baseline configuration
+ * as the no-variation fallback. mah = kUnlimitedHops gives
+ * unconstrained VQM; mah = 4 gives the paper's hop-limited variant.
+ */
+Mapper makeVqmMapper(int mah = kUnlimitedHops);
+
+/** VQA allocation with fewest-SWAPs routing (allocation-only
+ *  ablation), with baseline fallback. */
+Mapper makeVqaMapper();
+
+/** VQA + VQM combined (the paper's headline policy, Section 6):
+ *  the VQM portfolio extended with strongest-subgraph allocation. */
+Mapper makeVqaVqmMapper(int mah = kUnlimitedHops);
+
+} // namespace vaq::core
+
+#endif // VAQ_CORE_MAPPER_HPP

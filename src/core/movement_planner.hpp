@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Qubit-movement planning: choose the SWAP route that brings two
+ * program qubits together for a two-qubit gate.
+ *
+ * This is the paper's Qubit-Movement policy (Section 5). The planner
+ * runs a hop-capped Dijkstra under the active cost model and
+ * considers moving either endpoint toward the other. Under
+ * SwapCountCost it returns a fewest-SWAPs route (the baseline);
+ * under ReliabilityCost it returns the maximum-reliability route
+ * (VQM), optionally constrained by the Maximum Additional Hops
+ * (MAH) budget of Section 5.3.
+ */
+#ifndef VAQ_CORE_MOVEMENT_PLANNER_HPP
+#define VAQ_CORE_MOVEMENT_PLANNER_HPP
+
+#include <utility>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "topology/coupling_graph.hpp"
+
+namespace vaq::core
+{
+
+/** A concrete movement decision for one two-qubit gate. */
+struct MovementPlan
+{
+    /** SWAPs to emit, in order; each pair is a coupled link. */
+    std::vector<std::pair<topology::PhysQubit, topology::PhysQubit>>
+        swaps;
+    /** Total cost including the final CNOT, under the cost model. */
+    double cost = 0.0;
+    /** Hops used beyond the hop-minimal route (0 for baseline). */
+    int extraHops = 0;
+    /** Link the gate executes on after the SWAPs. */
+    topology::PhysQubit gateA = -1;
+    topology::PhysQubit gateB = -1;
+};
+
+/** Unlimited MAH sentinel. */
+inline constexpr int kUnlimitedHops = -1;
+
+/**
+ * Stateless route planner for one machine + cost model. The
+ * referenced graph and model must outlive the planner.
+ */
+class MovementPlanner
+{
+  public:
+    /**
+     * @param graph Machine connectivity.
+     * @param cost Active cost model.
+     * @param mah Maximum additional hops beyond the hop-minimal
+     *        route (kUnlimitedHops = unconstrained).
+     */
+    MovementPlanner(const topology::CouplingGraph &graph,
+                    const CostModel &cost,
+                    int mah = kUnlimitedHops);
+
+    /**
+     * Plan the SWAPs that make the qubits at `pa` and `pb`
+     * adjacent. Either endpoint may be the one that moves; the
+     * stationary endpoint is never displaced. Deterministic:
+     * equal-cost candidates tie-break on fewer hops, then lower
+     * qubit ids.
+     *
+     * @throws VaqError when pa == pb or no route exists within the
+     *         hop budget.
+     */
+    MovementPlan plan(topology::PhysQubit pa,
+                      topology::PhysQubit pb) const;
+
+    /**
+     * Minimal SWAP-cost (excluding the final CNOT) to make the pair
+     * adjacent — the lower bound used as the A* heuristic. Zero for
+     * already-adjacent pairs.
+     */
+    double adjacencyBound(topology::PhysQubit pa,
+                          topology::PhysQubit pb) const;
+
+  private:
+    struct Candidate;
+
+    /** Hop-capped Dijkstra from src avoiding `blocked`. */
+    void cappedDijkstra(topology::PhysQubit src,
+                        topology::PhysQubit blocked, int hop_cap,
+                        std::vector<std::vector<double>> &dist,
+                        std::vector<std::vector<int>> &parent) const;
+
+    const topology::CouplingGraph &_graph;
+    const CostModel &_cost;
+    int _mah;
+};
+
+} // namespace vaq::core
+
+#endif // VAQ_CORE_MOVEMENT_PLANNER_HPP

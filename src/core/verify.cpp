@@ -1,0 +1,295 @@
+#include "core/verify.hpp"
+
+#include <cmath>
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "common/error.hpp"
+#include "sim/statevector.hpp"
+
+namespace vaq::core
+{
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+
+namespace
+{
+
+/** Check 1: every two-qubit gate on a coupled pair. */
+bool
+checkExecutable(const MappedCircuit &mapped,
+                const topology::CouplingGraph &graph,
+                std::string &failure)
+{
+    if (mapped.physical.numQubits() > graph.numQubits()) {
+        failure = "physical circuit wider than machine";
+        return false;
+    }
+    for (const Gate &g : mapped.physical.gates()) {
+        if (g.isTwoQubit() && !graph.coupled(g.q0, g.q1)) {
+            failure = "two-qubit gate on uncoupled pair " +
+                      std::to_string(g.q0) + "," +
+                      std::to_string(g.q1);
+            return false;
+        }
+    }
+    return true;
+}
+
+/**
+ * Checks 2 and 3 together: walk the physical circuit, tracking the
+ * layout through routing SWAPs, and consume logical gates in any
+ * dependency-respecting order (routers may reorder independent
+ * gates). A logical gate is consumable when it is the earliest
+ * unconsumed gate on every one of its qubits; barriers fence all
+ * qubits.
+ */
+bool
+checkStructure(const MappedCircuit &mapped, const Circuit &logical,
+               std::string &failure)
+{
+    Layout layout = mapped.initial;
+    if (!layout.isComplete()) {
+        failure = "initial layout incomplete";
+        return false;
+    }
+
+    const auto &logicalGates = logical.gates();
+
+    // Per-program-qubit FIFO of unconsumed gate indices; barriers
+    // appear in every queue.
+    std::vector<std::deque<std::size_t>> pending(
+        static_cast<std::size_t>(logical.numQubits()));
+    for (std::size_t i = 0; i < logicalGates.size(); ++i) {
+        const Gate &g = logicalGates[i];
+        if (g.kind == GateKind::BARRIER) {
+            for (auto &queue : pending)
+                queue.push_back(i);
+        } else {
+            pending[static_cast<std::size_t>(g.q0)].push_back(i);
+            if (g.isTwoQubit()) {
+                pending[static_cast<std::size_t>(g.q1)]
+                    .push_back(i);
+            }
+        }
+    }
+    std::size_t consumed = 0;
+
+    // True + consume when logical gate `idx` is ready and its
+    // operands map onto the physical gate `phys`.
+    auto tryConsume = [&](std::size_t idx, const Gate &phys) {
+        const Gate &expect = logicalGates[idx];
+        if (expect.kind != phys.kind ||
+            std::abs(expect.param - phys.param) > 1e-12 ||
+            std::abs(expect.param2 - phys.param2) > 1e-12 ||
+            std::abs(expect.param3 - phys.param3) > 1e-12) {
+            return false;
+        }
+        // Readiness: earliest unconsumed on every operand queue.
+        auto readyOn = [&](circuit::Qubit q) {
+            const auto &queue =
+                pending[static_cast<std::size_t>(q)];
+            return !queue.empty() && queue.front() == idx;
+        };
+        bool operandsMatch = false;
+        if (expect.kind == GateKind::BARRIER) {
+            for (int q = 0; q < logical.numQubits(); ++q) {
+                if (!readyOn(q))
+                    return false;
+            }
+            operandsMatch = true;
+        } else if (expect.isTwoQubit()) {
+            const bool symmetric =
+                expect.kind == GateKind::SWAP ||
+                expect.kind == GateKind::CZ;
+            const int p0 = layout.phys(expect.q0);
+            const int p1 = layout.phys(expect.q1);
+            operandsMatch =
+                (p0 == phys.q0 && p1 == phys.q1) ||
+                (symmetric && p0 == phys.q1 && p1 == phys.q0);
+            operandsMatch = operandsMatch &&
+                            readyOn(expect.q0) &&
+                            readyOn(expect.q1);
+        } else {
+            operandsMatch = layout.phys(expect.q0) == phys.q0 &&
+                            readyOn(expect.q0);
+        }
+        if (!operandsMatch)
+            return false;
+
+        // Consume.
+        if (expect.kind == GateKind::BARRIER) {
+            for (auto &queue : pending)
+                queue.pop_front();
+        } else {
+            pending[static_cast<std::size_t>(expect.q0)]
+                .pop_front();
+            if (expect.isTwoQubit()) {
+                pending[static_cast<std::size_t>(expect.q1)]
+                    .pop_front();
+            }
+        }
+        ++consumed;
+        return true;
+    };
+
+    // Barriers are scheduling hints: they fence the order of the
+    // *logical* gates but routers may drop them from the physical
+    // stream. Auto-consume any barrier that has reached the front
+    // of every queue.
+    auto drainReadyBarriers = [&] {
+        for (;;) {
+            bool drained = false;
+            // A barrier sits in all queues; check the first one.
+            const auto &first = pending.front();
+            if (!first.empty() &&
+                logicalGates[first.front()].kind ==
+                    GateKind::BARRIER) {
+                const std::size_t idx = first.front();
+                bool everywhere = true;
+                for (const auto &queue : pending) {
+                    if (queue.empty() || queue.front() != idx) {
+                        everywhere = false;
+                        break;
+                    }
+                }
+                if (everywhere) {
+                    for (auto &queue : pending)
+                        queue.pop_front();
+                    ++consumed;
+                    drained = true;
+                }
+            }
+            if (!drained)
+                return;
+        }
+    };
+
+    // Candidate logical gate for a physical gate: the earliest
+    // unconsumed gate of the program qubit currently at phys.q0
+    // (every matching gate must touch that qubit).
+    auto candidateFor = [&](const Gate &phys)
+        -> std::optional<std::size_t> {
+        const int prog = layout.prog(phys.q0);
+        if (prog == kFreeQubit)
+            return std::nullopt;
+        const auto &queue =
+            pending[static_cast<std::size_t>(prog)];
+        if (queue.empty())
+            return std::nullopt;
+        return queue.front();
+    };
+
+    for (const Gate &g : mapped.physical.gates()) {
+        drainReadyBarriers();
+        if (g.kind == GateKind::BARRIER)
+            continue; // physical barriers are free-form hints
+        const auto candidate = candidateFor(g);
+        if (candidate.has_value() && tryConsume(*candidate, g))
+            continue; // matched a program gate
+        if (g.kind == GateKind::SWAP) {
+            layout.applySwap(g.q0, g.q1); // routing SWAP
+            continue;
+        }
+        failure =
+            "physical gate has no matching ready program gate "
+            "(kind " +
+            circuit::gateName(g.kind) + " on " +
+            std::to_string(g.q0) + ")";
+        return false;
+    }
+    drainReadyBarriers();
+
+    if (consumed != logicalGates.size()) {
+        failure = "physical circuit is missing " +
+                  std::to_string(logicalGates.size() - consumed) +
+                  " program gates";
+        return false;
+    }
+    for (int q = 0; q < logical.numQubits(); ++q) {
+        if (layout.phys(q) != mapped.final.phys(q)) {
+            failure = "final layout does not match SWAP replay "
+                      "for program qubit " +
+                      std::to_string(q);
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Check 4: exact output-distribution equality. */
+bool
+checkSemantics(const MappedCircuit &mapped, const Circuit &logical,
+               double &distance, std::string &failure)
+{
+    // Distribution of the logical program.
+    sim::StateVector logicalState(logical.numQubits());
+    logicalState.applyUnitaries(logical);
+
+    // Distribution of the mapped program, read back through the
+    // final layout.
+    sim::StateVector physState(mapped.physical.numQubits());
+    physState.applyUnitaries(mapped.physical);
+    std::map<std::uint64_t, double> mappedDist;
+    const std::uint64_t dim = physState.dimension();
+    for (std::uint64_t basis = 0; basis < dim; ++basis) {
+        const double p = physState.probability(basis);
+        if (p > 1e-14)
+            mappedDist[mapped.logicalOutcome(basis)] += p;
+    }
+
+    distance = 0.0;
+    const std::uint64_t logicalDim = logicalState.dimension();
+    for (std::uint64_t outcome = 0; outcome < logicalDim;
+         ++outcome) {
+        const double expected =
+            logicalState.probability(outcome);
+        const auto it = mappedDist.find(outcome);
+        const double actual =
+            it == mappedDist.end() ? 0.0 : it->second;
+        distance = std::max(distance,
+                            std::abs(expected - actual));
+    }
+    if (distance > 1e-9) {
+        failure = "output distributions differ by " +
+                  std::to_string(distance);
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+VerificationReport
+verifyMapping(const MappedCircuit &mapped, const Circuit &logical,
+              const topology::CouplingGraph &graph,
+              int max_semantics_qubits)
+{
+    VerificationReport report;
+
+    report.executable =
+        checkExecutable(mapped, graph, report.failure);
+    if (!report.executable)
+        return report;
+
+    const bool structure =
+        checkStructure(mapped, logical, report.failure);
+    report.layoutConsistent = structure;
+    report.gatesPreserved = structure;
+    if (!structure)
+        return report;
+
+    if (mapped.physical.numQubits() <= max_semantics_qubits) {
+        report.semanticsChecked = true;
+        report.semanticsOk =
+            checkSemantics(mapped, logical,
+                           report.distributionDistance,
+                           report.failure);
+    }
+    return report;
+}
+
+} // namespace vaq::core

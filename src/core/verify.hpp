@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Compilation verifier: independent checks that a MappedCircuit is
+ * a faithful implementation of its logical program on the target
+ * machine. A compiler bug that silently corrupts programs is worse
+ * than any reliability loss, so the verifier is part of the public
+ * API (vaqc exposes it as --verify) and every mapper is tested
+ * against it.
+ *
+ * Checks:
+ *  1. executability — every two-qubit gate acts on a coupled pair,
+ *  2. layout consistency — replaying the emitted SWAPs over the
+ *     initial layout reproduces the final layout,
+ *  3. gate preservation — the logical gates appear in order with
+ *     operands translated by the evolving layout,
+ *  4. semantics (exact, for machines up to a width cap) — the
+ *     mapped circuit's output distribution over program qubits
+ *     equals the logical circuit's, via state-vector simulation.
+ */
+#ifndef VAQ_CORE_VERIFY_HPP
+#define VAQ_CORE_VERIFY_HPP
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "core/mapped_circuit.hpp"
+#include "topology/coupling_graph.hpp"
+
+namespace vaq::core
+{
+
+/** Result of verifyMapping(). */
+struct VerificationReport
+{
+    bool executable = false;
+    bool layoutConsistent = false;
+    bool gatesPreserved = false;
+    /** True when the semantic check ran (width within cap). */
+    bool semanticsChecked = false;
+    bool semanticsOk = false;
+    /** Max |p_logical - p_mapped| over outcomes (when checked). */
+    double distributionDistance = 0.0;
+    /** First failure, empty when everything passed. */
+    std::string failure;
+
+    /** All executed checks passed. */
+    bool
+    ok() const
+    {
+        return executable && layoutConsistent &&
+               gatesPreserved &&
+               (!semanticsChecked || semanticsOk);
+    }
+};
+
+/**
+ * Verify `mapped` against its source `logical` program.
+ *
+ * @param max_semantics_qubits Exact simulation is skipped when the
+ *        machine is wider than this (default 16 = 65k amplitudes;
+ *        checks 1-3 still run).
+ */
+VerificationReport
+verifyMapping(const MappedCircuit &mapped,
+              const circuit::Circuit &logical,
+              const topology::CouplingGraph &graph,
+              int max_semantics_qubits = 16);
+
+} // namespace vaq::core
+
+#endif // VAQ_CORE_VERIFY_HPP

@@ -1,0 +1,128 @@
+#include "graph/kcore.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace vaq::graph
+{
+
+std::vector<int>
+coreNumbers(const WeightedGraph &graph)
+{
+    const auto n = static_cast<std::size_t>(graph.numNodes());
+    std::vector<int> degree(n);
+    int maxDegree = 0;
+    for (int v = 0; v < graph.numNodes(); ++v) {
+        degree[static_cast<std::size_t>(v)] =
+            static_cast<int>(graph.degree(v));
+        maxDegree = std::max(
+            maxDegree, degree[static_cast<std::size_t>(v)]);
+    }
+
+    // Bucket sort by degree (the O(m) algorithm's bin structure).
+    std::vector<std::vector<int>> bins(
+        static_cast<std::size_t>(maxDegree) + 1);
+    for (int v = 0; v < graph.numNodes(); ++v) {
+        bins[static_cast<std::size_t>(
+                degree[static_cast<std::size_t>(v)])]
+            .push_back(v);
+    }
+
+    std::vector<int> core(n, 0);
+    std::vector<bool> removed(n, false);
+    std::size_t processed = 0;
+    int current = 0;
+    while (processed < n) {
+        // Find the lowest non-empty bin at or above `current` can
+        // shrink when neighbours are demoted, so rescan from 0.
+        int d = 0;
+        while (bins[static_cast<std::size_t>(d)].empty())
+            ++d;
+        const int v = bins[static_cast<std::size_t>(d)].back();
+        bins[static_cast<std::size_t>(d)].pop_back();
+        if (removed[static_cast<std::size_t>(v)])
+            continue;
+        removed[static_cast<std::size_t>(v)] = true;
+        ++processed;
+        current = std::max(current, d);
+        core[static_cast<std::size_t>(v)] = current;
+        for (const auto &[u, w] : graph.neighbors(v)) {
+            (void)w;
+            if (!removed[static_cast<std::size_t>(u)]) {
+                auto &du = degree[static_cast<std::size_t>(u)];
+                --du;
+                // Lazy deletion: stale entries are skipped above.
+                bins[static_cast<std::size_t>(std::max(du, 0))]
+                    .push_back(u);
+            }
+        }
+    }
+    return core;
+}
+
+int
+degeneracy(const WeightedGraph &graph)
+{
+    const std::vector<int> core = coreNumbers(graph);
+    return *std::max_element(core.begin(), core.end());
+}
+
+std::vector<int>
+kCore(const WeightedGraph &graph, int k)
+{
+    require(k >= 0, "k-core requires k >= 0");
+    const std::vector<int> core = coreNumbers(graph);
+    std::vector<int> nodes;
+    for (int v = 0; v < graph.numNodes(); ++v) {
+        if (core[static_cast<std::size_t>(v)] >= k)
+            nodes.push_back(v);
+    }
+    return nodes;
+}
+
+std::vector<int>
+strengthCore(const WeightedGraph &graph, std::size_t keep)
+{
+    const auto n = static_cast<std::size_t>(graph.numNodes());
+    require(keep >= 1 && keep <= n,
+            "strengthCore keep-count out of range");
+
+    std::vector<double> strength = graph.nodeStrengths();
+    std::vector<bool> removed(n, false);
+    std::size_t alive = n;
+
+    while (alive > keep) {
+        int weakest = -1;
+        double weakestStrength =
+            std::numeric_limits<double>::infinity();
+        for (int v = 0; v < graph.numNodes(); ++v) {
+            if (removed[static_cast<std::size_t>(v)])
+                continue;
+            if (strength[static_cast<std::size_t>(v)] <
+                weakestStrength) {
+                weakestStrength =
+                    strength[static_cast<std::size_t>(v)];
+                weakest = v;
+            }
+        }
+        VAQ_ASSERT(weakest >= 0, "no node left to prune");
+        removed[static_cast<std::size_t>(weakest)] = true;
+        --alive;
+        for (const auto &[u, w] : graph.neighbors(weakest)) {
+            if (!removed[static_cast<std::size_t>(u)])
+                strength[static_cast<std::size_t>(u)] -= w;
+        }
+    }
+
+    std::vector<int> survivors;
+    survivors.reserve(keep);
+    for (int v = 0; v < graph.numNodes(); ++v) {
+        if (!removed[static_cast<std::size_t>(v)])
+            survivors.push_back(v);
+    }
+    return survivors;
+}
+
+} // namespace vaq::graph

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * k-core decomposition (Batagelj-Zaversnik) and a strength-weighted
+ * variant.
+ *
+ * The paper's VQA policy "computes the strongest set of sub-graphs by
+ * using [the] K-core algorithm that recursively prunes nodes with
+ * degrees less than k" (Section 6.2, citing Batagelj & Zaversnik).
+ * The weighted variant prunes by node strength instead of degree so
+ * that weak-but-well-connected qubits are also shed.
+ */
+#ifndef VAQ_GRAPH_KCORE_HPP
+#define VAQ_GRAPH_KCORE_HPP
+
+#include <vector>
+
+#include "graph/weighted_graph.hpp"
+
+namespace vaq::graph
+{
+
+/**
+ * Core number of every node: the largest k such that the node
+ * belongs to a subgraph where all degrees are >= k.
+ */
+std::vector<int> coreNumbers(const WeightedGraph &graph);
+
+/** Maximum core number (the graph's degeneracy). */
+int degeneracy(const WeightedGraph &graph);
+
+/** Nodes of the k-core (possibly empty). */
+std::vector<int> kCore(const WeightedGraph &graph, int k);
+
+/**
+ * Strength-weighted pruning: repeatedly remove the node whose
+ * *remaining* strength (sum of weights to still-present neighbours)
+ * is smallest, until `keep` nodes remain. Returns the survivors in
+ * ascending id order. Ties break toward the lower node id for
+ * reproducibility.
+ */
+std::vector<int> strengthCore(const WeightedGraph &graph,
+                              std::size_t keep);
+
+} // namespace vaq::graph
+
+#endif // VAQ_GRAPH_KCORE_HPP

@@ -1,0 +1,79 @@
+#include "graph/shortest_path.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace vaq::graph
+{
+
+std::vector<int>
+ShortestPathTree::pathTo(int dst) const
+{
+    require(dst >= 0 &&
+                dst < static_cast<int>(dist.size()),
+            "path destination out of range");
+    require(dist[static_cast<std::size_t>(dst)] != kUnreachable,
+            "destination unreachable from source");
+    std::vector<int> path;
+    for (int v = dst; v != -1;
+         v = parent[static_cast<std::size_t>(v)]) {
+        path.push_back(v);
+    }
+    std::reverse(path.begin(), path.end());
+    VAQ_ASSERT(path.front() == source,
+               "path reconstruction lost the source");
+    return path;
+}
+
+ShortestPathTree
+dijkstra(const WeightedGraph &graph, int source)
+{
+    require(source >= 0 && source < graph.numNodes(),
+            "dijkstra source out of range");
+
+    const auto n = static_cast<std::size_t>(graph.numNodes());
+    ShortestPathTree tree;
+    tree.source = source;
+    tree.dist.assign(n, kUnreachable);
+    tree.parent.assign(n, -1);
+    tree.dist[static_cast<std::size_t>(source)] = 0.0;
+
+    // (distance, node); node id in the key makes pops deterministic.
+    using Entry = std::pair<double, int>;
+    std::priority_queue<Entry, std::vector<Entry>,
+                        std::greater<Entry>> heap;
+    heap.emplace(0.0, source);
+
+    while (!heap.empty()) {
+        const auto [d, u] = heap.top();
+        heap.pop();
+        if (d > tree.dist[static_cast<std::size_t>(u)])
+            continue; // stale entry
+        for (const auto &[v, w] : graph.neighbors(u)) {
+            require(w >= 0.0,
+                    "dijkstra requires non-negative weights");
+            const double nd = d + w;
+            auto &dv = tree.dist[static_cast<std::size_t>(v)];
+            if (nd < dv) {
+                dv = nd;
+                tree.parent[static_cast<std::size_t>(v)] = u;
+                heap.emplace(nd, v);
+            }
+        }
+    }
+    return tree;
+}
+
+std::vector<std::vector<double>>
+allPairsDistances(const WeightedGraph &graph)
+{
+    std::vector<std::vector<double>> out;
+    out.reserve(static_cast<std::size_t>(graph.numNodes()));
+    for (int v = 0; v < graph.numNodes(); ++v)
+        out.push_back(dijkstra(graph, v).dist);
+    return out;
+}
+
+} // namespace vaq::graph

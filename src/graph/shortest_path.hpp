@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Dijkstra shortest paths over WeightedGraph.
+ *
+ * With edge weights set to -log(success probability), the shortest
+ * a-b path is exactly the maximum-reliability SWAP route of the
+ * paper's VQM policy (Algorithm 1, step 1): path cost sums become
+ * products of link success probabilities.
+ */
+#ifndef VAQ_GRAPH_SHORTEST_PATH_HPP
+#define VAQ_GRAPH_SHORTEST_PATH_HPP
+
+#include <limits>
+#include <vector>
+
+#include "graph/weighted_graph.hpp"
+
+namespace vaq::graph
+{
+
+/** Sentinel distance for unreachable nodes. */
+inline constexpr double kUnreachable =
+    std::numeric_limits<double>::infinity();
+
+/** Result of a single-source shortest-path run. */
+struct ShortestPathTree
+{
+    int source = 0;
+    /** dist[v] = cost of the cheapest source-v path. */
+    std::vector<double> dist;
+    /** parent[v] = predecessor on that path (-1 for source or
+     *  unreachable nodes). */
+    std::vector<int> parent;
+
+    /**
+     * Reconstruct the node sequence source..dst (inclusive).
+     * @throws VaqError when dst is unreachable.
+     */
+    std::vector<int> pathTo(int dst) const;
+};
+
+/**
+ * Dijkstra from `source`. All edge weights must be non-negative
+ * (checked); ties are broken deterministically by node id so results
+ * are reproducible across runs.
+ */
+ShortestPathTree dijkstra(const WeightedGraph &graph, int source);
+
+/** All-pairs distance matrix via repeated Dijkstra. */
+std::vector<std::vector<double>>
+allPairsDistances(const WeightedGraph &graph);
+
+} // namespace vaq::graph
+
+#endif // VAQ_GRAPH_SHORTEST_PATH_HPP

@@ -1,0 +1,95 @@
+#include "graph/weighted_graph.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace vaq::graph
+{
+
+WeightedGraph::WeightedGraph(int num_nodes,
+                             const std::vector<WeightedEdge> &edges)
+    : _numNodes(num_nodes),
+      _adjacency(static_cast<std::size_t>(num_nodes))
+{
+    require(num_nodes > 0, "weighted graph needs at least one node");
+    _edges.reserve(edges.size());
+    for (const WeightedEdge &raw : edges) {
+        WeightedEdge e{std::min(raw.a, raw.b),
+                       std::max(raw.a, raw.b), raw.weight};
+        checkNode(e.a);
+        checkNode(e.b);
+        require(e.a != e.b, "self-loop edge rejected");
+        require(!hasEdge(e.a, e.b), "duplicate edge rejected");
+        _edges.push_back(e);
+        _adjacency[static_cast<std::size_t>(e.a)]
+            .emplace_back(e.b, e.weight);
+        _adjacency[static_cast<std::size_t>(e.b)]
+            .emplace_back(e.a, e.weight);
+    }
+}
+
+void
+WeightedGraph::checkNode(int v) const
+{
+    require(v >= 0 && v < _numNodes, "node index out of range");
+}
+
+const std::vector<WeightedGraph::Neighbor> &
+WeightedGraph::neighbors(int v) const
+{
+    checkNode(v);
+    return _adjacency[static_cast<std::size_t>(v)];
+}
+
+bool
+WeightedGraph::hasEdge(int a, int b) const
+{
+    checkNode(a);
+    checkNode(b);
+    const auto &adj = _adjacency[static_cast<std::size_t>(a)];
+    return std::any_of(adj.begin(), adj.end(),
+                       [b](const Neighbor &n) {
+                           return n.first == b;
+                       });
+}
+
+double
+WeightedGraph::weight(int a, int b) const
+{
+    checkNode(a);
+    checkNode(b);
+    for (const Neighbor &n : _adjacency[static_cast<std::size_t>(a)]) {
+        if (n.first == b)
+            return n.second;
+    }
+    throw VaqError("no edge between nodes " + std::to_string(a) +
+                   " and " + std::to_string(b));
+}
+
+std::size_t
+WeightedGraph::degree(int v) const
+{
+    return neighbors(v).size();
+}
+
+double
+WeightedGraph::nodeStrength(int v) const
+{
+    double strength = 0.0;
+    for (const Neighbor &n : neighbors(v))
+        strength += n.second;
+    return strength;
+}
+
+std::vector<double>
+WeightedGraph::nodeStrengths() const
+{
+    std::vector<double> strengths(
+        static_cast<std::size_t>(_numNodes));
+    for (int v = 0; v < _numNodes; ++v)
+        strengths[static_cast<std::size_t>(v)] = nodeStrength(v);
+    return strengths;
+}
+
+} // namespace vaq::graph

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Generic undirected weighted graph used by the variation-aware
+ * policies.
+ *
+ * The mapping policies view the machine as a weighted graph twice
+ * over: once with *cost* weights (-log of link success probability,
+ * so shortest path = most reliable route, Algorithm 1 of the paper)
+ * and once with *strength* weights (link success probability, so node
+ * strength ranks qubits for allocation, Algorithm 2).
+ */
+#ifndef VAQ_GRAPH_WEIGHTED_GRAPH_HPP
+#define VAQ_GRAPH_WEIGHTED_GRAPH_HPP
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace vaq::graph
+{
+
+/** One undirected weighted edge. */
+struct WeightedEdge
+{
+    int a;
+    int b;
+    double weight;
+};
+
+/** Immutable undirected graph with double edge weights. */
+class WeightedGraph
+{
+  public:
+    /** Neighbor entry: (adjacent node, edge weight). */
+    using Neighbor = std::pair<int, double>;
+
+    /**
+     * Build from an edge list. Self-loops and duplicate edges are
+     * rejected; weights may be any finite double.
+     */
+    WeightedGraph(int num_nodes,
+                  const std::vector<WeightedEdge> &edges);
+
+    /** Node count. */
+    int numNodes() const { return _numNodes; }
+
+    /** Edge count. */
+    std::size_t edgeCount() const { return _edges.size(); }
+
+    /** All edges with a < b. */
+    const std::vector<WeightedEdge> &edges() const { return _edges; }
+
+    /** Adjacency of node v. */
+    const std::vector<Neighbor> &neighbors(int v) const;
+
+    /** True when an edge {a, b} exists. */
+    bool hasEdge(int a, int b) const;
+
+    /** Weight of edge {a, b}; throws VaqError when absent. */
+    double weight(int a, int b) const;
+
+    /** Unweighted degree of v. */
+    std::size_t degree(int v) const;
+
+    /**
+     * Node strength d_i = sum of incident edge weights (step 2 of
+     * the paper's Algorithm 1).
+     */
+    double nodeStrength(int v) const;
+
+    /** Strengths of all nodes, indexed by node id. */
+    std::vector<double> nodeStrengths() const;
+
+  private:
+    void checkNode(int v) const;
+
+    int _numNodes;
+    std::vector<WeightedEdge> _edges;
+    std::vector<std::vector<Neighbor>> _adjacency;
+};
+
+} // namespace vaq::graph
+
+#endif // VAQ_GRAPH_WEIGHTED_GRAPH_HPP

@@ -1,0 +1,86 @@
+#include "runtime/iterative.hpp"
+
+#include "common/error.hpp"
+
+namespace vaq::runtime
+{
+
+std::uint64_t
+TrialLog::inferredOutcome() const
+{
+    require(!outcomes.empty(), "empty output log");
+    std::uint64_t best = 0;
+    std::size_t bestCount = 0;
+    for (const auto &[outcome, count] : outcomes) {
+        if (count > bestCount) {
+            bestCount = count;
+            best = outcome;
+        }
+    }
+    return best;
+}
+
+double
+TrialLog::confidence() const
+{
+    require(trials > 0, "empty output log");
+    return frequencyOf(inferredOutcome());
+}
+
+double
+TrialLog::frequencyOf(std::uint64_t outcome) const
+{
+    require(trials > 0, "empty output log");
+    const auto it = outcomes.find(outcome);
+    if (it == outcomes.end())
+        return 0.0;
+    return static_cast<double>(it->second) /
+           static_cast<double>(trials);
+}
+
+IterativeRunner::IterativeRunner(
+    const topology::CouplingGraph &graph, Machine machine)
+    : _graph(graph), _machine(std::move(machine))
+{
+    require(static_cast<bool>(_machine),
+            "runner needs a machine executor");
+}
+
+JobResult
+IterativeRunner::run(const circuit::Circuit &logical,
+                     const core::Mapper &mapper,
+                     const calibration::Snapshot &calibration,
+                     std::size_t trials) const
+{
+    require(trials > 0, "need at least one trial");
+
+    JobResult result(logical.numQubits(), _graph.numQubits());
+    result.mapped = mapper.map(logical, _graph, calibration);
+
+    const sim::ShotCounts counts =
+        _machine(result.mapped.physical, trials);
+    require(counts.shots == trials,
+            "machine returned a different trial count");
+
+    // Translate physical outcomes back into program outcomes;
+    // distinct physical outcomes can collapse onto the same
+    // logical one (bits of unmeasured free qubits are dropped).
+    const std::uint64_t measuredLogicalMask = [&] {
+        std::uint64_t mask = 0;
+        for (const circuit::Gate &g : logical.gates()) {
+            if (g.kind == circuit::GateKind::MEASURE)
+                mask |= 1ULL << g.q0;
+        }
+        return mask;
+    }();
+    for (const auto &[physOutcome, count] : counts.counts) {
+        const std::uint64_t logicalOutcome =
+            result.mapped.logicalOutcome(physOutcome) &
+            measuredLogicalMask;
+        result.log.outcomes[logicalOutcome] += count;
+    }
+    result.log.trials = trials;
+    return result;
+}
+
+} // namespace vaq::runtime

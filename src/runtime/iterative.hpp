@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The NISQ iterative computing model (paper Fig. 4): run the
+ * program many times on the noisy machine, log every measured
+ * outcome, and infer the answer from the log — "as long as the
+ * correct results appear with non-negligible probability, we can
+ * infer the correct results by analyzing the output log"
+ * (Section 2.3).
+ *
+ * The runner owns the full job pipeline:
+ *   compile (with the caller's policy and today's calibration)
+ *   -> execute N trials on the machine
+ *   -> translate physical outcomes back to program outcomes
+ *   -> majority-infer the answer and report confidence.
+ *
+ * Variation-aware compilation raises PST, which shows up here as
+ * fewer trials needed for a confident answer.
+ */
+#ifndef VAQ_RUNTIME_ITERATIVE_HPP
+#define VAQ_RUNTIME_ITERATIVE_HPP
+
+#include <cstdint>
+#include <map>
+
+#include "calibration/snapshot.hpp"
+#include "circuit/circuit.hpp"
+#include "core/mapper.hpp"
+#include "sim/characterize.hpp"
+
+namespace vaq::runtime
+{
+
+/** The output log of one job (Fig. 4's "Output Log"). */
+struct TrialLog
+{
+    /** Logical outcome (bit i = program qubit i) -> occurrences. */
+    std::map<std::uint64_t, std::size_t> outcomes;
+    std::size_t trials = 0;
+
+    /** Most frequent outcome (throws VaqError when empty). */
+    std::uint64_t inferredOutcome() const;
+
+    /** Fraction of trials landing on the inferred outcome. */
+    double confidence() const;
+
+    /** Fraction of trials landing on `outcome`. */
+    double frequencyOf(std::uint64_t outcome) const;
+};
+
+/** Everything a job run produces. */
+struct JobResult
+{
+    core::MappedCircuit mapped;
+    TrialLog log;
+
+    JobResult(int num_prog, int num_phys)
+        : mapped(num_prog, num_phys)
+    {}
+};
+
+/** A machine accepting (circuit, shots) jobs. */
+using Machine = std::function<sim::ShotCounts(
+    const circuit::Circuit &, std::size_t shots)>;
+
+/**
+ * Runs compile-execute-infer jobs against one machine.
+ * The referenced graph must outlive the runner.
+ */
+class IterativeRunner
+{
+  public:
+    /**
+     * @param graph The machine's topology.
+     * @param machine Executes physical circuits (e.g. a
+     *        TrajectorySimulator, or eventually real hardware).
+     */
+    IterativeRunner(const topology::CouplingGraph &graph,
+                    Machine machine);
+
+    /**
+     * Compile `logical` with `mapper` against `calibration`, run
+     * it for `trials` trials, and return the mapped circuit plus
+     * the translated output log.
+     */
+    JobResult run(const circuit::Circuit &logical,
+                  const core::Mapper &mapper,
+                  const calibration::Snapshot &calibration,
+                  std::size_t trials) const;
+
+  private:
+    const topology::CouplingGraph &_graph;
+    Machine _machine;
+};
+
+} // namespace vaq::runtime
+
+#endif // VAQ_RUNTIME_ITERATIVE_HPP

@@ -1,0 +1,330 @@
+#include "sim/density_matrix.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace vaq::sim
+{
+
+using circuit::Gate;
+using circuit::GateKind;
+using circuit::Qubit;
+
+namespace
+{
+
+constexpr double kInvSqrt2 = 0.7071067811865475244;
+
+/** 2x2 matrix for each supported one-qubit gate. */
+void
+oneQubitMatrix(const Gate &gate,
+               std::complex<double> m[2][2])
+{
+    using C = std::complex<double>;
+    switch (gate.kind) {
+      case GateKind::I:
+        m[0][0] = 1; m[0][1] = 0; m[1][0] = 0; m[1][1] = 1;
+        return;
+      case GateKind::X:
+        m[0][0] = 0; m[0][1] = 1; m[1][0] = 1; m[1][1] = 0;
+        return;
+      case GateKind::Y:
+        m[0][0] = 0; m[0][1] = C(0, -1);
+        m[1][0] = C(0, 1); m[1][1] = 0;
+        return;
+      case GateKind::Z:
+        m[0][0] = 1; m[0][1] = 0; m[1][0] = 0; m[1][1] = -1;
+        return;
+      case GateKind::H:
+        m[0][0] = kInvSqrt2; m[0][1] = kInvSqrt2;
+        m[1][0] = kInvSqrt2; m[1][1] = -kInvSqrt2;
+        return;
+      case GateKind::S:
+        m[0][0] = 1; m[0][1] = 0; m[1][0] = 0; m[1][1] = C(0, 1);
+        return;
+      case GateKind::Sdg:
+        m[0][0] = 1; m[0][1] = 0; m[1][0] = 0;
+        m[1][1] = C(0, -1);
+        return;
+      case GateKind::T:
+        m[0][0] = 1; m[0][1] = 0; m[1][0] = 0;
+        m[1][1] = std::polar(1.0, M_PI / 4.0);
+        return;
+      case GateKind::Tdg:
+        m[0][0] = 1; m[0][1] = 0; m[1][0] = 0;
+        m[1][1] = std::polar(1.0, -M_PI / 4.0);
+        return;
+      case GateKind::RX: {
+        const double h = gate.param / 2.0;
+        m[0][0] = std::cos(h); m[0][1] = C(0, -std::sin(h));
+        m[1][0] = C(0, -std::sin(h)); m[1][1] = std::cos(h);
+        return;
+      }
+      case GateKind::RY: {
+        const double h = gate.param / 2.0;
+        m[0][0] = std::cos(h); m[0][1] = -std::sin(h);
+        m[1][0] = std::sin(h); m[1][1] = std::cos(h);
+        return;
+      }
+      case GateKind::RZ: {
+        const double h = gate.param / 2.0;
+        m[0][0] = std::polar(1.0, -h); m[0][1] = 0;
+        m[1][0] = 0; m[1][1] = std::polar(1.0, h);
+        return;
+      }
+      case GateKind::U3: {
+        const double h = gate.param / 2.0;
+        m[0][0] = std::cos(h);
+        m[0][1] = -std::polar(1.0, gate.param3) * std::sin(h);
+        m[1][0] = std::polar(1.0, gate.param2) * std::sin(h);
+        m[1][1] = std::polar(1.0, gate.param2 + gate.param3) *
+                  std::cos(h);
+        return;
+      }
+      default:
+        VAQ_ASSERT(false, "not a one-qubit unitary");
+    }
+}
+
+} // namespace
+
+DensityMatrix::DensityMatrix(int num_qubits)
+    : _numQubits(num_qubits)
+{
+    require(num_qubits >= 1 && num_qubits <= 10,
+            "density matrix supports 1..10 qubits");
+    const std::uint64_t dim = 1ULL << num_qubits;
+    _rho.assign(dim * dim, Complex(0.0, 0.0));
+    _rho[0] = Complex(1.0, 0.0); // |0..0><0..0|
+}
+
+DensityMatrix::Complex
+DensityMatrix::entry(std::uint64_t row, std::uint64_t col) const
+{
+    const std::uint64_t dim = dimension();
+    require(row < dim && col < dim, "matrix index out of range");
+    return _rho[row * dim + col];
+}
+
+double
+DensityMatrix::trace() const
+{
+    const std::uint64_t dim = dimension();
+    double tr = 0.0;
+    for (std::uint64_t i = 0; i < dim; ++i)
+        tr += _rho[i * dim + i].real();
+    return tr;
+}
+
+void
+DensityMatrix::applyUnitary(const Gate &gate)
+{
+    require(gate.isUnitary(),
+            "cannot apply measure/barrier to a density matrix");
+    const std::uint64_t dim = dimension();
+
+    if (!gate.isTwoQubit()) {
+        Complex m[2][2];
+        oneQubitMatrix(gate, m);
+        const std::uint64_t bit = 1ULL << gate.q0;
+
+        // Rows: rho -> M rho.
+        for (std::uint64_t r = 0; r < dim; ++r) {
+            if (r & bit)
+                continue;
+            for (std::uint64_t c = 0; c < dim; ++c) {
+                const Complex a = _rho[r * dim + c];
+                const Complex b = _rho[(r | bit) * dim + c];
+                _rho[r * dim + c] = m[0][0] * a + m[0][1] * b;
+                _rho[(r | bit) * dim + c] =
+                    m[1][0] * a + m[1][1] * b;
+            }
+        }
+        // Columns: rho -> rho M^dagger.
+        for (std::uint64_t c = 0; c < dim; ++c) {
+            if (c & bit)
+                continue;
+            for (std::uint64_t r = 0; r < dim; ++r) {
+                const Complex a = _rho[r * dim + c];
+                const Complex b = _rho[r * dim + (c | bit)];
+                _rho[r * dim + c] = std::conj(m[0][0]) * a +
+                                    std::conj(m[0][1]) * b;
+                _rho[r * dim + (c | bit)] =
+                    std::conj(m[1][0]) * a +
+                    std::conj(m[1][1]) * b;
+            }
+        }
+        return;
+    }
+
+    // Two-qubit gates are index permutations / phases.
+    const std::uint64_t b0 = 1ULL << gate.q0;
+    const std::uint64_t b1 = 1ULL << gate.q1;
+    auto mapIndex = [&](std::uint64_t i) -> std::uint64_t {
+        switch (gate.kind) {
+          case GateKind::CX:
+            return (i & b0) ? (i ^ b1) : i;
+          case GateKind::SWAP: {
+            const bool s0 = i & b0, s1 = i & b1;
+            if (s0 == s1)
+                return i;
+            return i ^ b0 ^ b1;
+          }
+          default:
+            return i; // CZ: identity permutation
+        }
+    };
+    auto phase = [&](std::uint64_t i) -> double {
+        if (gate.kind == GateKind::CZ && (i & b0) && (i & b1))
+            return -1.0;
+        return 1.0;
+    };
+
+    std::vector<Complex> next(dim * dim);
+    for (std::uint64_t r = 0; r < dim; ++r) {
+        const std::uint64_t mr = mapIndex(r);
+        const double pr = phase(r);
+        for (std::uint64_t c = 0; c < dim; ++c) {
+            next[mr * dim + mapIndex(c)] =
+                pr * phase(c) * _rho[r * dim + c];
+        }
+    }
+    _rho = std::move(next);
+}
+
+void
+DensityMatrix::mixUniformPauli(Qubit q, double weight)
+{
+    if (weight <= 0.0)
+        return;
+    const std::vector<Complex> original = _rho;
+    std::vector<Complex> accum(_rho.size());
+    for (std::size_t i = 0; i < accum.size(); ++i)
+        accum[i] = (1.0 - weight) * original[i];
+    for (GateKind pauli :
+         {GateKind::X, GateKind::Y, GateKind::Z}) {
+        _rho = original;
+        applyUnitary(Gate::oneQubit(pauli, q));
+        for (std::size_t i = 0; i < accum.size(); ++i)
+            accum[i] += (weight / 3.0) * _rho[i];
+    }
+    _rho = std::move(accum);
+}
+
+void
+DensityMatrix::applyNoisyGate(const Gate &gate,
+                              const NoiseModel &model)
+{
+    if (!gate.isUnitary())
+        return;
+    applyUnitary(gate);
+
+    const double e = model.opErrorProb(gate);
+    if (e > 0.0) {
+        if (gate.isTwoQubit()) {
+            // The trajectory channel: a Pauli always hits the
+            // first operand; with probability 3/4 another hits
+            // the second. Build the mixture explicitly.
+            const std::vector<Complex> clean = _rho;
+            // D_q0 applied with weight 1 = pure average.
+            mixUniformPauli(gate.q0, 1.0);
+            const std::vector<Complex> afterQ0 = _rho;
+            // 3/4 branch adds D_q1 on top.
+            mixUniformPauli(gate.q1, 1.0);
+            for (std::size_t i = 0; i < _rho.size(); ++i) {
+                const Complex damaged =
+                    0.25 * afterQ0[i] + 0.75 * _rho[i];
+                _rho[i] = (1.0 - e) * clean[i] + e * damaged;
+            }
+        } else {
+            mixUniformPauli(gate.q0, e);
+        }
+    }
+
+    const double c = model.coherenceErrorProb(gate);
+    if (c > 0.0)
+        mixUniformPauli(gate.q0, c);
+}
+
+void
+DensityMatrix::runNoisy(const circuit::Circuit &circuit,
+                        const NoiseModel &model)
+{
+    require(circuit.numQubits() <= _numQubits,
+            "circuit wider than density matrix");
+    for (const Gate &gate : circuit.gates())
+        applyNoisyGate(gate, model);
+}
+
+std::vector<double>
+DensityMatrix::diagonal() const
+{
+    const std::uint64_t dim = dimension();
+    std::vector<double> diag(dim);
+    for (std::uint64_t i = 0; i < dim; ++i)
+        diag[i] = _rho[i * dim + i].real();
+    return diag;
+}
+
+std::map<std::uint64_t, double>
+DensityMatrix::outcomeDistribution(const circuit::Circuit &circuit,
+                                   const NoiseModel &model,
+                                   bool readout_noise) const
+{
+    std::uint64_t mask = 0;
+    for (const Gate &g : circuit.gates()) {
+        if (g.kind == GateKind::MEASURE)
+            mask |= 1ULL << g.q0;
+    }
+    require(mask != 0, "circuit measures no qubits");
+
+    const std::uint64_t dim = dimension();
+    std::vector<double> probs(dim, 0.0);
+    const std::vector<double> diag = diagonal();
+    for (std::uint64_t i = 0; i < dim; ++i)
+        probs[i & mask] += diag[i];
+
+    if (readout_noise) {
+        for (int q = 0; q < _numQubits; ++q) {
+            const std::uint64_t bit = 1ULL << q;
+            if (!(mask & bit))
+                continue;
+            const double r =
+                model.snapshot().qubit(q).readoutError;
+            for (std::uint64_t i = 0; i < dim; ++i) {
+                if (i & bit)
+                    continue;
+                const double p0 = probs[i];
+                const double p1 = probs[i | bit];
+                probs[i] = (1.0 - r) * p0 + r * p1;
+                probs[i | bit] = r * p0 + (1.0 - r) * p1;
+            }
+        }
+    }
+
+    std::map<std::uint64_t, double> out;
+    for (std::uint64_t i = 0; i < dim; ++i) {
+        if (probs[i] > 1e-15)
+            out[i] = probs[i];
+    }
+    return out;
+}
+
+double
+totalVariation(const std::map<std::uint64_t, double> &a,
+               const std::map<std::uint64_t, double> &b)
+{
+    double total = 0.0;
+    for (const auto &[k, v] : a) {
+        const auto it = b.find(k);
+        total += std::abs(v - (it == b.end() ? 0.0 : it->second));
+    }
+    for (const auto &[k, v] : b) {
+        if (a.find(k) == a.end())
+            total += v;
+    }
+    return total / 2.0;
+}
+
+} // namespace vaq::sim

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Exact density-matrix simulator.
+ *
+ * Evolves the full mixed state rho (4^n complex entries, practical
+ * to ~10 qubits) under the same error channel the trajectory
+ * simulator samples:
+ *
+ *  - each gate applies its unitary, then with probability
+ *    e = opErrorProb the trajectory channel's Pauli mixture
+ *    (uniform non-identity Pauli on the first operand; for
+ *    two-qubit gates, with probability 3/4 an additional uniform
+ *    Pauli on the second operand),
+ *  - with probability c = coherenceErrorProb a uniform Pauli on
+ *    the first operand,
+ *  - readout is a classical per-qubit confusion of the diagonal.
+ *
+ * Because it computes the *expected* outcome distribution in closed
+ * form, it is the ground truth the Monte-Carlo trajectory sampler
+ * is validated against (tests/sim/test_density_matrix.cpp), closing
+ * the loop on the paper's evaluation methodology: fault injection
+ * (fast, per-op) ~ trajectory sampling (mid) ~ density matrix
+ * (exact, small machines).
+ */
+#ifndef VAQ_SIM_DENSITY_MATRIX_HPP
+#define VAQ_SIM_DENSITY_MATRIX_HPP
+
+#include <complex>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "sim/noise_model.hpp"
+
+namespace vaq::sim
+{
+
+/** Dense density matrix over up to 10 qubits. */
+class DensityMatrix
+{
+  public:
+    using Complex = std::complex<double>;
+
+    /** |0...0><0...0| over `num_qubits` (1..10). */
+    explicit DensityMatrix(int num_qubits);
+
+    int numQubits() const { return _numQubits; }
+
+    /** Hilbert-space dimension 2^n. */
+    std::uint64_t dimension() const { return 1ULL << _numQubits; }
+
+    /** Matrix entry rho[row][col]. */
+    Complex entry(std::uint64_t row, std::uint64_t col) const;
+
+    /** Trace (1 within rounding for valid evolutions). */
+    double trace() const;
+
+    /** Apply a unitary gate: rho -> U rho U^dagger. */
+    void applyUnitary(const circuit::Gate &gate);
+
+    /**
+     * Apply gate + its noise channel under `model` (matching the
+     * trajectory simulator's stochastic channel in expectation).
+     */
+    void applyNoisyGate(const circuit::Gate &gate,
+                        const NoiseModel &model);
+
+    /**
+     * Run a whole circuit with noise; measures/barriers are
+     * skipped (read the outcome distribution afterwards).
+     */
+    void runNoisy(const circuit::Circuit &circuit,
+                  const NoiseModel &model);
+
+    /** Diagonal of rho: exact outcome probabilities. */
+    std::vector<double> diagonal() const;
+
+    /**
+     * Outcome distribution over the measured qubits of `circuit`,
+     * masked like ShotCounts, including per-qubit readout
+     * confusion from `model` when `readout_noise` is set.
+     */
+    std::map<std::uint64_t, double>
+    outcomeDistribution(const circuit::Circuit &circuit,
+                        const NoiseModel &model,
+                        bool readout_noise = true) const;
+
+  private:
+    /** rho -> (1-w) rho + w * avg over non-identity Paulis P of
+     *  P rho P (single-qubit depolarizing-style mixture). */
+    void mixUniformPauli(circuit::Qubit q, double weight);
+
+    int _numQubits;
+    /** Row-major 2^n x 2^n matrix. */
+    std::vector<Complex> _rho;
+};
+
+/** Total-variation distance between two outcome distributions. */
+double totalVariation(const std::map<std::uint64_t, double> &a,
+                      const std::map<std::uint64_t, double> &b);
+
+} // namespace vaq::sim
+
+#endif // VAQ_SIM_DENSITY_MATRIX_HPP

@@ -1,0 +1,112 @@
+#include "sim/fault_sim.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace vaq::sim
+{
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+
+void
+checkExecutable(const Circuit &physical, const NoiseModel &model)
+{
+    const topology::CouplingGraph &graph = model.graph();
+    require(physical.numQubits() <= graph.numQubits(),
+            "circuit wider than machine");
+    for (const Gate &g : physical.gates()) {
+        if (g.isTwoQubit()) {
+            require(graph.coupled(g.q0, g.q1),
+                    "two-qubit gate on uncoupled pair " +
+                        std::to_string(g.q0) + "," +
+                        std::to_string(g.q1) +
+                        " -- circuit is not routed for " +
+                        graph.name());
+        }
+    }
+}
+
+namespace
+{
+
+/**
+ * Collect every independent failure probability the trial is
+ * exposed to: one entry per operation, plus per-qubit idle entries
+ * in idle-aware mode.
+ */
+std::vector<double>
+collectErrorProbs(const Circuit &physical, const NoiseModel &model)
+{
+    std::vector<double> probs;
+    probs.reserve(physical.size());
+    for (const Gate &g : physical.gates()) {
+        if (g.kind == GateKind::BARRIER)
+            continue;
+        probs.push_back(model.totalErrorProb(g));
+    }
+    if (model.mode() == CoherenceMode::Idle) {
+        const Schedule schedule = scheduleCircuit(physical, model);
+        for (int q = 0; q < physical.numQubits(); ++q) {
+            const double idle = schedule.idleNs(physical, q);
+            if (idle > 0.0)
+                probs.push_back(model.idleErrorProb(q, idle));
+        }
+    }
+    return probs;
+}
+
+} // namespace
+
+double
+analyticPst(const Circuit &physical, const NoiseModel &model)
+{
+    checkExecutable(physical, model);
+    double pst = 1.0;
+    for (double p : collectErrorProbs(physical, model))
+        pst *= 1.0 - p;
+    return pst;
+}
+
+FaultSimResult
+runFaultInjection(const Circuit &physical, const NoiseModel &model,
+                  const FaultSimOptions &options)
+{
+    require(options.trials > 0, "need at least one trial");
+    checkExecutable(physical, model);
+
+    const std::vector<double> probs =
+        collectErrorProbs(physical, model);
+
+    Rng rng(options.seed);
+    std::size_t successes = 0;
+    for (std::size_t t = 0; t < options.trials; ++t) {
+        bool failed = false;
+        for (double p : probs) {
+            if (rng.bernoulli(p)) {
+                failed = true;
+                break;
+            }
+        }
+        if (!failed)
+            ++successes;
+    }
+
+    FaultSimResult result;
+    result.trials = options.trials;
+    result.successes = successes;
+    result.pst = static_cast<double>(successes) /
+                 static_cast<double>(options.trials);
+    result.analyticPst = 1.0;
+    for (double p : probs)
+        result.analyticPst *= 1.0 - p;
+    result.stderrPst = std::sqrt(
+        result.pst * (1.0 - result.pst) /
+        static_cast<double>(options.trials));
+    return result;
+}
+
+} // namespace vaq::sim

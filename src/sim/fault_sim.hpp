@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Monte-Carlo fault-injection simulator — the paper's evaluation
+ * infrastructure (Fig. 10, Section 4.3).
+ *
+ * A trial replays the physical circuit and flips an independent
+ * Bernoulli coin per operation with that operation's calibrated
+ * error probability. A trial is successful iff no error fires. PST
+ * (Probability of a Successful Trial, Section 4.1) is the success
+ * fraction over N trials; with independent errors it has the closed
+ * form prod(1 - e_i), which analyticPst() computes and the tests use
+ * to validate the sampler.
+ */
+#ifndef VAQ_SIM_FAULT_SIM_HPP
+#define VAQ_SIM_FAULT_SIM_HPP
+
+#include <cstdint>
+
+#include "circuit/circuit.hpp"
+#include "sim/noise_model.hpp"
+#include "sim/schedule.hpp"
+
+namespace vaq::sim
+{
+
+/** Knobs of the Monte-Carlo fault-injection run. */
+struct FaultSimOptions
+{
+    std::size_t trials = 1'000'000; ///< paper uses 1M per workload
+    std::uint64_t seed = 13;
+};
+
+/** Outcome of a fault-injection run. */
+struct FaultSimResult
+{
+    std::size_t trials = 0;
+    std::size_t successes = 0;
+    /** Monte-Carlo PST estimate = successes / trials. */
+    double pst = 0.0;
+    /** Closed-form PST for the same circuit and model. */
+    double analyticPst = 0.0;
+    /** Standard error of the Monte-Carlo estimate. */
+    double stderrPst = 0.0;
+};
+
+/**
+ * Validate that every two-qubit gate of `physical` acts on a coupled
+ * pair of `model.graph()`; throws VaqError otherwise. Mappers must
+ * only hand executable circuits to the machine.
+ */
+void checkExecutable(const circuit::Circuit &physical,
+                     const NoiseModel &model);
+
+/**
+ * Closed-form PST under independent per-operation errors,
+ * including idle decoherence when the model runs in
+ * CoherenceMode::Idle.
+ */
+double analyticPst(const circuit::Circuit &physical,
+                   const NoiseModel &model);
+
+/** Run the Monte-Carlo fault-injection study. */
+FaultSimResult runFaultInjection(const circuit::Circuit &physical,
+                                 const NoiseModel &model,
+                                 const FaultSimOptions &options = {});
+
+} // namespace vaq::sim
+
+#endif // VAQ_SIM_FAULT_SIM_HPP

@@ -1,0 +1,103 @@
+#include "sim/noise_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace vaq::sim
+{
+
+using circuit::Gate;
+using circuit::GateKind;
+
+NoiseModel::NoiseModel(const topology::CouplingGraph &graph,
+                       const calibration::Snapshot &snapshot,
+                       CoherenceMode mode)
+    : _graph(graph), _snapshot(snapshot), _mode(mode)
+{
+    require(snapshot.numQubits() == graph.numQubits() &&
+                snapshot.numLinks() == graph.linkCount(),
+            "snapshot does not match machine shape");
+}
+
+double
+NoiseModel::opErrorProb(const Gate &gate) const
+{
+    switch (gate.kind) {
+      case GateKind::BARRIER:
+        return 0.0;
+      case GateKind::MEASURE:
+        return _snapshot.qubit(gate.q0).readoutError;
+      case GateKind::CX:
+      case GateKind::CZ:
+        return _snapshot.linkError(_graph, gate.q0, gate.q1);
+      case GateKind::SWAP:
+        return _snapshot.swapError(_graph, gate.q0, gate.q1);
+      default:
+        return _snapshot.qubit(gate.q0).error1q;
+    }
+}
+
+double
+NoiseModel::opDurationNs(const Gate &gate) const
+{
+    const calibration::GateDurations &d = _snapshot.durations;
+    switch (gate.kind) {
+      case GateKind::BARRIER:
+        return 0.0;
+      case GateKind::MEASURE:
+        return d.measureNs;
+      case GateKind::CX:
+      case GateKind::CZ:
+        return d.twoQubitNs;
+      case GateKind::SWAP:
+        return 3.0 * d.twoQubitNs;
+      default:
+        return d.oneQubitNs;
+    }
+}
+
+double
+NoiseModel::decayProb(int qubit, double duration_ns) const
+{
+    const calibration::QubitCalibration &cal =
+        _snapshot.qubit(qubit);
+    // Exponential T1 relaxation (paper Section 9: "exponential-model
+    // for coherence errors"). Pure dephasing largely commutes with
+    // the terminal Z-basis measurement, so charging T1 keeps the
+    // paper's observed gate-error dominance (~16x for bv-20).
+    const double rate = 1.0 / (cal.t1Us * 1000.0);
+    return 1.0 - std::exp(-duration_ns * rate);
+}
+
+double
+NoiseModel::coherenceErrorProb(const Gate &gate) const
+{
+    if (_mode == CoherenceMode::None ||
+        gate.kind == GateKind::BARRIER) {
+        return 0.0;
+    }
+    const double t = opDurationNs(gate);
+    double survive = 1.0 - decayProb(gate.q0, t);
+    if (gate.isTwoQubit())
+        survive *= 1.0 - decayProb(gate.q1, t);
+    return 1.0 - survive;
+}
+
+double
+NoiseModel::idleErrorProb(int qubit, double idle_ns) const
+{
+    if (_mode != CoherenceMode::Idle || idle_ns <= 0.0)
+        return 0.0;
+    return decayProb(qubit, idle_ns);
+}
+
+double
+NoiseModel::totalErrorProb(const Gate &gate) const
+{
+    const double op = opErrorProb(gate);
+    const double coh = coherenceErrorProb(gate);
+    return 1.0 - (1.0 - op) * (1.0 - coh);
+}
+
+} // namespace vaq::sim

@@ -1,0 +1,68 @@
+#include "sim/schedule.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace vaq::sim
+{
+
+using circuit::Gate;
+using circuit::GateKind;
+
+double
+Schedule::idleNs(const circuit::Circuit &circuit, int qubit) const
+{
+    double busy = 0.0;
+    double first = -1.0;
+    double last = 0.0;
+    for (const ScheduledOp &op : ops) {
+        const Gate &g = circuit.gates()[op.gateIndex];
+        if (g.kind == GateKind::BARRIER || !g.touches(qubit))
+            continue;
+        busy += op.endNs - op.startNs;
+        if (first < 0.0)
+            first = op.startNs;
+        last = std::max(last, op.endNs);
+    }
+    if (first < 0.0)
+        return 0.0;
+    return std::max(0.0, (last - first) - busy);
+}
+
+Schedule
+scheduleCircuit(const circuit::Circuit &circuit,
+                const NoiseModel &model)
+{
+    Schedule schedule;
+    std::vector<double> free(
+        static_cast<std::size_t>(circuit.numQubits()), 0.0);
+    double barrierTime = 0.0;
+
+    const auto &gates = circuit.gates();
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        const Gate &g = gates[i];
+        if (g.kind == GateKind::BARRIER) {
+            for (double t : free)
+                barrierTime = std::max(barrierTime, t);
+            schedule.ops.push_back(
+                ScheduledOp{i, barrierTime, barrierTime});
+            continue;
+        }
+        double start = std::max(
+            barrierTime, free[static_cast<std::size_t>(g.q0)]);
+        if (g.isTwoQubit()) {
+            start = std::max(
+                start, free[static_cast<std::size_t>(g.q1)]);
+        }
+        const double end = start + model.opDurationNs(g);
+        free[static_cast<std::size_t>(g.q0)] = end;
+        if (g.isTwoQubit())
+            free[static_cast<std::size_t>(g.q1)] = end;
+        schedule.ops.push_back(ScheduledOp{i, start, end});
+        schedule.durationNs = std::max(schedule.durationNs, end);
+    }
+    return schedule;
+}
+
+} // namespace vaq::sim

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * ASAP timing schedule of a physical circuit.
+ *
+ * Gives each operation a start time assuming unlimited classical
+ * control parallelism but exclusive qubit use. Consumed by the
+ * idle-aware coherence mode and by the STPT (successful trials per
+ * unit time) metric of the partitioning study (Section 8), where the
+ * trial rate is 1 / circuit duration.
+ */
+#ifndef VAQ_SIM_SCHEDULE_HPP
+#define VAQ_SIM_SCHEDULE_HPP
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "sim/noise_model.hpp"
+
+namespace vaq::sim
+{
+
+/** Timing of one scheduled operation. */
+struct ScheduledOp
+{
+    std::size_t gateIndex; ///< index into Circuit::gates()
+    double startNs;
+    double endNs;
+};
+
+/** Complete schedule of a circuit. */
+struct Schedule
+{
+    std::vector<ScheduledOp> ops; ///< program order
+    double durationNs = 0.0;      ///< makespan
+
+    /**
+     * Total idle time of `qubit` between its first and last
+     * operation (0 when it has fewer than two operations).
+     */
+    double idleNs(const circuit::Circuit &circuit, int qubit) const;
+};
+
+/**
+ * ASAP-schedule `circuit` with the durations of `model`. Barriers
+ * synchronize all qubits and take zero time.
+ */
+Schedule scheduleCircuit(const circuit::Circuit &circuit,
+                         const NoiseModel &model);
+
+} // namespace vaq::sim
+
+#endif // VAQ_SIM_SCHEDULE_HPP

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Dense state-vector simulator.
+ *
+ * Exact simulation of the libvaq gate set for up to ~24 qubits
+ * (2^24 amplitudes). Used three ways in this repository:
+ *  - functional verification that mapped circuits preserve program
+ *    semantics (tests),
+ *  - computing the ideal ("correct") output set of a program so a
+ *    trial can be judged successful,
+ *  - as the engine under the noisy TrajectorySimulator that stands
+ *    in for the real IBM-Q5 machine (Table 3).
+ *
+ * Bit convention: basis index bit q holds the value of qubit q
+ * (little-endian).
+ */
+#ifndef VAQ_SIM_STATEVECTOR_HPP
+#define VAQ_SIM_STATEVECTOR_HPP
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+
+namespace vaq::sim
+{
+
+/** Complex amplitude type. */
+using Amplitude = std::complex<double>;
+
+/** Dense 2^n state vector initialized to |0...0>. */
+class StateVector
+{
+  public:
+    /** Create |0...0> over `num_qubits` qubits (1..24 supported). */
+    explicit StateVector(int num_qubits);
+
+    /** Number of qubits. */
+    int numQubits() const { return _numQubits; }
+
+    /** Dimension 2^n. */
+    std::uint64_t dimension() const { return _amps.size(); }
+
+    /** Amplitude of a basis state. */
+    Amplitude amplitude(std::uint64_t basis) const;
+
+    /** Probability of a basis state. */
+    double probability(std::uint64_t basis) const;
+
+    /** Full probability vector (2^n entries). */
+    std::vector<double> probabilities() const;
+
+    /**
+     * Apply one unitary gate (MEASURE/BARRIER are rejected;
+     * use sample()/measureAll for readout).
+     */
+    void apply(const circuit::Gate &gate);
+
+    /** Apply every unitary gate of a circuit, skipping
+     *  measures/barriers. */
+    void applyUnitaries(const circuit::Circuit &circuit);
+
+    /** Apply an arbitrary 2x2 unitary to one qubit
+     *  (row-major m[2][2]). */
+    void applyOneQubitMatrix(circuit::Qubit q,
+                             const Amplitude m[2][2]);
+
+    /**
+     * Sample a full-register measurement outcome without collapsing
+     * the state (repeated sampling = repeated trials of the same
+     * prepared state).
+     */
+    std::uint64_t sample(Rng &rng) const;
+
+    /** L2 norm of the state (should stay 1 within rounding). */
+    double norm() const;
+
+    /** Fidelity |<this|other>|^2 with another state. */
+    double fidelity(const StateVector &other) const;
+
+  private:
+    int _numQubits;
+    std::vector<Amplitude> _amps;
+};
+
+} // namespace vaq::sim
+
+#endif // VAQ_SIM_STATEVECTOR_HPP

@@ -1,0 +1,181 @@
+#include "sim/trajectory_sim.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "sim/fault_sim.hpp"
+
+namespace vaq::sim
+{
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+using circuit::Qubit;
+
+namespace
+{
+
+/** Measured-qubit mask (and count) of a circuit. */
+std::uint64_t
+measuredMaskOf(const Circuit &circuit)
+{
+    std::uint64_t mask = 0;
+    for (const Gate &g : circuit.gates()) {
+        if (g.kind == GateKind::MEASURE)
+            mask |= 1ULL << g.q0;
+    }
+    return mask;
+}
+
+/** Apply one uniformly random non-identity Pauli to qubit q. */
+void
+randomPauli(StateVector &state, Qubit q, Rng &rng)
+{
+    const auto pick = rng.uniformInt(std::uint64_t{3});
+    GateKind kind = GateKind::X;
+    if (pick == 1)
+        kind = GateKind::Y;
+    else if (pick == 2)
+        kind = GateKind::Z;
+    state.apply(Gate::oneQubit(kind, q));
+}
+
+} // namespace
+
+std::vector<std::uint64_t>
+idealOutcomes(const Circuit &logical, double threshold)
+{
+    const std::uint64_t mask = measuredMaskOf(logical);
+    require(mask != 0, "program measures no qubits");
+
+    StateVector state(logical.numQubits());
+    state.applyUnitaries(logical);
+
+    std::map<std::uint64_t, double> masked;
+    const std::uint64_t dim = state.dimension();
+    for (std::uint64_t basis = 0; basis < dim; ++basis) {
+        const double p = state.probability(basis);
+        if (p > 0.0)
+            masked[basis & mask] += p;
+    }
+
+    std::vector<std::uint64_t> acceptable;
+    for (const auto &[outcome, p] : masked) {
+        if (p > threshold)
+            acceptable.push_back(outcome);
+    }
+
+    // Count measured qubits to bound the outcome space.
+    int measured = 0;
+    for (int q = 0; q < logical.numQubits(); ++q) {
+        if (mask & (1ULL << q))
+            ++measured;
+    }
+    require(acceptable.size() * 2 <= (1ULL << measured) ||
+                measured == 1,
+            "accept set covers most of the outcome space; "
+            "output-checked PST is not meaningful here");
+    return acceptable;
+}
+
+double
+pstFromCounts(const ShotCounts &counts,
+              const std::vector<std::uint64_t> &acceptable)
+{
+    require(counts.shots > 0, "no shots recorded");
+    std::size_t good = 0;
+    for (std::uint64_t outcome : acceptable) {
+        const auto it = counts.counts.find(outcome);
+        if (it != counts.counts.end())
+            good += it->second;
+    }
+    return static_cast<double>(good) /
+           static_cast<double>(counts.shots);
+}
+
+TrajectorySimulator::TrajectorySimulator(
+    const NoiseModel &model, const TrajectoryOptions &options)
+    : _model(model), _options(options)
+{
+    require(options.shots > 0, "need at least one shot");
+    require(options.crosstalk >= 0.0 && options.crosstalk <= 1.0,
+            "crosstalk must be in [0, 1]");
+}
+
+void
+TrajectorySimulator::injectPauli(StateVector &state,
+                                 const Gate &gate, Rng &rng) const
+{
+    // Operational error: random non-identity Pauli on the operand
+    // set (depolarizing-style). For two-qubit gates each operand is
+    // hit independently, with at least one guaranteed non-identity.
+    randomPauli(state, gate.q0, rng);
+    if (gate.isTwoQubit() && rng.bernoulli(0.75))
+        randomPauli(state, gate.q1, rng);
+}
+
+ShotCounts
+TrajectorySimulator::run(const Circuit &physical)
+{
+    checkExecutable(physical, _model);
+
+    ShotCounts result;
+    result.shots = _options.shots;
+    result.measuredMask = measuredMaskOf(physical);
+    require(result.measuredMask != 0, "program measures no qubits");
+
+    Rng rng(_options.seed);
+    for (std::size_t shot = 0; shot < _options.shots; ++shot) {
+        StateVector state(physical.numQubits());
+        for (const Gate &g : physical.gates()) {
+            if (g.kind == GateKind::BARRIER ||
+                g.kind == GateKind::MEASURE) {
+                continue;
+            }
+            state.apply(g);
+            if (rng.bernoulli(_model.opErrorProb(g)))
+                injectPauli(state, g, rng);
+            // Decoherence during the gate: stochastic phase/bit
+            // damage on each operand.
+            if (rng.bernoulli(_model.coherenceErrorProb(g)))
+                randomPauli(state, g.q0, rng);
+            // Optional crosstalk: spectator qubits next to a
+            // firing two-qubit gate take collateral damage.
+            if (_options.crosstalk > 0.0 && g.isTwoQubit()) {
+                const double p =
+                    _options.crosstalk * _model.opErrorProb(g);
+                for (Qubit operand : {g.q0, g.q1}) {
+                    for (Qubit spectator :
+                         _model.graph().neighbors(operand)) {
+                        if (spectator == g.q0 ||
+                            spectator == g.q1 ||
+                            spectator >= state.numQubits()) {
+                            continue;
+                        }
+                        if (rng.bernoulli(p))
+                            randomPauli(state, spectator, rng);
+                    }
+                }
+            }
+        }
+
+        std::uint64_t outcome =
+            state.sample(rng) & result.measuredMask;
+        if (_options.readoutNoise) {
+            for (int q = 0; q < physical.numQubits(); ++q) {
+                const std::uint64_t bit = 1ULL << q;
+                if (!(result.measuredMask & bit))
+                    continue;
+                if (rng.bernoulli(
+                        _model.snapshot().qubit(q).readoutError)) {
+                    outcome ^= bit;
+                }
+            }
+        }
+        ++result.counts[outcome];
+    }
+    return result;
+}
+
+} // namespace vaq::sim

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Physical coupling graph of a quantum machine.
+ *
+ * Nodes are physical qubits; an undirected edge means a two-qubit
+ * operation (CNOT / SWAP) can be performed between the endpoints
+ * (Section 2.4 of the paper). All mapping policies and the fault
+ * simulator consult this structure.
+ */
+#ifndef VAQ_TOPOLOGY_COUPLING_GRAPH_HPP
+#define VAQ_TOPOLOGY_COUPLING_GRAPH_HPP
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace vaq::topology
+{
+
+/** Index of a physical qubit. */
+using PhysQubit = int;
+
+/** One undirected coupling link, stored with a <= b. */
+struct Link
+{
+    PhysQubit a;
+    PhysQubit b;
+
+    bool operator==(const Link &other) const = default;
+};
+
+/** Immutable undirected coupling graph. */
+class CouplingGraph
+{
+  public:
+    /**
+     * Build a graph from an edge list.
+     * @param name Human-readable machine name ("ibm-q20-tokyo").
+     * @param num_qubits Node count.
+     * @param links Undirected edges; duplicates and self-loops are
+     *              rejected.
+     */
+    CouplingGraph(std::string name, int num_qubits,
+                  const std::vector<Link> &links);
+
+    /** Machine name. */
+    const std::string &name() const { return _name; }
+
+    /** Number of physical qubits. */
+    int numQubits() const { return _numQubits; }
+
+    /** All links, each with a < b, in insertion order. */
+    const std::vector<Link> &links() const { return _links; }
+
+    /** Number of undirected links. */
+    std::size_t linkCount() const { return _links.size(); }
+
+    /** True when a direct coupling link exists between a and b. */
+    bool coupled(PhysQubit a, PhysQubit b) const;
+
+    /**
+     * Index of the link {a, b} in links(); throws VaqError when the
+     * qubits are not coupled. Order of a/b does not matter.
+     */
+    std::size_t linkIndex(PhysQubit a, PhysQubit b) const;
+
+    /** Neighbors of qubit q. */
+    const std::vector<PhysQubit> &neighbors(PhysQubit q) const;
+
+    /** Degree of qubit q. */
+    std::size_t degree(PhysQubit q) const;
+
+    /**
+     * Hop-count distance matrix (BFS). distance[a][b] is the minimum
+     * number of links on any a-b path; unreachable pairs get -1.
+     */
+    const std::vector<std::vector<int>> &hopDistances() const;
+
+    /** True when every qubit can reach every other qubit. */
+    bool isConnected() const;
+
+    /**
+     * Induced subgraph over `nodes` (which are renumbered
+     * 0..nodes.size()-1 in the returned graph, in the given order).
+     */
+    CouplingGraph inducedSubgraph(
+        const std::vector<PhysQubit> &nodes) const;
+
+  private:
+    void checkNode(PhysQubit q) const;
+
+    std::string _name;
+    int _numQubits;
+    std::vector<Link> _links;
+    std::vector<std::vector<PhysQubit>> _adjacency;
+    std::unordered_map<long, std::size_t> _linkLookup;
+    mutable std::vector<std::vector<int>> _hopCache;
+};
+
+} // namespace vaq::topology
+
+#endif // VAQ_TOPOLOGY_COUPLING_GRAPH_HPP

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * CNOT direction constraints.
+ *
+ * Superconducting machines of the paper's era implement CX natively
+ * in only one direction per link (the control is fixed by the
+ * hardware). IBM-Q5 Tenerife, for instance, drives 1->0, 2->0, 2->1,
+ * 3->2, 3->4 and 4->2. A reversed CX is legal but costs four extra
+ * Hadamards (H⊗H · CX · H⊗H flips control and target).
+ *
+ * libvaq treats direction as an optional post-pass
+ * (circuit::orientCnots) so the routing study stays comparable to
+ * the paper's undirected model, while Table-3-style "real machine"
+ * runs can include the constraint.
+ */
+#ifndef VAQ_TOPOLOGY_DIRECTIONS_HPP
+#define VAQ_TOPOLOGY_DIRECTIONS_HPP
+
+#include <unordered_set>
+#include <vector>
+
+#include "topology/coupling_graph.hpp"
+
+namespace vaq::topology
+{
+
+/** The allowed control->target orientation of every link. */
+class CnotDirections
+{
+  public:
+    /**
+     * @param graph Machine whose links get orientations.
+     * @param control_target Allowed (control, target) pairs; every
+     *        link of `graph` must appear exactly once (one allowed
+     *        direction per link, like the paper-era machines).
+     */
+    CnotDirections(
+        const CouplingGraph &graph,
+        const std::vector<std::pair<PhysQubit, PhysQubit>>
+            &control_target);
+
+    /** True when CX with this control/target runs natively. */
+    bool allowed(PhysQubit control, PhysQubit target) const;
+
+    /** Number of directed links. */
+    std::size_t size() const { return _allowed.size(); }
+
+  private:
+    int _numQubits;
+    std::unordered_set<long> _allowed;
+};
+
+/** The published Tenerife CX directions. */
+CnotDirections ibmQ5TenerifeDirections(const CouplingGraph &graph);
+
+} // namespace vaq::topology
+
+#endif // VAQ_TOPOLOGY_DIRECTIONS_HPP

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * NISQ benchmark generators (Table 1 of the paper, plus the IBM-Q5
+ * kernels of Table 3 and the 10-qubit variants of Section 8).
+ *
+ * Each generator returns a *logical* circuit: program qubits are
+ * numbered 0..n-1 with no connectivity constraints. Mapping them
+ * onto a machine is the job of the vaq_core policies.
+ */
+#ifndef VAQ_WORKLOADS_WORKLOADS_HPP
+#define VAQ_WORKLOADS_WORKLOADS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "topology/coupling_graph.hpp"
+
+namespace vaq::workloads
+{
+
+/**
+ * Bernstein-Vazirani over `num_qubits` qubits (num_qubits-1 data
+ * qubits + 1 oracle ancilla, the last qubit). The hidden string
+ * defaults to all-ones, the maximally entangling case the paper uses
+ * ("one qubit entangled with [the] rest").
+ */
+circuit::Circuit bernsteinVazirani(int num_qubits,
+                                   std::uint64_t secret = ~0ULL);
+
+/**
+ * Quantum Fourier Transform on n qubits. Controlled-phase gates are
+ * decomposed into {CX, RZ} (2 CX each) since NISQ machines expose
+ * CX natively; the bit-reversal SWAP network is optional.
+ */
+circuit::Circuit qft(int num_qubits, bool with_reversal = false);
+
+/**
+ * Ripple-carry quantum adder (Cuccaro-style) computing b += a over
+ * two `bits`-wide registers with carry-in/carry-out: uses
+ * 2*bits + 2 qubits, so bits = 4 gives the paper's 10-qubit "alu".
+ * Toffolis are decomposed into the standard 6-CX network. Inputs are
+ * prepared as |a> = a_init, |b> = b_init (little-endian).
+ */
+circuit::Circuit adder(int bits, std::uint64_t a_init,
+                       std::uint64_t b_init, bool carry_in = false);
+
+/** GHZ state preparation + full measurement (Table 3's GHZ-3). */
+circuit::Circuit ghz(int num_qubits);
+
+/**
+ * Grover search over `num_qubits` in {2, 3} data qubits for the
+ * `marked` item, with the optimal iteration count (1 for n=2,
+ * 2 for n=3). n=2 finds the item with certainty; n=3 with
+ * probability ~0.945.
+ */
+circuit::Circuit grover(int num_qubits, std::uint64_t marked);
+
+/**
+ * Deutsch-Jozsa over num_qubits-1 data qubits + 1 ancilla. With
+ * `balanced` false the oracle is constant and the output is all
+ * zeros; with `balanced` true the oracle is the parity of
+ * `mask` (must be nonzero) and the output is `mask` itself.
+ */
+circuit::Circuit deutschJozsa(int num_qubits, bool balanced,
+                              std::uint64_t mask = 1);
+
+/**
+ * TriSwap kernel (Table 3): prepare |1> on qubit 0 and cycle the
+ * three states with a SWAP triangle, verifying movement fidelity.
+ */
+circuit::Circuit triSwap();
+
+/**
+ * Random CNOT benchmark (rnd-SD / rnd-LD). Emits `num_inst`
+ * instructions; each is (with 20 % probability) a random H, else a
+ * CNOT between a random qubit pair whose hop distance on `machine`
+ * under the identity layout lies in [min_hops, max_hops].
+ *
+ * @throws VaqError when no qubit pair satisfies the hop band.
+ */
+circuit::Circuit randomCnot(const topology::CouplingGraph &machine,
+                            int num_inst, int min_hops,
+                            int max_hops, std::uint64_t seed);
+
+/** A named benchmark circuit. */
+struct Workload
+{
+    std::string name;
+    circuit::Circuit circuit;
+};
+
+/**
+ * The paper's seven-entry benchmark suite (Table 1): alu, bv-16,
+ * bv-20, qft-12, qft-14, rnd-SD, rnd-LD. Random benchmarks draw
+ * their communication pattern from `machine` (IBM-Q20 in the paper).
+ */
+std::vector<Workload>
+standardSuite(const topology::CouplingGraph &machine);
+
+/** 10-qubit variants used by the partitioning study (Section 8):
+ *  alu-10, bv-10, qft-10. */
+std::vector<Workload> tenQubitSuite();
+
+/** IBM-Q5 kernels of Table 3: bv-3, bv-4, TriSwap, GHZ-3. */
+std::vector<Workload> q5Suite();
+
+} // namespace vaq::workloads
+
+#endif // VAQ_WORKLOADS_WORKLOADS_HPP

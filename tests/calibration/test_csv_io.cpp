@@ -1,0 +1,170 @@
+#include "calibration/csv_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "calibration/synthetic.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "test_support.hpp"
+#include "topology/layouts.hpp"
+
+namespace vaq::calibration
+{
+namespace
+{
+
+TEST(CsvIo, RoundTripPreservesValues)
+{
+    const auto q20 = topology::ibmQ20Tokyo();
+    SyntheticSource src(q20, SyntheticParams{}, 21);
+    const Snapshot original = src.nextCycle();
+
+    const Snapshot reloaded =
+        fromCsv(toCsv(original, q20), q20);
+    for (int q = 0; q < q20.numQubits(); ++q) {
+        EXPECT_NEAR(reloaded.qubit(q).t1Us,
+                    original.qubit(q).t1Us, 1e-5);
+        EXPECT_NEAR(reloaded.qubit(q).error1q,
+                    original.qubit(q).error1q, 1e-7);
+        EXPECT_NEAR(reloaded.qubit(q).readoutError,
+                    original.qubit(q).readoutError, 1e-7);
+    }
+    for (std::size_t l = 0; l < q20.linkCount(); ++l)
+        EXPECT_NEAR(reloaded.linkError(l),
+                    original.linkError(l), 1e-7);
+}
+
+TEST(CsvIo, HeaderAndSectionsPresent)
+{
+    const auto q5 = topology::ibmQ5Tenerife();
+    const std::string csv =
+        toCsv(test::uniformSnapshot(q5), q5);
+    EXPECT_TRUE(startsWith(csv, "section,id,a,b"));
+    EXPECT_NE(csv.find("qubit,0"), std::string::npos);
+    EXPECT_NE(csv.find("link,0,0,1"), std::string::npos);
+}
+
+TEST(CsvIo, LinkRowsMatchByEndpointsNotOrder)
+{
+    const auto q5 = topology::ibmQ5Tenerife();
+    Snapshot snap = test::uniformSnapshot(q5);
+    snap.setLinkError(q5.linkIndex(3, 4), 0.077);
+    // Reverse all lines after the header; parsing must not care.
+    const auto lines = split(toCsv(snap, q5), '\n');
+    std::string shuffled = lines[0] + "\n";
+    for (std::size_t i = lines.size(); i > 1; --i) {
+        if (!lines[i - 1].empty())
+            shuffled += lines[i - 1] + "\n";
+    }
+    const Snapshot reloaded = fromCsv(shuffled, q5);
+    EXPECT_NEAR(reloaded.linkError(q5, 3, 4), 0.077, 1e-9);
+}
+
+TEST(CsvIo, MissingRowsRejected)
+{
+    const auto q5 = topology::ibmQ5Tenerife();
+    const std::string csv =
+        toCsv(test::uniformSnapshot(q5), q5);
+    // Drop the last line (one link row).
+    const auto cut = csv.rfind("link,5");
+    EXPECT_THROW(fromCsv(csv.substr(0, cut), q5), VaqError);
+}
+
+TEST(CsvIo, MalformedRowsRejected)
+{
+    const auto q5 = topology::ibmQ5Tenerife();
+    EXPECT_THROW(fromCsv("bogus,0,,,1,2,3,4,\n", q5), VaqError);
+    EXPECT_THROW(fromCsv("qubit,0,1,2\n", q5), VaqError);
+    EXPECT_THROW(
+        fromCsv("link,0,0,4,,,,,0.5\n", q5), // 0-4 not coupled
+        VaqError);
+}
+
+TEST(CsvIo, DuplicateRowsRejected)
+{
+    const auto q5 = topology::ibmQ5Tenerife();
+    const std::string csv =
+        toCsv(test::uniformSnapshot(q5), q5);
+    EXPECT_THROW(fromCsv(csv + "qubit,0,,,80,42,0.003,0.03,\n",
+                         q5),
+                 VaqError);
+}
+
+TEST(CsvIo, SeriesRoundTrip)
+{
+    const auto q5 = topology::ibmQ5Tenerife();
+    SyntheticSource src(q5, SyntheticParams{}, 77);
+    const CalibrationSeries original = src.series(5);
+
+    const CalibrationSeries reloaded =
+        fromCsvSeries(toCsvSeries(original, q5), q5);
+    ASSERT_EQ(reloaded.size(), original.size());
+    for (std::size_t c = 0; c < original.size(); ++c) {
+        for (std::size_t l = 0; l < q5.linkCount(); ++l) {
+            EXPECT_NEAR(reloaded.at(c).linkError(l),
+                        original.at(c).linkError(l), 1e-7);
+        }
+        for (int q = 0; q < q5.numQubits(); ++q) {
+            EXPECT_NEAR(reloaded.at(c).qubit(q).t1Us,
+                        original.at(c).qubit(q).t1Us, 1e-5);
+        }
+    }
+    // Averaging the reloaded archive matches the original's.
+    EXPECT_NEAR(reloaded.averaged().linkError(0),
+                original.averaged().linkError(0), 1e-7);
+}
+
+TEST(CsvIo, SeriesFileRoundTrip)
+{
+    const auto q5 = topology::ibmQ5Tenerife();
+    SyntheticSource src(q5, SyntheticParams{}, 78);
+    const CalibrationSeries original = src.series(3);
+    const std::string path = "/tmp/vaq_series_test.csv";
+    saveCsvSeries(path, original, q5);
+    const CalibrationSeries reloaded = loadCsvSeries(path, q5);
+    EXPECT_EQ(reloaded.size(), 3u);
+    std::remove(path.c_str());
+}
+
+TEST(CsvIo, SeriesValidation)
+{
+    const auto q5 = topology::ibmQ5Tenerife();
+    EXPECT_THROW(toCsvSeries(CalibrationSeries{}, q5), VaqError);
+    EXPECT_THROW(fromCsvSeries("", q5), VaqError);
+    // Sparse cycle numbering rejected.
+    SyntheticSource src(q5, SyntheticParams{}, 79);
+    std::string text =
+        toCsvSeries(src.series(1), q5);
+    // Renumber cycle 0 -> 2.
+    std::string sparse;
+    std::istringstream in(text);
+    std::string line;
+    bool first = true;
+    while (std::getline(in, line)) {
+        if (first) {
+            sparse += line + "\n";
+            first = false;
+        } else if (!line.empty()) {
+            sparse += "2" + line.substr(1) + "\n";
+        }
+    }
+    EXPECT_THROW(fromCsvSeries(sparse, q5), VaqError);
+}
+
+TEST(CsvIo, FileRoundTrip)
+{
+    const auto q5 = topology::ibmQ5Tenerife();
+    const Snapshot snap = test::uniformSnapshot(q5, 0.033);
+    const std::string path = "/tmp/vaq_csv_test.csv";
+    saveCsv(path, snap, q5);
+    const Snapshot reloaded = loadCsv(path, q5);
+    EXPECT_NEAR(reloaded.linkError(0), 0.033, 1e-9);
+    std::remove(path.c_str());
+    EXPECT_THROW(loadCsv("/nonexistent/x.csv", q5), VaqError);
+}
+
+} // namespace
+} // namespace vaq::calibration

@@ -1,0 +1,173 @@
+#include "calibration/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/statistics.hpp"
+#include "test_support.hpp"
+#include "topology/layouts.hpp"
+
+namespace vaq::calibration
+{
+namespace
+{
+
+TEST(Snapshot, ShapeMatchesMachine)
+{
+    const auto q5 = topology::ibmQ5Tenerife();
+    const Snapshot snap(q5);
+    EXPECT_EQ(snap.numQubits(), 5);
+    EXPECT_EQ(snap.numLinks(), 6u);
+}
+
+TEST(Snapshot, LinkErrorByEndpoints)
+{
+    const auto q5 = topology::ibmQ5Tenerife();
+    Snapshot snap(q5);
+    snap.setLinkError(q5.linkIndex(2, 3), 0.07);
+    EXPECT_DOUBLE_EQ(snap.linkError(q5, 2, 3), 0.07);
+    EXPECT_DOUBLE_EQ(snap.linkError(q5, 3, 2), 0.07);
+    EXPECT_DOUBLE_EQ(snap.linkSuccess(q5, 3, 2), 0.93);
+    EXPECT_THROW(snap.linkError(q5, 0, 4), VaqError);
+}
+
+TEST(Snapshot, SwapErrorIsThreeCnots)
+{
+    const auto q5 = topology::ibmQ5Tenerife();
+    Snapshot snap(q5);
+    snap.setLinkError(q5.linkIndex(0, 1), 0.1);
+    EXPECT_NEAR(snap.swapError(q5, 0, 1),
+                1.0 - 0.9 * 0.9 * 0.9, 1e-12);
+}
+
+TEST(Snapshot, BoundsChecked)
+{
+    const auto q5 = topology::ibmQ5Tenerife();
+    Snapshot snap(q5);
+    EXPECT_THROW(snap.qubit(5), VaqError);
+    EXPECT_THROW(snap.qubit(-1), VaqError);
+    EXPECT_THROW(snap.linkError(std::size_t{6}), VaqError);
+    EXPECT_THROW(snap.setLinkError(0, 1.5), VaqError);
+    EXPECT_THROW(snap.setLinkError(0, -0.1), VaqError);
+}
+
+TEST(Snapshot, ValidationCatchesBadFields)
+{
+    const auto q5 = topology::ibmQ5Tenerife();
+    Snapshot good = test::uniformSnapshot(q5);
+    EXPECT_NO_THROW(good.validate());
+
+    Snapshot bad = good;
+    bad.qubit(0).t1Us = -1.0;
+    EXPECT_THROW(bad.validate(), VaqError);
+
+    bad = good;
+    bad.qubit(2).error1q = 1.5;
+    EXPECT_THROW(bad.validate(), VaqError);
+
+    bad = good;
+    bad.durations.twoQubitNs = 0.0;
+    EXPECT_THROW(bad.validate(), VaqError);
+}
+
+TEST(Snapshot, ScaledErrorsShiftMeanAndCov)
+{
+    // Table 2's transformation: 10x lower mean, CoV unchanged or
+    // doubled.
+    const auto q20 = topology::ibmQ20Tokyo();
+    Rng rng(5);
+    const Snapshot base = test::randomSnapshot(q20, rng);
+
+    const Snapshot tenth = base.scaledErrors(0.1, 1.0);
+    const auto baseErr = base.allLinkErrors();
+    const auto tenthErr = tenth.allLinkErrors();
+    EXPECT_NEAR(mean(tenthErr), mean(baseErr) * 0.1, 1e-9);
+    EXPECT_NEAR(coefficientOfVariation(tenthErr),
+                coefficientOfVariation(baseErr), 1e-6);
+
+    // Doubling the spread while clamping at the floor loses a bit
+    // of variance; require a clearly widened CoV.
+    const Snapshot doubled = base.scaledErrors(0.1, 2.0);
+    EXPECT_GT(coefficientOfVariation(doubled.allLinkErrors()),
+              1.5 * coefficientOfVariation(baseErr));
+}
+
+TEST(Snapshot, ScaledErrorsClampAndValidate)
+{
+    const auto q5 = topology::ibmQ5Tenerife();
+    const Snapshot base = test::uniformSnapshot(q5, 0.4);
+    const Snapshot big = base.scaledErrors(10.0, 1.0);
+    EXPECT_NO_THROW(big.validate());
+    for (double e : big.allLinkErrors())
+        EXPECT_LE(e, 0.5);
+    EXPECT_THROW(base.scaledErrors(0.0, 1.0), VaqError);
+    EXPECT_THROW(base.scaledErrors(1.0, -1.0), VaqError);
+}
+
+TEST(Snapshot, ScaledErrorsScaleCoherenceByDefault)
+{
+    // "Technology improves" semantics: 10x lower gate errors come
+    // with 10x longer coherence times.
+    const auto q5 = topology::ibmQ5Tenerife();
+    const Snapshot base = test::uniformSnapshot(q5);
+    const Snapshot scaled = base.scaledErrors(0.1, 1.0);
+    EXPECT_DOUBLE_EQ(scaled.qubit(0).t1Us,
+                     10.0 * base.qubit(0).t1Us);
+    EXPECT_DOUBLE_EQ(scaled.qubit(0).t2Us,
+                     10.0 * base.qubit(0).t2Us);
+}
+
+TEST(Snapshot, ScaledErrorsCanLeaveCoherenceAlone)
+{
+    const auto q5 = topology::ibmQ5Tenerife();
+    const Snapshot base = test::uniformSnapshot(q5);
+    const Snapshot scaled = base.scaledErrors(0.1, 1.0, false);
+    EXPECT_DOUBLE_EQ(scaled.qubit(0).t1Us, base.qubit(0).t1Us);
+    EXPECT_DOUBLE_EQ(scaled.qubit(0).t2Us, base.qubit(0).t2Us);
+}
+
+TEST(Series, AveragedIsElementwiseMean)
+{
+    const auto q5 = topology::ibmQ5Tenerife();
+    CalibrationSeries series;
+    Snapshot a = test::uniformSnapshot(q5, 0.02);
+    Snapshot b = test::uniformSnapshot(q5, 0.06);
+    a.qubit(1).t1Us = 60.0;
+    b.qubit(1).t1Us = 100.0;
+    series.add(a);
+    series.add(b);
+    const Snapshot avg = series.averaged();
+    EXPECT_NEAR(avg.linkError(0), 0.04, 1e-12);
+    EXPECT_NEAR(avg.qubit(1).t1Us, 80.0, 1e-12);
+}
+
+TEST(Series, ShapeMismatchRejected)
+{
+    CalibrationSeries series;
+    series.add(
+        test::uniformSnapshot(topology::ibmQ5Tenerife()));
+    EXPECT_THROW(
+        series.add(test::uniformSnapshot(topology::linear(3))),
+        VaqError);
+}
+
+TEST(Series, AveragedRequiresData)
+{
+    CalibrationSeries empty;
+    EXPECT_THROW(empty.averaged(), VaqError);
+    EXPECT_TRUE(empty.empty());
+}
+
+TEST(Series, IndexingWorks)
+{
+    const auto q5 = topology::ibmQ5Tenerife();
+    CalibrationSeries series;
+    series.add(test::uniformSnapshot(q5, 0.01));
+    series.add(test::uniformSnapshot(q5, 0.09));
+    EXPECT_EQ(series.size(), 2u);
+    EXPECT_NEAR(series.at(1).linkError(0), 0.09, 1e-12);
+    EXPECT_THROW(series.at(2), VaqError);
+}
+
+} // namespace
+} // namespace vaq::calibration

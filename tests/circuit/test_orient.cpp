@@ -1,0 +1,133 @@
+#include "circuit/orient.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "test_support.hpp"
+#include "topology/layouts.hpp"
+
+namespace vaq::circuit
+{
+namespace
+{
+
+class OrientTest : public ::testing::Test
+{
+  protected:
+    OrientTest()
+        : graph(topology::ibmQ5Tenerife()),
+          directions(topology::ibmQ5TenerifeDirections(graph))
+    {}
+
+    topology::CouplingGraph graph;
+    topology::CnotDirections directions;
+};
+
+TEST_F(OrientTest, DirectionsMatchPublishedTenerife)
+{
+    EXPECT_TRUE(directions.allowed(1, 0));
+    EXPECT_FALSE(directions.allowed(0, 1));
+    EXPECT_TRUE(directions.allowed(3, 4));
+    EXPECT_FALSE(directions.allowed(4, 3));
+    EXPECT_EQ(directions.size(), 6u);
+    // Uncoupled pairs are never allowed.
+    EXPECT_FALSE(directions.allowed(0, 3));
+}
+
+TEST_F(OrientTest, DirectionsValidateCoverage)
+{
+    EXPECT_THROW(topology::CnotDirections(graph, {{1, 0}}),
+                 VaqError); // missing links
+    EXPECT_THROW(
+        topology::CnotDirections(
+            graph,
+            {{1, 0}, {0, 1}, {2, 1}, {3, 2}, {3, 4}, {4, 2}}),
+        VaqError); // 0-1 given twice
+}
+
+TEST_F(OrientTest, NativeCnotPassesThrough)
+{
+    Circuit c(5);
+    c.cx(1, 0);
+    OrientStats stats;
+    const Circuit out = orientCnots(c, directions, &stats);
+    EXPECT_EQ(out.size(), 1u);
+    EXPECT_EQ(stats.reversedCnots, 0u);
+}
+
+TEST_F(OrientTest, ReversedCnotGetsHConjugation)
+{
+    Circuit c(5);
+    c.cx(0, 1); // only 1 -> 0 is native
+    OrientStats stats;
+    const Circuit out = orientCnots(c, directions, &stats);
+    EXPECT_EQ(out.size(), 5u); // H H CX H H
+    EXPECT_EQ(stats.reversedCnots, 1u);
+    EXPECT_EQ(out.gates()[2].kind, GateKind::CX);
+    EXPECT_EQ(out.gates()[2].q0, 1);
+    EXPECT_EQ(out.gates()[2].q1, 0);
+}
+
+TEST_F(OrientTest, SwapLoweredAndOriented)
+{
+    Circuit c(5);
+    c.swap(2, 3);
+    OrientStats stats;
+    const Circuit out = orientCnots(c, directions, &stats);
+    EXPECT_EQ(stats.loweredSwaps, 1u);
+    EXPECT_EQ(out.swapCount(), 0u);
+    // Every emitted CX is native.
+    for (const Gate &g : out.gates()) {
+        if (g.kind == GateKind::CX) {
+            EXPECT_TRUE(directions.allowed(g.q0, g.q1));
+        }
+    }
+}
+
+TEST_F(OrientTest, OtherGatesUntouched)
+{
+    Circuit c(5);
+    c.h(0).rz(1, 0.3).cz(2, 3).measure(0);
+    const Circuit out = orientCnots(c, directions);
+    EXPECT_EQ(out.size(), 4u);
+}
+
+TEST_F(OrientTest, PreservesSemantics)
+{
+    Rng rng(17);
+    for (int trial = 0; trial < 8; ++trial) {
+        // Build a random circuit using only coupled pairs.
+        Circuit c(5);
+        for (int i = 0; i < 30; ++i) {
+            if (rng.bernoulli(0.5)) {
+                c.h(static_cast<Qubit>(rng.uniformInt(
+                    std::uint64_t{5})));
+            } else {
+                const auto &link = graph.links()
+                    [rng.uniformInt(graph.linkCount())];
+                if (rng.bernoulli(0.3))
+                    c.swap(link.a, link.b);
+                else if (rng.bernoulli(0.5))
+                    c.cx(link.a, link.b);
+                else
+                    c.cx(link.b, link.a);
+            }
+        }
+        const Circuit out = orientCnots(c, directions);
+        EXPECT_LT(test::distributionDistance(
+                      test::logicalDistribution(c),
+                      test::logicalDistribution(out)),
+                  1e-9);
+    }
+}
+
+TEST_F(OrientTest, UncoupledGateRejected)
+{
+    Circuit c(5);
+    c.cx(0, 4);
+    EXPECT_THROW(orientCnots(c, directions), VaqError);
+}
+
+} // namespace
+} // namespace vaq::circuit

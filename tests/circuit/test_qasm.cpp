@@ -1,0 +1,127 @@
+#include "circuit/qasm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "test_support.hpp"
+
+namespace vaq::circuit
+{
+namespace
+{
+
+TEST(Qasm, EmitsHeaderAndRegisters)
+{
+    Circuit c(3);
+    const std::string text = toQasm(c);
+    EXPECT_NE(text.find("OPENQASM 2.0;"), std::string::npos);
+    EXPECT_NE(text.find("qreg q[3];"), std::string::npos);
+    EXPECT_NE(text.find("creg c[3];"), std::string::npos);
+}
+
+TEST(Qasm, EmitsGateLines)
+{
+    Circuit c(2);
+    c.h(0).cx(0, 1).measure(1);
+    const std::string text = toQasm(c);
+    EXPECT_NE(text.find("h q[0];"), std::string::npos);
+    EXPECT_NE(text.find("cx q[0],q[1];"), std::string::npos);
+    EXPECT_NE(text.find("measure q[1] -> c[1];"),
+              std::string::npos);
+}
+
+TEST(Qasm, ParsesMinimalProgram)
+{
+    const Circuit c = fromQasm(
+        "OPENQASM 2.0;\n"
+        "include \"qelib1.inc\";\n"
+        "qreg q[2];\n"
+        "creg c[2];\n"
+        "h q[0];\n"
+        "cx q[0],q[1];\n"
+        "measure q[0] -> c[0];\n");
+    EXPECT_EQ(c.numQubits(), 2);
+    EXPECT_EQ(c.size(), 3u);
+    EXPECT_EQ(c.gates()[1].kind, GateKind::CX);
+}
+
+TEST(Qasm, ParsesCommentsAndBlankLines)
+{
+    const Circuit c = fromQasm(
+        "qreg q[1];\n"
+        "\n"
+        "// a comment\n"
+        "x q[0]; // trailing comment\n");
+    EXPECT_EQ(c.size(), 1u);
+    EXPECT_EQ(c.gates()[0].kind, GateKind::X);
+}
+
+TEST(Qasm, ParsesAngles)
+{
+    const Circuit c = fromQasm(
+        "qreg q[1];\n"
+        "rz(0.5) q[0];\n"
+        "rz(pi/2) q[0];\n"
+        "rz(-pi/4) q[0];\n"
+        "rz(3*pi/4) q[0];\n"
+        "rz(pi) q[0];\n");
+    EXPECT_DOUBLE_EQ(c.gates()[0].param, 0.5);
+    EXPECT_DOUBLE_EQ(c.gates()[1].param, M_PI / 2.0);
+    EXPECT_DOUBLE_EQ(c.gates()[2].param, -M_PI / 4.0);
+    EXPECT_DOUBLE_EQ(c.gates()[3].param, 3.0 * M_PI / 4.0);
+    EXPECT_DOUBLE_EQ(c.gates()[4].param, M_PI);
+}
+
+TEST(Qasm, ParsesBarrier)
+{
+    const Circuit c = fromQasm("qreg q[2];\nbarrier q;\n");
+    EXPECT_EQ(c.gates()[0].kind, GateKind::BARRIER);
+}
+
+TEST(Qasm, RejectsMalformedPrograms)
+{
+    EXPECT_THROW(fromQasm(""), VaqError);
+    EXPECT_THROW(fromQasm("x q[0];\n"), VaqError); // gate before qreg
+    EXPECT_THROW(fromQasm("qreg q[2];\nh q[0]\n"), VaqError);
+    EXPECT_THROW(fromQasm("qreg q[2];\nccx q[0],q[1];\n"),
+                 VaqError);
+    EXPECT_THROW(fromQasm("qreg q[2];\ncx q[0];\n"), VaqError);
+    EXPECT_THROW(fromQasm("qreg q[2];\nqreg r[2];\n"), VaqError);
+    EXPECT_THROW(fromQasm("qreg q[2];\nmeasure q[0];\n"),
+                 VaqError);
+}
+
+TEST(Qasm, RoundTripPreservesStructure)
+{
+    Rng rng(55);
+    Circuit original = test::randomCircuit(5, 60, rng);
+    original.barrier();
+    original.measureAll();
+    const Circuit reparsed = fromQasm(toQasm(original));
+    ASSERT_EQ(reparsed.size(), original.size());
+    EXPECT_EQ(reparsed.numQubits(), original.numQubits());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(reparsed.gates()[i].kind,
+                  original.gates()[i].kind);
+        EXPECT_EQ(reparsed.gates()[i].q0, original.gates()[i].q0);
+        EXPECT_EQ(reparsed.gates()[i].q1, original.gates()[i].q1);
+        EXPECT_NEAR(reparsed.gates()[i].param,
+                    original.gates()[i].param, 1e-9);
+    }
+}
+
+TEST(Qasm, RoundTripPreservesSemantics)
+{
+    Rng rng(56);
+    const Circuit original = test::randomCircuit(4, 40, rng);
+    const Circuit reparsed = fromQasm(toQasm(original));
+    const auto da = test::logicalDistribution(original);
+    const auto db = test::logicalDistribution(reparsed);
+    EXPECT_LT(test::distributionDistance(da, db), 1e-9);
+}
+
+} // namespace
+} // namespace vaq::circuit

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the U3/U2 general one-qubit unitaries (IBM's native
+ * basis of the paper's era).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/optimizer.hpp"
+#include "circuit/qasm.hpp"
+#include "core/mapper.hpp"
+#include "core/verify.hpp"
+#include "sim/statevector.hpp"
+#include "topology/layouts.hpp"
+#include "common/rng.hpp"
+#include "common/error.hpp"
+#include "test_support.hpp"
+
+namespace vaq::circuit
+{
+namespace
+{
+
+/** Fidelity between states produced by two one-gate circuits. */
+double
+gateFidelity(const Gate &a, const Gate &b, bool preH = false)
+{
+    sim::StateVector sa(1), sb(1);
+    if (preH) {
+        sa.apply(Gate::oneQubit(GateKind::H, 0));
+        sb.apply(Gate::oneQubit(GateKind::H, 0));
+    }
+    sa.apply(a);
+    sb.apply(b);
+    return sa.fidelity(sb);
+}
+
+TEST(U3, FactoryStoresAllAngles)
+{
+    const Gate g = Gate::u3(2, 0.1, 0.2, 0.3);
+    EXPECT_EQ(g.kind, GateKind::U3);
+    EXPECT_EQ(g.q0, 2);
+    EXPECT_DOUBLE_EQ(g.param, 0.1);
+    EXPECT_DOUBLE_EQ(g.param2, 0.2);
+    EXPECT_DOUBLE_EQ(g.param3, 0.3);
+    EXPECT_TRUE(g.isParameterized());
+}
+
+TEST(U3, PiZeroPiIsX)
+{
+    EXPECT_NEAR(gateFidelity(Gate::u3(0, M_PI, 0.0, M_PI),
+                             Gate::oneQubit(GateKind::X, 0)),
+                1.0, 1e-12);
+}
+
+TEST(U3, U2ZeroPiIsHadamard)
+{
+    Circuit c(1);
+    c.u2(0, 0.0, M_PI);
+    sim::StateVector viaU2(1), viaH(1);
+    viaU2.applyUnitaries(c);
+    viaH.apply(Gate::oneQubit(GateKind::H, 0));
+    EXPECT_NEAR(viaU2.fidelity(viaH), 1.0, 1e-12);
+}
+
+TEST(U3, ZeroThetaIsPhaseOnly)
+{
+    // U3(0, 0, lambda) acts as a phase on |1>; on |+> it matches
+    // RZ(lambda) up to global phase.
+    EXPECT_NEAR(gateFidelity(Gate::u3(0, 0.0, 0.0, 0.7),
+                             Gate::oneQubit(GateKind::RZ, 0, 0.7),
+                             /*preH=*/true),
+                1.0, 1e-12);
+}
+
+TEST(U3, ThetaOnlyMatchesRy)
+{
+    EXPECT_NEAR(gateFidelity(Gate::u3(0, 1.1, 0.0, 0.0),
+                             Gate::oneQubit(GateKind::RY, 0, 1.1),
+                             /*preH=*/true),
+                1.0, 1e-12);
+}
+
+TEST(U3, QasmWriterEmitsThreeAngles)
+{
+    Circuit c(1);
+    c.u3(0, 0.5, 0.25, -0.125);
+    const std::string qasm = toQasm(c);
+    EXPECT_NE(qasm.find("u3(0.5"), std::string::npos);
+    EXPECT_NE(qasm.find(",0.25"), std::string::npos);
+    EXPECT_NE(qasm.find(",-0.125"), std::string::npos);
+}
+
+TEST(U3, QasmRoundTrip)
+{
+    Circuit c(2);
+    c.u3(0, 0.5, 0.25, -0.125).u2(1, 0.3, 0.6).cx(0, 1);
+    const Circuit reparsed = fromQasm(toQasm(c));
+    ASSERT_EQ(reparsed.size(), 3u);
+    const Gate &g = reparsed.gates()[0];
+    EXPECT_EQ(g.kind, GateKind::U3);
+    EXPECT_NEAR(g.param, 0.5, 1e-9);
+    EXPECT_NEAR(g.param2, 0.25, 1e-9);
+    EXPECT_NEAR(g.param3, -0.125, 1e-9);
+    // Semantics preserved too.
+    EXPECT_LT(test::distributionDistance(
+                  test::logicalDistribution(c),
+                  test::logicalDistribution(reparsed)),
+              1e-9);
+}
+
+TEST(U3, QasmParsesU2AsU3)
+{
+    const Circuit c = fromQasm(
+        "qreg q[1];\nu2(0,pi) q[0];\n");
+    ASSERT_EQ(c.size(), 1u);
+    EXPECT_EQ(c.gates()[0].kind, GateKind::U3);
+    EXPECT_NEAR(c.gates()[0].param, M_PI / 2.0, 1e-12);
+}
+
+TEST(U3, QasmRejectsWrongAngleCount)
+{
+    EXPECT_THROW(fromQasm("qreg q[1];\nu3(0.5) q[0];\n"),
+                 VaqError);
+    EXPECT_THROW(fromQasm("qreg q[1];\nu2(0.5,0.1,0.2) q[0];\n"),
+                 VaqError);
+}
+
+TEST(U3, OptimizerDropsIdentityU3)
+{
+    Circuit c(1);
+    c.u3(0, 0.0, 0.0, 0.0).h(0);
+    const Circuit out = optimize(c);
+    EXPECT_EQ(out.size(), 1u);
+    EXPECT_EQ(out.gates()[0].kind, GateKind::H);
+}
+
+TEST(U3, OptimizerDoesNotFuseU3)
+{
+    // U3 angles do not add; fusing them would corrupt semantics.
+    Circuit c(1);
+    c.u3(0, 0.5, 0.2, 0.1).u3(0, 0.5, 0.2, 0.1);
+    EXPECT_EQ(optimize(c).size(), 2u);
+}
+
+TEST(U3, NonZeroPhaseOnlyU3IsKept)
+{
+    Circuit c(1);
+    c.u3(0, 0.0, 0.0, 0.7);
+    EXPECT_EQ(optimize(c).size(), 1u);
+}
+
+TEST(U3, MapperRoutesU3Programs)
+{
+    const auto q5 = topology::ibmQ5Tenerife();
+    Rng rng(31);
+    const auto snap = test::randomSnapshot(q5, rng);
+    Circuit logical(3);
+    logical.u3(0, 1.0, 0.5, 0.25).cx(0, 2).u2(2, 0.1, 0.2)
+        .cx(1, 2).measureAll();
+    const auto mapped =
+        core::makeVqaVqmMapper().map(logical, q5, snap);
+    const auto report =
+        core::verifyMapping(mapped, logical, q5);
+    EXPECT_TRUE(report.ok()) << report.failure;
+}
+
+} // namespace
+} // namespace vaq::circuit

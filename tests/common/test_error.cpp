@@ -1,0 +1,57 @@
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace vaq
+{
+namespace
+{
+
+TEST(Error, RequirePassesOnTrue)
+{
+    EXPECT_NO_THROW(require(true, "never thrown"));
+}
+
+TEST(Error, RequireThrowsWithMessage)
+{
+    try {
+        require(false, "bad input");
+        FAIL() << "expected VaqError";
+    } catch (const VaqError &e) {
+        EXPECT_EQ(std::string(e.what()), "bad input");
+    }
+}
+
+TEST(Error, AssertMacroThrowsInternalError)
+{
+    EXPECT_THROW(VAQ_ASSERT(1 == 2, "impossible"),
+                 VaqInternalError);
+    EXPECT_NO_THROW(VAQ_ASSERT(1 == 1, "fine"));
+}
+
+TEST(Error, AssertMessageHasContext)
+{
+    try {
+        VAQ_ASSERT(false, "diagnostic detail");
+        FAIL() << "expected VaqInternalError";
+    } catch (const VaqInternalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("diagnostic detail"),
+                  std::string::npos);
+        EXPECT_NE(what.find("test_error.cpp"), std::string::npos);
+        EXPECT_NE(what.find("false"), std::string::npos);
+    }
+}
+
+TEST(Error, ErrorTypesAreDistinct)
+{
+    // User errors are runtime_error; internal bugs are logic_error,
+    // so catch sites can separate them.
+    EXPECT_THROW(throw VaqError("x"), std::runtime_error);
+    EXPECT_THROW(throw VaqInternalError("y"), std::logic_error);
+}
+
+} // namespace
+} // namespace vaq

@@ -1,0 +1,89 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace vaq
+{
+namespace
+{
+
+TEST(Histogram, ConstructionValidation)
+{
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), VaqError);
+    EXPECT_THROW(Histogram(2.0, 1.0, 4), VaqError);
+    EXPECT_NO_THROW(Histogram(0.0, 1.0, 1));
+}
+
+TEST(Histogram, BinAssignment)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(9.5);
+    h.add(5.0); // exactly on an inner edge -> upper bin
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(9), 1u);
+    EXPECT_EQ(h.count(5), 1u);
+    EXPECT_EQ(h.totalCount(), 3u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdgeBins)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-5.0);
+    h.add(99.0);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(Histogram, FrequenciesSumToOne)
+{
+    Histogram h(0.0, 1.0, 8);
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i)
+        h.add(rng.uniform());
+    double total = 0.0;
+    for (std::size_t i = 0; i < h.binCount(); ++i)
+        total += h.frequency(i);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Histogram, EmptyFrequenciesAreZero)
+{
+    Histogram h(0.0, 1.0, 4);
+    for (std::size_t i = 0; i < h.binCount(); ++i)
+        EXPECT_EQ(h.frequency(i), 0.0);
+}
+
+TEST(Histogram, BinCentersAndWidth)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_DOUBLE_EQ(h.binWidth(), 2.0);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.binCenter(4), 9.0);
+    EXPECT_THROW(h.binCenter(5), VaqError);
+}
+
+TEST(Histogram, BatchAdd)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.add(std::vector<double>{0.5, 1.5, 2.5, 3.5});
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(h.count(i), 1u);
+}
+
+TEST(Histogram, RenderContainsLabelAndBars)
+{
+    Histogram h(0.0, 1.0, 2);
+    for (int i = 0; i < 10; ++i)
+        h.add(0.25);
+    const std::string text = h.render("T1 Coherence (us)");
+    EXPECT_NE(text.find("T1 Coherence (us)"), std::string::npos);
+    EXPECT_NE(text.find('#'), std::string::npos);
+    EXPECT_NE(text.find("10 samples"), std::string::npos);
+}
+
+} // namespace
+} // namespace vaq

@@ -1,0 +1,192 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/statistics.hpp"
+
+namespace vaq
+{
+namespace
+{
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a() == b())
+            ++equal;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = rng.uniform();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsHalf)
+{
+    Rng rng(11);
+    RunningStats stats;
+    for (int i = 0; i < 100000; ++i)
+        stats.add(rng.uniform());
+    EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.uniform(-2.5, 7.5);
+        EXPECT_GE(x, -2.5);
+        EXPECT_LT(x, 7.5);
+    }
+}
+
+TEST(Rng, UniformIntCoversAllResidues)
+{
+    Rng rng(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.uniformInt(std::uint64_t{7}));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntIsUnbiased)
+{
+    Rng rng(17);
+    std::vector<int> counts(5, 0);
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i)
+        ++counts[rng.uniformInt(std::uint64_t{5})];
+    for (int c : counts)
+        EXPECT_NEAR(static_cast<double>(c), trials / 5.0,
+                    trials * 0.01);
+}
+
+TEST(Rng, SignedUniformIntInclusiveBounds)
+{
+    Rng rng(23);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.uniformInt(std::int64_t{-3},
+                                      std::int64_t{3});
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        sawLo |= v == -3;
+        sawHi |= v == 3;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, BernoulliEdgeCases)
+{
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+        EXPECT_FALSE(rng.bernoulli(-0.5));
+        EXPECT_TRUE(rng.bernoulli(1.5));
+    }
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP)
+{
+    Rng rng(9);
+    int hits = 0;
+    const int trials = 200000;
+    for (int i = 0; i < trials; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / static_cast<double>(trials), 0.3, 0.01);
+}
+
+TEST(Rng, GaussMoments)
+{
+    Rng rng(13);
+    RunningStats stats;
+    for (int i = 0; i < 200000; ++i)
+        stats.add(rng.gauss(10.0, 2.0));
+    EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+    EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, TruncatedGaussStaysInBounds)
+{
+    Rng rng(19);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = rng.truncatedGauss(0.0, 5.0, -1.0, 1.0);
+        EXPECT_GE(x, -1.0);
+        EXPECT_LE(x, 1.0);
+    }
+}
+
+TEST(Rng, LogNormalIsPositive)
+{
+    Rng rng(29);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GT(rng.logNormal(-3.0, 1.0), 0.0);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(31);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<int> shuffled = v;
+    rng.shuffle(shuffled);
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ShuffleActuallyPermutes)
+{
+    Rng rng(37);
+    std::vector<int> v(50);
+    for (int i = 0; i < 50; ++i)
+        v[static_cast<std::size_t>(i)] = i;
+    std::vector<int> shuffled = v;
+    rng.shuffle(shuffled);
+    EXPECT_NE(shuffled, v);
+}
+
+TEST(Rng, ChoiceReturnsMember)
+{
+    Rng rng(41);
+    const std::vector<int> v{10, 20, 30};
+    for (int i = 0; i < 100; ++i) {
+        const int x = rng.choice(v);
+        EXPECT_TRUE(x == 10 || x == 20 || x == 30);
+    }
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng parent(47);
+    Rng child = parent.split();
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (parent() == child())
+            ++equal;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+} // namespace
+} // namespace vaq

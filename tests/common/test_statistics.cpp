@@ -1,0 +1,143 @@
+#include "common/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace vaq
+{
+namespace
+{
+
+TEST(RunningStats, EmptyDefaults)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_THROW(s.min(), VaqError);
+    EXPECT_THROW(s.max(), VaqError);
+}
+
+TEST(RunningStats, SingleSample)
+{
+    RunningStats s;
+    s.add(4.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 4.5);
+    EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(RunningStats, KnownBatch)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance of this classic batch is 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential)
+{
+    Rng rng(3);
+    RunningStats whole, partA, partB;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.gauss(3.0, 1.5);
+        whole.add(x);
+        (i % 2 == 0 ? partA : partB).add(x);
+    }
+    partA.merge(partB);
+    EXPECT_EQ(partA.count(), whole.count());
+    EXPECT_NEAR(partA.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(partA.variance(), whole.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(partA.min(), whole.min());
+    EXPECT_DOUBLE_EQ(partA.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity)
+{
+    RunningStats a, empty;
+    a.add(1.0);
+    a.add(2.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+
+    RunningStats b;
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Statistics, MeanBasics)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_THROW(mean({}), VaqError);
+}
+
+TEST(Statistics, StddevMatchesRunningStats)
+{
+    const std::vector<double> xs{1.0, 3.0, 5.0, 7.0};
+    RunningStats s;
+    for (double x : xs)
+        s.add(x);
+    EXPECT_NEAR(stddev(xs), s.stddev(), 1e-12);
+}
+
+TEST(Statistics, StddevDegenerate)
+{
+    EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+}
+
+TEST(Statistics, GeomeanKnownValues)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    // The paper's Table 3: geomean of the relative benefits.
+    EXPECT_NEAR(geomean({1.22, 1.09, 1.90, 1.35}),
+                std::pow(1.22 * 1.09 * 1.90 * 1.35, 0.25), 1e-12);
+}
+
+TEST(Statistics, GeomeanRejectsBadInput)
+{
+    EXPECT_THROW(geomean({}), VaqError);
+    EXPECT_THROW(geomean({1.0, 0.0}), VaqError);
+    EXPECT_THROW(geomean({1.0, -2.0}), VaqError);
+}
+
+TEST(Statistics, PercentileInterpolates)
+{
+    const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+}
+
+TEST(Statistics, PercentileValidation)
+{
+    EXPECT_THROW(percentile({}, 50.0), VaqError);
+    EXPECT_THROW(percentile({1.0}, -1.0), VaqError);
+    EXPECT_THROW(percentile({1.0}, 101.0), VaqError);
+    EXPECT_DOUBLE_EQ(percentile({3.0}, 50.0), 3.0);
+}
+
+TEST(Statistics, CoefficientOfVariation)
+{
+    // CoV matches the two-qubit error stats from the paper's
+    // Section 3.3: mean 4.3 %, sigma 3.02 % -> CoV ~= 0.70.
+    const std::vector<double> sample{0.013, 0.043, 0.073};
+    EXPECT_NEAR(coefficientOfVariation(sample), 0.03 / 0.043,
+                1e-9);
+    EXPECT_THROW(coefficientOfVariation({0.0, 0.0}), VaqError);
+}
+
+} // namespace
+} // namespace vaq

@@ -1,0 +1,88 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace vaq
+{
+namespace
+{
+
+TEST(Strings, TrimVariants)
+{
+    EXPECT_EQ(trim("  hello  "), "hello");
+    EXPECT_EQ(trim("\t\nx\r "), "x");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("nospace"), "nospace");
+}
+
+TEST(Strings, SplitBasics)
+{
+    const auto parts = split("a,b,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitPreservesEmptyFields)
+{
+    const auto parts = split("a,,c,", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitSingleField)
+{
+    const auto parts = split("alone", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "alone");
+}
+
+TEST(Strings, StartsWith)
+{
+    EXPECT_TRUE(startsWith("qreg q[5];", "qreg"));
+    EXPECT_FALSE(startsWith("qreg", "qregister"));
+    EXPECT_TRUE(startsWith("anything", ""));
+}
+
+TEST(Strings, FormatDouble)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(0.5, 4), "0.5000");
+    EXPECT_EQ(formatDouble(-1.0, 0), "-1");
+}
+
+TEST(Strings, ParseDoubleHappyPath)
+{
+    EXPECT_DOUBLE_EQ(parseDouble("3.5"), 3.5);
+    EXPECT_DOUBLE_EQ(parseDouble("  -0.25 "), -0.25);
+    EXPECT_DOUBLE_EQ(parseDouble("1e-3"), 0.001);
+}
+
+TEST(Strings, ParseDoubleRejectsGarbage)
+{
+    EXPECT_THROW(parseDouble(""), VaqError);
+    EXPECT_THROW(parseDouble("abc"), VaqError);
+    EXPECT_THROW(parseDouble("1.5x"), VaqError);
+}
+
+TEST(Strings, ParseSizeHappyPath)
+{
+    EXPECT_EQ(parseSize("42"), 42u);
+    EXPECT_EQ(parseSize(" 7 "), 7u);
+    EXPECT_EQ(parseSize("0"), 0u);
+}
+
+TEST(Strings, ParseSizeRejectsGarbage)
+{
+    EXPECT_THROW(parseSize(""), VaqError);
+    EXPECT_THROW(parseSize("-3"), VaqError);
+    EXPECT_THROW(parseSize("12.5"), VaqError);
+    EXPECT_THROW(parseSize("x"), VaqError);
+}
+
+} // namespace
+} // namespace vaq

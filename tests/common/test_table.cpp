@@ -1,0 +1,73 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace vaq
+{
+namespace
+{
+
+TEST(TextTable, RequiresColumns)
+{
+    EXPECT_THROW(TextTable({}), VaqError);
+}
+
+TEST(TextTable, RowArityChecked)
+{
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), VaqError);
+    EXPECT_NO_THROW(t.addRow({"1", "2"}));
+    EXPECT_EQ(t.rowCount(), 1u);
+}
+
+TEST(TextTable, RenderAlignsColumns)
+{
+    TextTable t({"Benchmark", "PST"});
+    t.addRow({"bv-16", "0.29"});
+    t.addRow({"qft-14", "0.0001"});
+    const std::string text = t.render();
+    EXPECT_NE(text.find("Benchmark"), std::string::npos);
+    EXPECT_NE(text.find("bv-16"), std::string::npos);
+    EXPECT_NE(text.find("---"), std::string::npos);
+    // Header and rows occupy separate lines.
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+TEST(TextTable, CsvEscapesSpecialCharacters)
+{
+    TextTable t({"name", "note"});
+    t.addRow({"a,b", "say \"hi\""});
+    const std::string csv = t.renderCsv();
+    EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+    EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TextTable, CsvRoundStructure)
+{
+    TextTable t({"x", "y"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.renderCsv(), "x,y\n1,2\n");
+}
+
+TEST(WriteFile, WritesAndFails)
+{
+    const std::string path = "/tmp/vaq_table_test.txt";
+    writeFile(path, "hello");
+    std::ifstream in(path);
+    std::string content;
+    std::getline(in, content);
+    EXPECT_EQ(content, "hello");
+    std::remove(path.c_str());
+
+    EXPECT_THROW(writeFile("/nonexistent-dir/x.txt", "y"),
+                 VaqError);
+}
+
+} // namespace
+} // namespace vaq

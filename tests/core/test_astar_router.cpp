@@ -1,0 +1,154 @@
+#include "core/astar_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "test_support.hpp"
+#include "topology/layouts.hpp"
+
+namespace vaq::core
+{
+namespace
+{
+
+/** Apply a swap sequence to a copy of the layout. */
+Layout
+applied(Layout layout, const SwapSequence &swaps)
+{
+    for (const auto &[u, v] : swaps)
+        layout.applySwap(u, v);
+    return layout;
+}
+
+TEST(AstarRouter, AlreadyAdjacentUniformCostIsEmpty)
+{
+    const auto line = topology::linear(4);
+    const SwapCountCost cost(line);
+    const MovementPlanner planner(line, cost);
+    const Layout layout = Layout::identity(4, 4);
+    const auto swaps = planLayerSwaps(line, cost, planner, layout,
+                                      {{0, 1}}, 10000);
+    ASSERT_TRUE(swaps.has_value());
+    EXPECT_TRUE(swaps->empty());
+}
+
+TEST(AstarRouter, SingleGateUsesMinimalSwaps)
+{
+    const auto line = topology::linear(5);
+    const SwapCountCost cost(line);
+    const MovementPlanner planner(line, cost);
+    const Layout layout = Layout::identity(5, 5);
+    const auto swaps = planLayerSwaps(line, cost, planner, layout,
+                                      {{0, 4}}, 100000);
+    ASSERT_TRUE(swaps.has_value());
+    EXPECT_EQ(swaps->size(), 3u);
+    const Layout result = applied(layout, *swaps);
+    EXPECT_TRUE(line.coupled(result.phys(0), result.phys(4)));
+}
+
+TEST(AstarRouter, GoalMakesEveryPairAdjacent)
+{
+    const auto q20 = topology::ibmQ20Tokyo();
+    const SwapCountCost cost(q20);
+    const MovementPlanner planner(q20, cost);
+    const Layout layout = Layout::identity(20, 20);
+    const std::vector<ProgPair> pairs{{0, 19}, {4, 15}, {2, 13}};
+    const auto swaps = planLayerSwaps(q20, cost, planner, layout,
+                                      pairs, 200000);
+    ASSERT_TRUE(swaps.has_value());
+    const Layout result = applied(layout, *swaps);
+    for (const auto &[qa, qb] : pairs) {
+        EXPECT_TRUE(
+            q20.coupled(result.phys(qa), result.phys(qb)));
+    }
+}
+
+TEST(AstarRouter, EmittedSwapsAreRealLinks)
+{
+    const auto q20 = topology::ibmQ20Tokyo();
+    const SwapCountCost cost(q20);
+    const MovementPlanner planner(q20, cost);
+    const Layout layout = Layout::identity(20, 20);
+    const auto swaps = planLayerSwaps(q20, cost, planner, layout,
+                                      {{0, 14}}, 100000);
+    ASSERT_TRUE(swaps.has_value());
+    for (const auto &[u, v] : *swaps)
+        EXPECT_TRUE(q20.coupled(u, v));
+}
+
+TEST(AstarRouter, TinyBudgetReturnsNulloptOrPlan)
+{
+    const auto q20 = topology::ibmQ20Tokyo();
+    const SwapCountCost cost(q20);
+    const MovementPlanner planner(q20, cost);
+    const Layout layout = Layout::identity(20, 20);
+    const auto swaps = planLayerSwaps(q20, cost, planner, layout,
+                                      {{0, 19}, {5, 14}}, 3);
+    // With 3 expansions the search cannot finish; the fallback
+    // contract is "nullopt" (unless a goal was luckily found).
+    if (swaps.has_value()) {
+        const Layout result = applied(layout, *swaps);
+        EXPECT_TRUE(q20.coupled(result.phys(0), result.phys(19)));
+    } else {
+        SUCCEED();
+    }
+}
+
+TEST(AstarRouter, ReliabilityAvoidsWeakCorridor)
+{
+    // 2x3 grid; make the entire left column weak. Routing 0-5
+    // must prefer swaps on the strong right side.
+    const auto g = topology::grid(2, 3);
+    auto snap = test::uniformSnapshot(g, 0.02);
+    snap.setLinkError(g.linkIndex(0, 3), 0.30);
+    snap.setLinkError(g.linkIndex(0, 1), 0.30);
+    const ReliabilityCost cost(g, snap);
+    const MovementPlanner planner(g, cost);
+    const Layout layout = Layout::identity(6, 6);
+    const auto swaps = planLayerSwaps(g, cost, planner, layout,
+                                      {{0, 5}}, 100000);
+    ASSERT_TRUE(swaps.has_value());
+    for (const auto &[u, v] : *swaps) {
+        const bool weak01 = (u == 0 && v == 1) ||
+                            (u == 1 && v == 0);
+        const bool weak03 = (u == 0 && v == 3) ||
+                            (u == 3 && v == 0);
+        // Qubit 0 itself must move over *some* link, but the plan
+        // should use at most one weak hop, never both.
+        EXPECT_FALSE(weak01 && weak03);
+    }
+    const Layout result = applied(layout, *swaps);
+    EXPECT_TRUE(g.coupled(result.phys(0), result.phys(5)));
+}
+
+TEST(AstarRouter, UniformCostMatchesPlannerOnSinglePairs)
+{
+    const auto q20 = topology::ibmQ20Tokyo();
+    const SwapCountCost cost(q20);
+    const MovementPlanner planner(q20, cost);
+    const Layout layout = Layout::identity(20, 20);
+    for (const auto &pair :
+         std::vector<ProgPair>{{0, 19}, {3, 16}, {9, 10}}) {
+        const auto swaps = planLayerSwaps(
+            q20, cost, planner, layout, {pair}, 300000);
+        ASSERT_TRUE(swaps.has_value());
+        const auto plan =
+            planner.plan(layout.phys(pair.first),
+                         layout.phys(pair.second));
+        EXPECT_EQ(swaps->size(), plan.swaps.size());
+    }
+}
+
+TEST(AstarRouter, EmptyPairsRejected)
+{
+    const auto line = topology::linear(3);
+    const SwapCountCost cost(line);
+    const MovementPlanner planner(line, cost);
+    const Layout layout = Layout::identity(3, 3);
+    EXPECT_THROW(
+        planLayerSwaps(line, cost, planner, layout, {}, 100),
+        VaqError);
+}
+
+} // namespace
+} // namespace vaq::core

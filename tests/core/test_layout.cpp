@@ -1,0 +1,123 @@
+#include "core/layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace vaq::core
+{
+namespace
+{
+
+TEST(Layout, ConstructionValidation)
+{
+    EXPECT_THROW(Layout(0, 5), VaqError);
+    EXPECT_THROW(Layout(6, 5), VaqError);
+    EXPECT_NO_THROW(Layout(5, 5));
+}
+
+TEST(Layout, StartsEmpty)
+{
+    const Layout l(2, 4);
+    EXPECT_FALSE(l.isComplete());
+    EXPECT_EQ(l.prog(0), kFreeQubit);
+    EXPECT_THROW(l.phys(0), VaqError);
+}
+
+TEST(Layout, AssignAndLookup)
+{
+    Layout l(2, 4);
+    l.assign(0, 3);
+    l.assign(1, 1);
+    EXPECT_TRUE(l.isComplete());
+    EXPECT_EQ(l.phys(0), 3);
+    EXPECT_EQ(l.phys(1), 1);
+    EXPECT_EQ(l.prog(3), 0);
+    EXPECT_EQ(l.prog(1), 1);
+    EXPECT_EQ(l.prog(0), kFreeQubit);
+}
+
+TEST(Layout, DoubleAssignmentRejected)
+{
+    Layout l(2, 4);
+    l.assign(0, 3);
+    EXPECT_THROW(l.assign(0, 2), VaqError); // prog already placed
+    EXPECT_THROW(l.assign(1, 3), VaqError); // phys occupied
+}
+
+TEST(Layout, BoundsChecked)
+{
+    Layout l(2, 4);
+    EXPECT_THROW(l.assign(-1, 0), VaqError);
+    EXPECT_THROW(l.assign(2, 0), VaqError);
+    EXPECT_THROW(l.assign(0, 4), VaqError);
+    EXPECT_THROW(l.prog(9), VaqError);
+}
+
+TEST(Layout, IdentityFactory)
+{
+    const Layout l = Layout::identity(3, 5);
+    for (int q = 0; q < 3; ++q) {
+        EXPECT_EQ(l.phys(q), q);
+        EXPECT_EQ(l.prog(q), q);
+    }
+    EXPECT_EQ(l.prog(4), kFreeQubit);
+}
+
+TEST(Layout, SwapMovesOccupants)
+{
+    Layout l = Layout::identity(2, 4);
+    l.applySwap(0, 3); // prog 0 moves to free qubit 3
+    EXPECT_EQ(l.phys(0), 3);
+    EXPECT_EQ(l.prog(0), kFreeQubit);
+    EXPECT_EQ(l.prog(3), 0);
+
+    l.applySwap(1, 3); // progs 1 and 0 exchange
+    EXPECT_EQ(l.phys(0), 1);
+    EXPECT_EQ(l.phys(1), 3);
+}
+
+TEST(Layout, SwapOfTwoFreeQubitsIsNoop)
+{
+    Layout l = Layout::identity(1, 4);
+    l.applySwap(2, 3);
+    EXPECT_EQ(l.prog(2), kFreeQubit);
+    EXPECT_EQ(l.prog(3), kFreeQubit);
+    EXPECT_EQ(l.phys(0), 0);
+}
+
+TEST(Layout, SwapValidation)
+{
+    Layout l = Layout::identity(2, 4);
+    EXPECT_THROW(l.applySwap(1, 1), VaqError);
+    EXPECT_THROW(l.applySwap(0, 7), VaqError);
+}
+
+TEST(Layout, ProgToPhysRequiresComplete)
+{
+    Layout l(2, 4);
+    EXPECT_THROW(l.progToPhys(), VaqError);
+    l.assign(0, 0);
+    l.assign(1, 2);
+    EXPECT_EQ(l.progToPhys(), (std::vector<int>{0, 2}));
+}
+
+TEST(Layout, SwapsPreserveBijectivity)
+{
+    Layout l = Layout::identity(3, 6);
+    const int sequence[][2] = {{0, 1}, {1, 4}, {4, 5}, {2, 1},
+                               {3, 0}, {5, 2}};
+    for (const auto &s : sequence)
+        l.applySwap(s[0], s[1]);
+    // Every program qubit findable, every phys slot consistent.
+    std::vector<bool> seen(6, false);
+    for (int q = 0; q < 3; ++q) {
+        const int p = l.phys(q);
+        EXPECT_EQ(l.prog(p), q);
+        EXPECT_FALSE(seen[static_cast<std::size_t>(p)]);
+        seen[static_cast<std::size_t>(p)] = true;
+    }
+}
+
+} // namespace
+} // namespace vaq::core

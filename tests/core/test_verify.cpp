@@ -1,0 +1,166 @@
+#include "core/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/mapper.hpp"
+#include "test_support.hpp"
+#include "topology/layouts.hpp"
+#include "workloads/workloads.hpp"
+
+namespace vaq::core
+{
+namespace
+{
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+
+class VerifyTest : public ::testing::Test
+{
+  protected:
+    VerifyTest()
+        : graph(topology::ibmQ5Tenerife()), rng(55),
+          snap(test::randomSnapshot(graph, rng))
+    {}
+
+    topology::CouplingGraph graph;
+    Rng rng;
+    calibration::Snapshot snap;
+};
+
+TEST_F(VerifyTest, AcceptsEveryMapperOutput)
+{
+    const auto programs = {workloads::bernsteinVazirani(4),
+                           workloads::ghz(5),
+                           workloads::triSwap(),
+                           workloads::grover(3, 5)};
+    for (const Circuit &logical : programs) {
+        for (const Mapper &mapper :
+             {makeRandomizedMapper(9), makeBaselineMapper(),
+              makeVqmMapper(), makeVqaVqmMapper()}) {
+            const auto mapped =
+                mapper.map(logical, graph, snap);
+            const auto report =
+                verifyMapping(mapped, logical, graph);
+            EXPECT_TRUE(report.ok())
+                << mapper.name() << ": " << report.failure;
+            EXPECT_TRUE(report.semanticsChecked);
+            EXPECT_LT(report.distributionDistance, 1e-9);
+        }
+    }
+}
+
+TEST_F(VerifyTest, DetectsUnroutedGate)
+{
+    const auto ghz = workloads::ghz(3);
+    MappedCircuit bad(3, 5);
+    bad.initial = Layout::identity(3, 5);
+    bad.final = bad.initial;
+    bad.physical.h(0);
+    bad.physical.cx(0, 3); // uncoupled on Tenerife
+    const auto report = verifyMapping(bad, ghz, graph);
+    EXPECT_FALSE(report.ok());
+    EXPECT_FALSE(report.executable);
+    EXPECT_NE(report.failure.find("uncoupled"),
+              std::string::npos);
+}
+
+TEST_F(VerifyTest, DetectsDroppedGate)
+{
+    const auto ghz = workloads::ghz(3);
+    const auto mapped =
+        makeBaselineMapper().map(ghz, graph, snap);
+    MappedCircuit truncated = mapped;
+    // Rebuild the physical circuit without its last gate.
+    Circuit shorter(mapped.physical.numQubits());
+    const auto &gates = mapped.physical.gates();
+    for (std::size_t i = 0; i + 1 < gates.size(); ++i)
+        shorter.append(gates[i]);
+    truncated.physical = shorter;
+    const auto report = verifyMapping(truncated, ghz, graph);
+    EXPECT_FALSE(report.ok());
+    EXPECT_FALSE(report.gatesPreserved);
+}
+
+TEST_F(VerifyTest, DetectsWrongOperand)
+{
+    Circuit logical(2);
+    logical.h(0).cx(0, 1);
+
+    MappedCircuit bad(2, 5);
+    bad.initial = Layout::identity(2, 5);
+    bad.final = bad.initial;
+    bad.physical.h(1); // wrong qubit: program qubit 0 is at 0
+    bad.physical.cx(0, 1);
+    const auto report = verifyMapping(bad, logical, graph);
+    EXPECT_FALSE(report.ok());
+    EXPECT_FALSE(report.gatesPreserved);
+    EXPECT_FALSE(report.failure.empty());
+}
+
+TEST_F(VerifyTest, DetectsWrongFinalLayout)
+{
+    const auto ghz = workloads::ghz(3);
+    MappedCircuit mapped =
+        makeBaselineMapper().map(ghz, graph, snap);
+    // Corrupt the recorded final layout.
+    Layout wrong(3, 5);
+    wrong.assign(0, 4);
+    wrong.assign(1, 3);
+    wrong.assign(2, 0);
+    if (wrong.phys(0) == mapped.final.phys(0) &&
+        wrong.phys(1) == mapped.final.phys(1)) {
+        GTEST_SKIP() << "corruption coincided with truth";
+    }
+    mapped.final = wrong;
+    const auto report = verifyMapping(mapped, ghz, graph);
+    EXPECT_FALSE(report.ok());
+}
+
+TEST_F(VerifyTest, DetectsExtraGate)
+{
+    Circuit logical(2);
+    logical.cx(0, 1);
+    MappedCircuit bad(2, 5);
+    bad.initial = Layout::identity(2, 5);
+    bad.final = bad.initial;
+    bad.physical.cx(0, 1);
+    bad.physical.h(0); // not in the program
+    const auto report = verifyMapping(bad, logical, graph);
+    EXPECT_FALSE(report.ok());
+    EXPECT_FALSE(report.gatesPreserved);
+    EXPECT_FALSE(report.failure.empty());
+}
+
+TEST_F(VerifyTest, ProgramSwapsAreNotConfusedWithRouting)
+{
+    // TriSwap contains *program* SWAPs; the verifier must match
+    // them against logical gates, not treat them as routing.
+    const auto tri = workloads::triSwap();
+    const auto mapped =
+        makeVqaVqmMapper().map(tri, graph, snap);
+    const auto report = verifyMapping(mapped, tri, graph);
+    EXPECT_TRUE(report.ok()) << report.failure;
+}
+
+TEST_F(VerifyTest, WideMachineSkipsSemantics)
+{
+    const auto q20 = topology::ibmQ20Tokyo();
+    Rng rng2(56);
+    const auto snap20 = test::randomSnapshot(q20, rng2);
+    const auto bv = workloads::bernsteinVazirani(10);
+    const auto mapped =
+        makeBaselineMapper().map(bv, q20, snap20);
+    const auto report = verifyMapping(mapped, bv, q20, 16);
+    EXPECT_TRUE(report.ok()) << report.failure;
+    EXPECT_FALSE(report.semanticsChecked);
+
+    const auto full = verifyMapping(mapped, bv, q20, 20);
+    EXPECT_TRUE(full.semanticsChecked);
+    EXPECT_TRUE(full.ok()) << full.failure;
+}
+
+} // namespace
+} // namespace vaq::core

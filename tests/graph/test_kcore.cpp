@@ -1,0 +1,142 @@
+#include "graph/kcore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace vaq::graph
+{
+namespace
+{
+
+WeightedGraph
+unitTriangleWithTail()
+{
+    // Triangle 0-1-2 plus tail 2-3-4.
+    return WeightedGraph(5, {{0, 1, 1.0},
+                             {1, 2, 1.0},
+                             {0, 2, 1.0},
+                             {2, 3, 1.0},
+                             {3, 4, 1.0}});
+}
+
+TEST(KCore, TriangleWithTail)
+{
+    const auto core = coreNumbers(unitTriangleWithTail());
+    EXPECT_EQ(core[0], 2);
+    EXPECT_EQ(core[1], 2);
+    EXPECT_EQ(core[2], 2);
+    EXPECT_EQ(core[3], 1);
+    EXPECT_EQ(core[4], 1);
+}
+
+TEST(KCore, DegeneracyOfClique)
+{
+    std::vector<WeightedEdge> edges;
+    for (int a = 0; a < 5; ++a) {
+        for (int b = a + 1; b < 5; ++b)
+            edges.push_back({a, b, 1.0});
+    }
+    EXPECT_EQ(degeneracy(WeightedGraph(5, edges)), 4);
+}
+
+TEST(KCore, PathGraphIsOneDegenerate)
+{
+    const WeightedGraph g(4,
+                          {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}});
+    EXPECT_EQ(degeneracy(g), 1);
+}
+
+TEST(KCore, KCoreMembership)
+{
+    const auto members = kCore(unitTriangleWithTail(), 2);
+    EXPECT_EQ(members, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(kCore(unitTriangleWithTail(), 3).size(), 0u);
+    EXPECT_EQ(kCore(unitTriangleWithTail(), 0).size(), 5u);
+    EXPECT_THROW(kCore(unitTriangleWithTail(), -1), VaqError);
+}
+
+TEST(KCore, CoreNumbersNeverExceedDegree)
+{
+    Rng rng(7);
+    std::vector<WeightedEdge> edges;
+    for (int a = 0; a < 15; ++a) {
+        for (int b = a + 1; b < 15; ++b) {
+            if (rng.bernoulli(0.3))
+                edges.push_back({a, b, 1.0});
+        }
+    }
+    const WeightedGraph g(15, edges);
+    const auto core = coreNumbers(g);
+    for (int v = 0; v < g.numNodes(); ++v) {
+        EXPECT_LE(core[static_cast<std::size_t>(v)],
+                  static_cast<int>(g.degree(v)));
+    }
+}
+
+TEST(KCore, KCoreInducedMinDegreeProperty)
+{
+    // Every member of the k-core has >= k neighbours inside it.
+    Rng rng(8);
+    std::vector<WeightedEdge> edges;
+    for (int a = 0; a < 12; ++a) {
+        for (int b = a + 1; b < 12; ++b) {
+            if (rng.bernoulli(0.4))
+                edges.push_back({a, b, 1.0});
+        }
+    }
+    const WeightedGraph g(12, edges);
+    const int k = degeneracy(g);
+    const auto members = kCore(g, k);
+    ASSERT_FALSE(members.empty());
+    for (int v : members) {
+        int inside = 0;
+        for (const auto &[u, w] : g.neighbors(v)) {
+            (void)w;
+            if (std::find(members.begin(), members.end(), u) !=
+                members.end()) {
+                ++inside;
+            }
+        }
+        EXPECT_GE(inside, k);
+    }
+}
+
+TEST(StrengthCore, PrunesWeakestFirst)
+{
+    // Node 3 hangs on a weak link and should be shed first.
+    const WeightedGraph g(4, {{0, 1, 0.9},
+                              {1, 2, 0.9},
+                              {0, 2, 0.9},
+                              {2, 3, 0.1}});
+    EXPECT_EQ(strengthCore(g, 3), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(StrengthCore, KeepAllReturnsEverything)
+{
+    const WeightedGraph g(3, {{0, 1, 0.5}, {1, 2, 0.5}});
+    EXPECT_EQ(strengthCore(g, 3), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(StrengthCore, Validation)
+{
+    const WeightedGraph g(3, {{0, 1, 0.5}});
+    EXPECT_THROW(strengthCore(g, 0), VaqError);
+    EXPECT_THROW(strengthCore(g, 4), VaqError);
+}
+
+TEST(StrengthCore, StrengthUpdatesDuringPruning)
+{
+    // 0-1 strong; 2 connects strongly to 3 only; when 3 (weakest
+    // total) goes, 2 loses its support and goes next.
+    const WeightedGraph g(4, {{0, 1, 2.0},
+                              {1, 2, 0.4},
+                              {2, 3, 0.5}});
+    EXPECT_EQ(strengthCore(g, 2), (std::vector<int>{0, 1}));
+}
+
+} // namespace
+} // namespace vaq::graph

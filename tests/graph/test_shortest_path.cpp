@@ -1,0 +1,171 @@
+#include "graph/shortest_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace vaq::graph
+{
+namespace
+{
+
+WeightedGraph
+randomGraph(int n, double edge_prob, Rng &rng)
+{
+    std::vector<WeightedEdge> edges;
+    for (int a = 0; a < n; ++a) {
+        for (int b = a + 1; b < n; ++b) {
+            if (rng.bernoulli(edge_prob))
+                edges.push_back({a, b, rng.uniform(0.1, 5.0)});
+        }
+    }
+    return WeightedGraph(n, edges);
+}
+
+/** Bellman-Ford as the brute-force oracle. */
+std::vector<double>
+bellmanFord(const WeightedGraph &g, int src)
+{
+    std::vector<double> dist(
+        static_cast<std::size_t>(g.numNodes()), kUnreachable);
+    dist[static_cast<std::size_t>(src)] = 0.0;
+    for (int iter = 0; iter < g.numNodes(); ++iter) {
+        for (const WeightedEdge &e : g.edges()) {
+            const auto a = static_cast<std::size_t>(e.a);
+            const auto b = static_cast<std::size_t>(e.b);
+            if (dist[a] + e.weight < dist[b])
+                dist[b] = dist[a] + e.weight;
+            if (dist[b] + e.weight < dist[a])
+                dist[a] = dist[b] + e.weight;
+        }
+    }
+    return dist;
+}
+
+TEST(Dijkstra, LineGraphDistances)
+{
+    const WeightedGraph g(4,
+                          {{0, 1, 1.0}, {1, 2, 2.0}, {2, 3, 4.0}});
+    const ShortestPathTree tree = dijkstra(g, 0);
+    EXPECT_DOUBLE_EQ(tree.dist[0], 0.0);
+    EXPECT_DOUBLE_EQ(tree.dist[1], 1.0);
+    EXPECT_DOUBLE_EQ(tree.dist[2], 3.0);
+    EXPECT_DOUBLE_EQ(tree.dist[3], 7.0);
+}
+
+TEST(Dijkstra, PicksCheaperLongerPath)
+{
+    // Direct edge 0-2 costs 10; the detour via 1 costs 3.
+    const WeightedGraph g(3,
+                          {{0, 2, 10.0}, {0, 1, 1.0}, {1, 2, 2.0}});
+    const ShortestPathTree tree = dijkstra(g, 0);
+    EXPECT_DOUBLE_EQ(tree.dist[2], 3.0);
+    EXPECT_EQ(tree.pathTo(2), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Dijkstra, UnreachableNodes)
+{
+    const WeightedGraph g(4, {{0, 1, 1.0}, {2, 3, 1.0}});
+    const ShortestPathTree tree = dijkstra(g, 0);
+    EXPECT_EQ(tree.dist[2], kUnreachable);
+    EXPECT_THROW(tree.pathTo(2), VaqError);
+}
+
+TEST(Dijkstra, PathToSourceIsTrivial)
+{
+    const WeightedGraph g(2, {{0, 1, 1.0}});
+    const ShortestPathTree tree = dijkstra(g, 1);
+    EXPECT_EQ(tree.pathTo(1), (std::vector<int>{1}));
+}
+
+TEST(Dijkstra, RejectsNegativeWeights)
+{
+    const WeightedGraph g(2, {{0, 1, -1.0}});
+    EXPECT_THROW(dijkstra(g, 0), VaqError);
+}
+
+TEST(Dijkstra, SourceValidation)
+{
+    const WeightedGraph g(2, {{0, 1, 1.0}});
+    EXPECT_THROW(dijkstra(g, -1), VaqError);
+    EXPECT_THROW(dijkstra(g, 2), VaqError);
+}
+
+TEST(Dijkstra, MatchesBellmanFordOnRandomGraphs)
+{
+    Rng rng(101);
+    for (int trial = 0; trial < 25; ++trial) {
+        const WeightedGraph g = randomGraph(12, 0.3, rng);
+        for (int src = 0; src < g.numNodes(); ++src) {
+            const auto expected = bellmanFord(g, src);
+            const auto actual = dijkstra(g, src).dist;
+            for (std::size_t v = 0; v < expected.size(); ++v) {
+                if (expected[v] == kUnreachable)
+                    EXPECT_EQ(actual[v], kUnreachable);
+                else
+                    EXPECT_NEAR(actual[v], expected[v], 1e-9);
+            }
+        }
+    }
+}
+
+TEST(Dijkstra, PathEdgesExistAndSumToDistance)
+{
+    Rng rng(102);
+    const WeightedGraph g = randomGraph(10, 0.4, rng);
+    const ShortestPathTree tree = dijkstra(g, 0);
+    for (int dst = 0; dst < g.numNodes(); ++dst) {
+        if (tree.dist[static_cast<std::size_t>(dst)] ==
+            kUnreachable) {
+            continue;
+        }
+        const auto path = tree.pathTo(dst);
+        double total = 0.0;
+        for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+            ASSERT_TRUE(g.hasEdge(path[i], path[i + 1]));
+            total += g.weight(path[i], path[i + 1]);
+        }
+        EXPECT_NEAR(total,
+                    tree.dist[static_cast<std::size_t>(dst)],
+                    1e-9);
+    }
+}
+
+TEST(AllPairs, SymmetricAndConsistent)
+{
+    Rng rng(103);
+    const WeightedGraph g = randomGraph(9, 0.4, rng);
+    const auto all = allPairsDistances(g);
+    for (int a = 0; a < g.numNodes(); ++a) {
+        EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(a)]
+                            [static_cast<std::size_t>(a)],
+                         0.0);
+        for (int b = 0; b < g.numNodes(); ++b) {
+            EXPECT_NEAR(all[static_cast<std::size_t>(a)]
+                           [static_cast<std::size_t>(b)],
+                        all[static_cast<std::size_t>(b)]
+                           [static_cast<std::size_t>(a)],
+                        1e-9);
+        }
+    }
+}
+
+TEST(Dijkstra, MinusLogTurnsProductsIntoSums)
+{
+    // The reliability-routing trick: with weights -log(p), the
+    // shortest path maximizes the product of link successes.
+    const double p01 = 0.98, p12 = 0.97, p02 = 0.90;
+    const WeightedGraph g(3, {{0, 1, -std::log(p01)},
+                              {1, 2, -std::log(p12)},
+                              {0, 2, -std::log(p02)}});
+    const ShortestPathTree tree = dijkstra(g, 0);
+    // Detour success 0.9506 > direct 0.90, so detour wins.
+    EXPECT_EQ(tree.pathTo(2), (std::vector<int>{0, 1, 2}));
+    EXPECT_NEAR(std::exp(-tree.dist[2]), p01 * p12, 1e-12);
+}
+
+} // namespace
+} // namespace vaq::graph

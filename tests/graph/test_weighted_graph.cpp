@@ -1,0 +1,60 @@
+#include "graph/weighted_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace vaq::graph
+{
+namespace
+{
+
+TEST(WeightedGraph, ConstructionValidation)
+{
+    EXPECT_THROW(WeightedGraph(0, {}), VaqError);
+    EXPECT_THROW(WeightedGraph(2, {{0, 0, 1.0}}), VaqError);
+    EXPECT_THROW(WeightedGraph(2, {{0, 1, 1.0}, {1, 0, 2.0}}),
+                 VaqError);
+    EXPECT_THROW(WeightedGraph(2, {{0, 5, 1.0}}), VaqError);
+}
+
+TEST(WeightedGraph, EdgeLookup)
+{
+    const WeightedGraph g(3, {{0, 1, 0.5}, {1, 2, 0.25}});
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_TRUE(g.hasEdge(1, 0));
+    EXPECT_FALSE(g.hasEdge(0, 2));
+    EXPECT_DOUBLE_EQ(g.weight(0, 1), 0.5);
+    EXPECT_DOUBLE_EQ(g.weight(2, 1), 0.25);
+    EXPECT_THROW(g.weight(0, 2), VaqError);
+}
+
+TEST(WeightedGraph, NodeStrengthIsWeightedDegree)
+{
+    // Node strength d_i = sum_j w_ij (paper Algorithm 1, step 2).
+    const WeightedGraph g(3,
+                          {{0, 1, 0.9}, {1, 2, 0.8}, {0, 2, 0.7}});
+    EXPECT_DOUBLE_EQ(g.nodeStrength(0), 1.6);
+    EXPECT_DOUBLE_EQ(g.nodeStrength(1), 1.7);
+    EXPECT_DOUBLE_EQ(g.nodeStrength(2), 1.5);
+    const auto all = g.nodeStrengths();
+    EXPECT_DOUBLE_EQ(all[1], 1.7);
+}
+
+TEST(WeightedGraph, IsolatedNodeHasZeroStrength)
+{
+    const WeightedGraph g(3, {{0, 1, 1.0}});
+    EXPECT_DOUBLE_EQ(g.nodeStrength(2), 0.0);
+    EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(WeightedGraph, EdgesCanonicalized)
+{
+    const WeightedGraph g(3, {{2, 0, 0.3}});
+    EXPECT_EQ(g.edges()[0].a, 0);
+    EXPECT_EQ(g.edges()[0].b, 2);
+    EXPECT_EQ(g.edgeCount(), 1u);
+}
+
+} // namespace
+} // namespace vaq::graph

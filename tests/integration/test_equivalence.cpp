@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The deepest correctness property in the repository: compiling a
+ * circuit for a machine must not change its semantics. We execute
+ * the mapped physical circuit exactly (state vector) and compare the
+ * program-qubit output distribution, read through the final layout,
+ * against the logical circuit's distribution.
+ */
+#include <gtest/gtest.h>
+
+#include "core/mapper.hpp"
+#include "common/rng.hpp"
+#include "test_support.hpp"
+#include "topology/layouts.hpp"
+#include "workloads/workloads.hpp"
+
+namespace vaq
+{
+namespace
+{
+
+using core::Mapper;
+
+struct EquivalenceCase
+{
+    std::string mapperName;
+    std::string machine;
+};
+
+Mapper
+mapperByName(const std::string &name)
+{
+    if (name == "ibm-native")
+        return core::makeRandomizedMapper(11);
+    if (name == "baseline")
+        return core::makeBaselineMapper();
+    if (name == "vqm")
+        return core::makeVqmMapper();
+    if (name == "vqm-mah4")
+        return core::makeVqmMapper(4);
+    if (name == "vqa")
+        return core::makeVqaMapper();
+    return core::makeVqaVqmMapper();
+}
+
+topology::CouplingGraph
+machineByName(const std::string &name)
+{
+    if (name == "q5")
+        return topology::ibmQ5Tenerife();
+    if (name == "grid23")
+        return topology::grid(2, 3);
+    if (name == "line7")
+        return topology::linear(7);
+    return topology::ring(6);
+}
+
+class MappingEquivalence
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, std::string>>
+{
+};
+
+TEST_P(MappingEquivalence, RandomCircuitsPreserveSemantics)
+{
+    const auto [mapperName, machineName] = GetParam();
+    const Mapper mapper = mapperByName(mapperName);
+    const topology::CouplingGraph graph =
+        machineByName(machineName);
+
+    Rng rng(97);
+    for (int trial = 0; trial < 6; ++trial) {
+        const auto snap = test::randomSnapshot(graph, rng);
+        const int width =
+            2 + static_cast<int>(rng.uniformInt(
+                    static_cast<std::uint64_t>(
+                        graph.numQubits() - 1)));
+        const circuit::Circuit logical =
+            test::randomCircuit(width, 40, rng);
+
+        const core::MappedCircuit mapped =
+            mapper.map(logical, graph, snap);
+        const auto expected = test::logicalDistribution(logical);
+        const auto actual =
+            test::mappedProgramDistribution(mapped);
+        EXPECT_LT(test::distributionDistance(expected, actual),
+                  1e-9)
+            << mapperName << " on " << machineName << " trial "
+            << trial;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, MappingEquivalence,
+    ::testing::Combine(
+        ::testing::Values("ibm-native", "baseline", "vqm",
+                          "vqm-mah4", "vqa", "vqa+vqm"),
+        ::testing::Values("q5", "grid23", "line7", "ring6")),
+    [](const auto &info) {
+        std::string name = std::get<0>(info.param) + "_" +
+                           std::get<1>(info.param);
+        for (char &ch : name) {
+            if (ch == '-' || ch == '+')
+                ch = '_';
+        }
+        return name;
+    });
+
+TEST(MappingEquivalenceQ20, PaperWorkloadsPreserveSemantics)
+{
+    // Heavier check on the real target machine with the actual
+    // benchmark circuits (kept to <= 14 qubits so the 2^20-state
+    // simulation stays fast).
+    const auto q20 = topology::ibmQ20Tokyo();
+    Rng rng(98);
+    const auto snap = test::randomSnapshot(q20, rng);
+
+    const std::vector<circuit::Circuit> programs{
+        workloads::bernsteinVazirani(8),
+        workloads::ghz(6),
+        workloads::qft(5),
+        workloads::adder(2, 0b11, 0b01, false),
+        workloads::triSwap(),
+    };
+    const core::Mapper mapper = core::makeVqaVqmMapper();
+    for (const auto &logical : programs) {
+        const auto mapped = mapper.map(logical, q20, snap);
+        EXPECT_LT(test::distributionDistance(
+                      test::logicalDistribution(logical),
+                      test::mappedProgramDistribution(mapped)),
+                  1e-9);
+    }
+}
+
+} // namespace
+} // namespace vaq

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The paper's worked toy examples, reproduced exactly.
+ *
+ * Fig. 1 (b): on the 5-qubit machine, moving Q1 from A to C via
+ * A-B-C succeeds with probability 0.42 while the longer A-E-D-C
+ * route succeeds with 0.567, so VQM prefers the longer route.
+ * (The figure prices a SWAP at the link's single-operation success,
+ * so the route success is the plain product of link probabilities.)
+ *
+ * Fig. 15: on a 2x3 mesh, running two copies of a 3-CNOT program
+ * yields per-copy PSTs 0.12 and 0.32, while one strong copy
+ * achieves 0.53 — so two copies give only a 37.5 % rate increase
+ * over the better single copy, not 2x.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "calibration/snapshot.hpp"
+#include "graph/shortest_path.hpp"
+#include "sim/fault_sim.hpp"
+#include "topology/coupling_graph.hpp"
+
+namespace vaq
+{
+namespace
+{
+
+// Node labels of Fig. 1: A=0, B=1, C=2, D=3, E=4.
+constexpr int A = 0, B = 1, C = 2, D = 3, E = 4;
+
+graph::WeightedGraph
+figure1Graph()
+{
+    // Link success probabilities chosen by the paper such that
+    // A-B-C multiplies to 0.42 and A-E-D-C to 0.567.
+    auto w = [](double p) { return -std::log(p); };
+    return graph::WeightedGraph(5, {{A, B, w(0.6)},
+                                    {B, C, w(0.7)},
+                                    {C, D, w(0.7)},
+                                    {D, E, w(0.9)},
+                                    {E, A, w(0.9)}});
+}
+
+TEST(PaperFig1, RouteSuccessProbabilities)
+{
+    const auto g = figure1Graph();
+    // Direct product along each route.
+    const double shortRoute =
+        std::exp(-(g.weight(A, B) + g.weight(B, C)));
+    const double longRoute = std::exp(
+        -(g.weight(A, E) + g.weight(E, D) + g.weight(D, C)));
+    EXPECT_NEAR(shortRoute, 0.42, 1e-12);
+    EXPECT_NEAR(longRoute, 0.567, 1e-12);
+}
+
+TEST(PaperFig1, VqmPicksTheLongerRoute)
+{
+    // Reliability routing = shortest path under -log success:
+    // the 3-hop route beats the 2-hop route, exactly the paper's
+    // point.
+    const auto g = figure1Graph();
+    const auto tree = graph::dijkstra(g, A);
+    EXPECT_EQ(tree.pathTo(C), (std::vector<int>{A, E, D, C}));
+    EXPECT_NEAR(std::exp(-tree.dist[C]), 0.567, 1e-12);
+}
+
+// Fig. 15's 2x3 mesh: A=0 B=1 C=2 (top row), D=3 E=4 F=5.
+class PaperFig15 : public ::testing::Test
+{
+  protected:
+    PaperFig15()
+        : machine("fig15", 6,
+                  {{0, 1},
+                   {1, 2},
+                   {3, 4},
+                   {4, 5},
+                   {0, 3},
+                   {1, 4},
+                   {2, 5}}),
+          snap(machine)
+    {
+        // Perfect 1q gates/readout/coherence: the figure prices
+        // only the two-qubit operations.
+        for (int q = 0; q < 6; ++q) {
+            auto &cal = snap.qubit(q);
+            cal.error1q = 0.0;
+            cal.readoutError = 0.0;
+            cal.t1Us = 1e9;
+            cal.t2Us = 1e9;
+        }
+        // Fig. 15(a) link strengths: C-D (2-3... the figure's CD)
+        // does not exist on this mesh; the strong links are the
+        // D-E column pair region. Success probabilities:
+        auto setSuccess = [&](int a, int b, double p) {
+            snap.setLinkError(machine.linkIndex(a, b), 1.0 - p);
+        };
+        setSuccess(0, 1, 0.7); // A-B
+        setSuccess(1, 2, 0.7); // B-C
+        setSuccess(3, 4, 0.9); // D-E
+        setSuccess(4, 5, 0.7); // E-F
+        setSuccess(0, 3, 0.7); // A-D
+        setSuccess(1, 4, 0.9); // B-E
+        setSuccess(2, 5, 0.9); // C-F
+    }
+
+    double
+    pst(const circuit::Circuit &physical) const
+    {
+        const sim::NoiseModel model(machine, snap,
+                                    sim::CoherenceMode::None);
+        return sim::analyticPst(physical, model);
+    }
+
+    topology::CouplingGraph machine;
+    calibration::Snapshot snap;
+};
+
+TEST_F(PaperFig15, CopyXHasPst012)
+{
+    // Copy-X on {A, B, C}: Cx(A,B) Cx(B,C) SWAP(B,C) Cx(A,B),
+    // all on 0.7 links -> 0.7^6 ~= 0.12.
+    circuit::Circuit copyX(6);
+    copyX.cx(0, 1).cx(1, 2).swap(1, 2).cx(0, 1);
+    EXPECT_NEAR(pst(copyX), std::pow(0.7, 6), 1e-12);
+    EXPECT_NEAR(pst(copyX), 0.12, 0.003);
+}
+
+TEST_F(PaperFig15, CopyYHasPst032)
+{
+    // Copy-Y on {D, E, F}: Cx(D,E) 0.9, Cx(E,F) 0.7,
+    // SWAP(D,E) 0.9^3, Cx(E,F) 0.7 -> 0.3215.
+    circuit::Circuit copyY(6);
+    copyY.cx(3, 4).cx(4, 5).swap(3, 4).cx(4, 5);
+    EXPECT_NEAR(pst(copyY), 0.9 * 0.7 * std::pow(0.9, 3) * 0.7,
+                1e-12);
+    EXPECT_NEAR(pst(copyY), 0.32, 0.005);
+}
+
+TEST_F(PaperFig15, SingleStrongCopyHasPst053)
+{
+    // One strong copy on the 0.9 links: four two-qubit ops plus a
+    // SWAP, all at 0.9 -> 0.9^6 ~= 0.53.
+    circuit::Circuit single(6);
+    single.cx(3, 4).cx(1, 4).swap(3, 4).cx(1, 4);
+    EXPECT_NEAR(pst(single), std::pow(0.9, 6), 1e-12);
+    EXPECT_NEAR(pst(single), 0.53, 0.005);
+}
+
+TEST_F(PaperFig15, TwoCopiesGainOnly37Percent)
+{
+    // The paper's punchline: two copies give 0.44 successful
+    // trials per round vs 0.32 for the better copy alone — a
+    // 37.5 % increase, not 2x — while the single strong copy gets
+    // 0.53 in one slot.
+    const double x = std::pow(0.7, 6);
+    const double y = 0.9 * 0.7 * std::pow(0.9, 3) * 0.7;
+    const double combined = x + y;
+    EXPECT_NEAR(combined / y, 1.375, 0.02);
+    EXPECT_GT(std::pow(0.9, 6), y); // strong single beats copy-Y
+}
+
+} // namespace
+} // namespace vaq

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Pipeline fuzzing: random programs, random calibrations, every
+ * policy, several machines — every compilation must pass the full
+ * independent verifier (executability, layout consistency, gate
+ * preservation, and exact semantics where tractable).
+ */
+#include <gtest/gtest.h>
+
+#include "circuit/optimizer.hpp"
+#include "core/mapper.hpp"
+#include "core/verify.hpp"
+#include "common/rng.hpp"
+#include "test_support.hpp"
+#include "topology/layouts.hpp"
+
+namespace vaq
+{
+namespace
+{
+
+topology::CouplingGraph
+machineByIndex(int index)
+{
+    switch (index % 4) {
+      case 0: return topology::ibmQ5Tenerife();
+      case 1: return topology::grid(2, 4);
+      case 2: return topology::ring(7);
+      default: return topology::ibmFalcon27();
+    }
+}
+
+class PipelineFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PipelineFuzz, EveryCompilationVerifies)
+{
+    const int seed = GetParam();
+    Rng rng(static_cast<std::uint64_t>(seed) * 7919 + 1);
+    const topology::CouplingGraph graph = machineByIndex(seed);
+    const auto snap = test::randomSnapshot(graph, rng);
+
+    const int width =
+        2 + static_cast<int>(rng.uniformInt(std::uint64_t(
+                std::min(graph.numQubits(), 8) - 1)));
+    circuit::Circuit logical =
+        test::randomCircuit(width, 50, rng);
+    if (rng.bernoulli(0.5))
+        logical.barrier();
+    logical.measureAll();
+
+    for (const core::Mapper &mapper :
+         {core::makeRandomizedMapper(
+              static_cast<std::uint64_t>(seed)),
+          core::makeBaselineMapper(), core::makeVqmMapper(),
+          core::makeVqmMapper(2), core::makeVqaVqmMapper()}) {
+        const auto mapped = mapper.map(logical, graph, snap);
+        const auto report =
+            core::verifyMapping(mapped, logical, graph, 12);
+        EXPECT_TRUE(report.ok())
+            << mapper.name() << " on " << graph.name()
+            << " seed " << seed << ": " << report.failure;
+    }
+}
+
+TEST_P(PipelineFuzz, OptimizerComposesWithMapping)
+{
+    // optimize(logical) then map: still verifies against the
+    // optimized program and preserves the original semantics.
+    const int seed = GetParam();
+    Rng rng(static_cast<std::uint64_t>(seed) * 104729 + 3);
+    const topology::CouplingGraph graph =
+        topology::ibmQ5Tenerife();
+    const auto snap = test::randomSnapshot(graph, rng);
+
+    circuit::Circuit logical = test::randomCircuit(4, 40, rng);
+    // Salt with cancellable structure.
+    logical.h(0).h(0).cx(0, 1).cx(0, 1).rz(2, 0.4).rz(2, -0.4);
+
+    const circuit::Circuit slim = circuit::optimize(logical);
+    const auto mapped =
+        core::makeVqaVqmMapper().map(slim, graph, snap);
+    const auto report =
+        core::verifyMapping(mapped, slim, graph);
+    EXPECT_TRUE(report.ok()) << report.failure;
+
+    // End-to-end semantics: mapped(optimized) == original.
+    EXPECT_LT(test::distributionDistance(
+                  test::logicalDistribution(logical),
+                  test::mappedProgramDistribution(mapped)),
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz,
+                         ::testing::Range(0, 12));
+
+} // namespace
+} // namespace vaq

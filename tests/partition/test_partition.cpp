@@ -1,0 +1,151 @@
+#include "partition/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "test_support.hpp"
+#include "topology/layouts.hpp"
+#include "workloads/workloads.hpp"
+
+namespace vaq::partition
+{
+namespace
+{
+
+class PartitionTest : public ::testing::Test
+{
+  protected:
+    PartitionTest()
+        : graph(topology::ibmQ20Tokyo()), rng(23),
+          snap(test::randomSnapshot(graph, rng)),
+          mapper(core::makeVqaVqmMapper())
+    {}
+
+    PartitionOptions
+    quickOptions() const
+    {
+        PartitionOptions o;
+        o.candidateRegions = 8;
+        return o;
+    }
+
+    topology::CouplingGraph graph;
+    Rng rng;
+    calibration::Snapshot snap;
+    core::Mapper mapper;
+};
+
+TEST_F(PartitionTest, ProgramTooLargeRejected)
+{
+    const auto big = workloads::bernsteinVazirani(11);
+    EXPECT_THROW(
+        comparePartitioning(big, graph, snap, mapper),
+        VaqError);
+}
+
+TEST_F(PartitionTest, DualRegionsAreDisjoint)
+{
+    const auto ghz = workloads::ghz(8);
+    const PartitionReport report = comparePartitioning(
+        ghz, graph, snap, mapper, quickOptions());
+    ASSERT_EQ(report.dual.size(), 2u);
+    std::set<int> a(report.dual[0].region.begin(),
+                    report.dual[0].region.end());
+    for (int p : report.dual[1].region)
+        EXPECT_FALSE(a.count(p)) << p;
+}
+
+TEST_F(PartitionTest, CopiesAreShapedLikeTheProgram)
+{
+    const auto ghz = workloads::ghz(8);
+    const PartitionReport report = comparePartitioning(
+        ghz, graph, snap, mapper, quickOptions());
+    for (const CopyReport &copy : report.dual) {
+        EXPECT_EQ(copy.region.size(), 8u);
+        EXPECT_GT(copy.pst, 0.0);
+        EXPECT_GT(copy.durationNs, 0.0);
+    }
+    EXPECT_EQ(report.single.region.size(), 8u);
+}
+
+TEST_F(PartitionTest, StptAccounting)
+{
+    const auto ghz = workloads::ghz(8);
+    const PartitionReport report = comparePartitioning(
+        ghz, graph, snap, mapper, quickOptions());
+    EXPECT_NEAR(report.singleStpt,
+                report.single.pst / report.single.durationNs *
+                    1000.0,
+                1e-12);
+    const double dual =
+        report.dual[0].pst / report.dual[0].durationNs * 1000.0 +
+        report.dual[1].pst / report.dual[1].durationNs * 1000.0;
+    EXPECT_NEAR(report.dualStpt, dual, 1e-12);
+    EXPECT_EQ(report.singleWins(),
+              report.singleStpt > report.dualStpt);
+}
+
+TEST_F(PartitionTest, SinglePstAtLeastBestDualCopy)
+{
+    // The single copy sees the whole machine, so it can always
+    // reproduce either dual placement.
+    const auto ghz = workloads::ghz(8);
+    const PartitionReport report = comparePartitioning(
+        ghz, graph, snap, mapper, quickOptions());
+    const double bestDual =
+        std::max(report.dual[0].pst, report.dual[1].pst);
+    EXPECT_GE(report.single.pst, bestDual - 1e-9);
+}
+
+TEST_F(PartitionTest, UniformMachineMakesDualWin)
+{
+    // With no variation, the strong copy has no edge and the
+    // doubled trial rate must win.
+    const auto uniform = test::uniformSnapshot(graph);
+    const auto ghz = workloads::ghz(8);
+    const PartitionReport report = comparePartitioning(
+        ghz, graph, uniform, mapper, quickOptions());
+    EXPECT_FALSE(report.singleWins());
+    // The two copies behave similarly; region shapes still differ
+    // (one region can need a few more SWAPs than the other).
+    EXPECT_NEAR(report.dual[0].pst, report.dual[1].pst, 0.15);
+}
+
+TEST_F(PartitionTest, ExtremeVariationMakesSingleWin)
+{
+    // Make one compact half excellent and everything else
+    // terrible: a single strong copy then beats two copies, one
+    // of which is stuck on garbage links.
+    auto snapExtreme = test::uniformSnapshot(graph, 0.40);
+    // Strong island: qubits 0,1,2,5,6,7,10,11,12,15 and their
+    // internal links.
+    const std::set<int> island{0, 1, 2, 5, 6, 7, 10, 11, 12, 15};
+    for (std::size_t l = 0; l < graph.linkCount(); ++l) {
+        const auto &link = graph.links()[l];
+        if (island.count(link.a) && island.count(link.b))
+            snapExtreme.setLinkError(l, 0.01);
+    }
+    const auto ghz = workloads::ghz(8);
+    const PartitionReport report = comparePartitioning(
+        ghz, graph, snapExtreme, mapper, quickOptions());
+    EXPECT_TRUE(report.singleWins());
+}
+
+TEST(Partition, WorksOnSmallMachines)
+{
+    // 2x3 grid with 3-qubit programs: exactly two copies fit.
+    const auto g = topology::grid(2, 3);
+    const auto snap = test::uniformSnapshot(g);
+    const auto ghz = workloads::ghz(3);
+    const auto mapper = core::makeBaselineMapper();
+    const PartitionReport report =
+        comparePartitioning(ghz, g, snap, mapper);
+    EXPECT_EQ(report.dual.size(), 2u);
+    EXPECT_GT(report.dualStpt, report.singleStpt * 1.5);
+}
+
+} // namespace
+} // namespace vaq::partition

@@ -1,0 +1,128 @@
+#include "runtime/iterative.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/trajectory_sim.hpp"
+#include "test_support.hpp"
+#include "topology/layouts.hpp"
+#include "workloads/workloads.hpp"
+
+namespace vaq::runtime
+{
+namespace
+{
+
+TEST(TrialLog, MajorityAndConfidence)
+{
+    TrialLog log;
+    log.outcomes[0b011] = 70;
+    log.outcomes[0b001] = 20;
+    log.outcomes[0b111] = 10;
+    log.trials = 100;
+    EXPECT_EQ(log.inferredOutcome(), 0b011u);
+    EXPECT_DOUBLE_EQ(log.confidence(), 0.7);
+    EXPECT_DOUBLE_EQ(log.frequencyOf(0b001), 0.2);
+    EXPECT_DOUBLE_EQ(log.frequencyOf(0b100), 0.0);
+}
+
+TEST(TrialLog, EmptyLogRejected)
+{
+    TrialLog log;
+    EXPECT_THROW(log.inferredOutcome(), VaqError);
+    EXPECT_THROW(log.confidence(), VaqError);
+}
+
+class IterativeTest : public ::testing::Test
+{
+  protected:
+    IterativeTest()
+        : graph(topology::ibmQ5Tenerife()),
+          truth(test::uniformSnapshot(graph, 0.06, 0.004, 0.06))
+    {}
+
+    Machine
+    machine()
+    {
+        return [this](const circuit::Circuit &c,
+                      std::size_t shots) {
+            const sim::NoiseModel model(graph, truth);
+            sim::TrajectoryOptions options;
+            options.shots = shots;
+            options.seed = 11;
+            sim::TrajectorySimulator sim(model, options);
+            return sim.run(c);
+        };
+    }
+
+    topology::CouplingGraph graph;
+    calibration::Snapshot truth;
+};
+
+TEST_F(IterativeTest, BvSecretInferredDespiteNoise)
+{
+    // The Fig. 4 claim: noisy trials still let the log reveal the
+    // answer. The hidden string of bv-4 is 0b111.
+    const IterativeRunner runner(graph, machine());
+    const auto job = runner.run(
+        workloads::bernsteinVazirani(4),
+        core::makeVqaVqmMapper(), truth, 4096);
+    EXPECT_EQ(job.log.inferredOutcome(), 0b111u);
+    EXPECT_GT(job.log.confidence(), 0.3);
+    EXPECT_LT(job.log.confidence(), 1.0);
+    EXPECT_EQ(job.log.trials, 4096u);
+}
+
+TEST_F(IterativeTest, GhzLogIsBimodal)
+{
+    const IterativeRunner runner(graph, machine());
+    const auto job =
+        runner.run(workloads::ghz(3), core::makeBaselineMapper(),
+                   truth, 4096);
+    // The two legitimate outcomes dominate the log.
+    const double good = job.log.frequencyOf(0b000) +
+                        job.log.frequencyOf(0b111);
+    EXPECT_GT(good, 0.6);
+}
+
+TEST_F(IterativeTest, AwareCompilationRaisesConfidence)
+{
+    // Make one Tenerife link terrible; the aware policy avoids it
+    // and the log becomes cleaner.
+    auto skewed = truth;
+    skewed.setLinkError(graph.linkIndex(0, 1), 0.30);
+    skewed.setLinkError(graph.linkIndex(0, 2), 0.18);
+    auto machineSkewed = [this, &skewed](
+                             const circuit::Circuit &c,
+                             std::size_t shots) {
+        const sim::NoiseModel model(graph, skewed);
+        sim::TrajectoryOptions options;
+        options.shots = shots;
+        options.seed = 13;
+        sim::TrajectorySimulator sim(model, options);
+        return sim.run(c);
+    };
+    const IterativeRunner runner(graph, machineSkewed);
+    const auto base =
+        runner.run(workloads::triSwap(),
+                   core::makeBaselineMapper(), skewed, 4096);
+    const auto aware =
+        runner.run(workloads::triSwap(),
+                   core::makeVqaVqmMapper(), skewed, 4096);
+    EXPECT_EQ(aware.log.inferredOutcome(), 0b100u);
+    EXPECT_GE(aware.log.confidence(),
+              base.log.confidence() - 0.02);
+}
+
+TEST_F(IterativeTest, Validation)
+{
+    EXPECT_THROW(IterativeRunner(graph, Machine{}), VaqError);
+    const IterativeRunner runner(graph, machine());
+    EXPECT_THROW(runner.run(workloads::ghz(3),
+                            core::makeBaselineMapper(), truth,
+                            0),
+                 VaqError);
+}
+
+} // namespace
+} // namespace vaq::runtime

@@ -1,0 +1,183 @@
+#include "sim/characterize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/mapper.hpp"
+#include "sim/fault_sim.hpp"
+#include "test_support.hpp"
+#include "topology/layouts.hpp"
+#include "workloads/workloads.hpp"
+
+namespace vaq::sim
+{
+namespace
+{
+
+TEST(DecayFit, ExactExponentialRecovered)
+{
+    const std::vector<int> depths{2, 4, 8, 16};
+    const double perStep = 0.03;
+    std::vector<double> survival;
+    for (int d : depths) {
+        survival.push_back(
+            0.9 * std::pow(1.0 - perStep, d)); // 0.9 = SPAM
+    }
+    EXPECT_NEAR(fitDecayRate(depths, survival), perStep, 1e-6);
+}
+
+TEST(DecayFit, NoisyDecayStillClose)
+{
+    const std::vector<int> depths{2, 4, 8, 16, 32};
+    const std::vector<double> survival{0.93, 0.87, 0.77, 0.60,
+                                       0.37};
+    const double rate = fitDecayRate(depths, survival);
+    EXPECT_GT(rate, 0.02);
+    EXPECT_LT(rate, 0.04);
+}
+
+TEST(DecayFit, FlatCurveGivesZero)
+{
+    EXPECT_NEAR(fitDecayRate({2, 4, 8}, {0.9, 0.9, 0.9}), 0.0,
+                1e-9);
+    // Growing "survival" (noise) clamps to zero, not negative.
+    EXPECT_DOUBLE_EQ(fitDecayRate({2, 4}, {0.5, 0.7}), 0.0);
+}
+
+TEST(DecayFit, Validation)
+{
+    EXPECT_THROW(fitDecayRate({2}, {0.9}), VaqError);
+    EXPECT_THROW(fitDecayRate({2, 4}, {0.9}), VaqError);
+}
+
+class CharacterizeTest : public ::testing::Test
+{
+  protected:
+    CharacterizeTest()
+        : graph(topology::ibmQ5Tenerife()),
+          truth(test::uniformSnapshot(graph))
+    {
+        // A machine with pronounced variation to rediscover.
+        truth.setLinkError(graph.linkIndex(0, 1), 0.12);
+        truth.setLinkError(graph.linkIndex(0, 2), 0.06);
+        truth.setLinkError(graph.linkIndex(1, 2), 0.02);
+        truth.setLinkError(graph.linkIndex(2, 3), 0.03);
+        truth.setLinkError(graph.linkIndex(2, 4), 0.05);
+        truth.setLinkError(graph.linkIndex(3, 4), 0.015);
+        truth.qubit(0).readoutError = 0.10;
+        truth.qubit(4).readoutError = 0.02;
+    }
+
+    Executor
+    machine(std::uint64_t seed = 5)
+    {
+        return [this, seed](const circuit::Circuit &c) {
+            const NoiseModel model(graph, truth);
+            TrajectoryOptions options;
+            options.shots = 4096;
+            options.seed = seed;
+            TrajectorySimulator sim(model, options);
+            return sim.run(c);
+        };
+    }
+
+    topology::CouplingGraph graph;
+    calibration::Snapshot truth;
+};
+
+TEST_F(CharacterizeTest, ReadoutErrorsRecovered)
+{
+    const auto estimate =
+        characterizeMachine(graph, machine());
+    EXPECT_NEAR(estimate.qubit(0).readoutError,
+                truth.qubit(0).readoutError, 0.03);
+    EXPECT_NEAR(estimate.qubit(4).readoutError,
+                truth.qubit(4).readoutError, 0.03);
+}
+
+TEST_F(CharacterizeTest, LinkErrorsWithinFactorBand)
+{
+    const auto estimate =
+        characterizeMachine(graph, machine());
+    for (std::size_t l = 0; l < graph.linkCount(); ++l) {
+        const double est = estimate.linkError(l);
+        const double tru = truth.linkError(l);
+        EXPECT_GT(est, 0.4 * tru) << "link " << l;
+        EXPECT_LT(est, 2.0 * tru + 0.01) << "link " << l;
+    }
+}
+
+TEST_F(CharacterizeTest, WeakestLinkIdentified)
+{
+    const auto estimate =
+        characterizeMachine(graph, machine());
+    std::size_t worst = 0;
+    for (std::size_t l = 1; l < graph.linkCount(); ++l) {
+        if (estimate.linkError(l) > estimate.linkError(worst))
+            worst = l;
+    }
+    EXPECT_EQ(worst, graph.linkIndex(0, 1));
+}
+
+TEST_F(CharacterizeTest, StrongWeakOrderingMostlyPreserved)
+{
+    const auto estimate =
+        characterizeMachine(graph, machine());
+    // Pairwise rank agreement between truth and estimate for
+    // pairs whose true errors differ by >= 2x.
+    int checked = 0, agreed = 0;
+    for (std::size_t a = 0; a < graph.linkCount(); ++a) {
+        for (std::size_t b = a + 1; b < graph.linkCount(); ++b) {
+            const double ta = truth.linkError(a);
+            const double tb = truth.linkError(b);
+            if (std::max(ta, tb) < 2.0 * std::min(ta, tb))
+                continue;
+            ++checked;
+            if ((ta < tb) == (estimate.linkError(a) <
+                              estimate.linkError(b))) {
+                ++agreed;
+            }
+        }
+    }
+    ASSERT_GT(checked, 0);
+    EXPECT_EQ(agreed, checked);
+}
+
+TEST_F(CharacterizeTest, EstimatedDataDrivesGoodCompilation)
+{
+    // The full paper workflow on a machine we can only execute
+    // on: characterize, compile with the estimate, evaluate
+    // against the truth. The result should be close to what
+    // compiling with perfect knowledge achieves.
+    const auto estimate =
+        characterizeMachine(graph, machine());
+    const auto mapper = core::makeVqaVqmMapper();
+    const auto bv = workloads::bernsteinVazirani(3);
+
+    const NoiseModel truthModel(graph, truth);
+    const double withEstimate = analyticPst(
+        mapper.map(bv, graph, estimate).physical, truthModel);
+    const double withTruth = analyticPst(
+        mapper.map(bv, graph, truth).physical, truthModel);
+    EXPECT_GT(withEstimate, 0.9 * withTruth);
+}
+
+TEST_F(CharacterizeTest, OptionsValidated)
+{
+    CharacterizeOptions bad;
+    bad.depths = {3, 4};
+    EXPECT_THROW(characterizeMachine(graph, machine(), bad),
+                 VaqError);
+    bad.depths = {};
+    EXPECT_THROW(characterizeMachine(graph, machine(), bad),
+                 VaqError);
+    bad = CharacterizeOptions{};
+    bad.visibility = 0.0;
+    EXPECT_THROW(characterizeMachine(graph, machine(), bad),
+                 VaqError);
+}
+
+} // namespace
+} // namespace vaq::sim

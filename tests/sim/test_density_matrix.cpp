@@ -1,0 +1,170 @@
+#include "sim/density_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/mapper.hpp"
+#include "sim/statevector.hpp"
+#include "sim/trajectory_sim.hpp"
+#include "test_support.hpp"
+#include "topology/layouts.hpp"
+#include "workloads/workloads.hpp"
+
+namespace vaq::sim
+{
+namespace
+{
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+
+TEST(DensityMatrix, InitialState)
+{
+    const DensityMatrix rho(2);
+    EXPECT_NEAR(rho.entry(0, 0).real(), 1.0, 1e-12);
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+    EXPECT_THROW(DensityMatrix(0), VaqError);
+    EXPECT_THROW(DensityMatrix(11), VaqError);
+}
+
+TEST(DensityMatrix, PureEvolutionMatchesStateVector)
+{
+    Rng rng(61);
+    for (int trial = 0; trial < 6; ++trial) {
+        const Circuit c = test::randomCircuit(4, 40, rng);
+        DensityMatrix rho(4);
+        StateVector psi(4);
+        for (const Gate &g : c.gates()) {
+            if (!g.isUnitary())
+                continue;
+            rho.applyUnitary(g);
+            psi.apply(g);
+        }
+        const auto diag = rho.diagonal();
+        for (std::uint64_t b = 0; b < psi.dimension(); ++b)
+            EXPECT_NEAR(diag[b], psi.probability(b), 1e-9);
+        EXPECT_NEAR(rho.trace(), 1.0, 1e-9);
+    }
+}
+
+TEST(DensityMatrix, TwoQubitGatesMatchStateVector)
+{
+    // Exercise CX/CZ/SWAP specifically, including off-diagonals
+    // (fidelity via purity of the difference is overkill; compare
+    // entries).
+    Circuit c(3);
+    c.h(0).cx(0, 1).cz(1, 2).swap(0, 2).t(2).cx(2, 0);
+    DensityMatrix rho(3);
+    StateVector psi(3);
+    for (const Gate &g : c.gates()) {
+        rho.applyUnitary(g);
+        psi.apply(g);
+    }
+    for (std::uint64_t r = 0; r < 8; ++r) {
+        for (std::uint64_t col = 0; col < 8; ++col) {
+            const auto expected = psi.amplitude(r) *
+                                  std::conj(psi.amplitude(col));
+            EXPECT_NEAR(rho.entry(r, col).real(),
+                        expected.real(), 1e-9);
+            EXPECT_NEAR(rho.entry(r, col).imag(),
+                        expected.imag(), 1e-9);
+        }
+    }
+}
+
+TEST(DensityMatrix, NoisyEvolutionPreservesTrace)
+{
+    const auto q5 = topology::ibmQ5Tenerife();
+    const auto snap = test::uniformSnapshot(q5, 0.08, 0.01, 0.1);
+    const NoiseModel model(q5, snap);
+    const auto mapped = core::makeBaselineMapper().map(
+        workloads::bernsteinVazirani(4), q5, snap);
+    DensityMatrix rho(5);
+    rho.runNoisy(mapped.physical, model);
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-9);
+}
+
+TEST(DensityMatrix, DepolarizingShrinksPurity)
+{
+    const auto q5 = topology::ibmQ5Tenerife();
+    const auto snap = test::uniformSnapshot(q5, 0.2);
+    const NoiseModel model(q5, snap);
+    DensityMatrix rho(2);
+    rho.applyNoisyGate(Gate::oneQubit(GateKind::H, 0), model);
+    rho.applyNoisyGate(Gate::twoQubit(GateKind::CX, 0, 1), model);
+    // The Bell state would have rho[0][3] = 0.5; noise damps it.
+    EXPECT_LT(std::abs(rho.entry(0, 3)), 0.5);
+    EXPECT_GT(std::abs(rho.entry(0, 3)), 0.3);
+}
+
+TEST(DensityMatrix, TrajectorySamplerMatchesExactChannel)
+{
+    // The headline methodological check: the Monte-Carlo
+    // trajectory simulator's outcome histogram converges to the
+    // density matrix's exact distribution.
+    const auto q5 = topology::ibmQ5Tenerife();
+    auto snap = test::uniformSnapshot(q5, 0.06, 0.005, 0.08);
+    snap.setLinkError(q5.linkIndex(0, 1), 0.15);
+    const NoiseModel model(q5, snap);
+
+    for (const auto &w : workloads::q5Suite()) {
+        // Route for the machine first (bv-4 needs it).
+        const auto mapped = core::makeBaselineMapper().map(
+            w.circuit, q5, snap);
+
+        DensityMatrix rho(5);
+        rho.runNoisy(mapped.physical, model);
+        const auto exact =
+            rho.outcomeDistribution(mapped.physical, model);
+
+        TrajectoryOptions options;
+        options.shots = 20000;
+        options.seed = 99;
+        TrajectorySimulator sampler(model, options);
+        const auto counts = sampler.run(mapped.physical);
+        std::map<std::uint64_t, double> sampled;
+        for (const auto &[outcome, n] : counts.counts) {
+            sampled[outcome] =
+                static_cast<double>(n) /
+                static_cast<double>(counts.shots);
+        }
+
+        EXPECT_LT(totalVariation(exact, sampled), 0.02)
+            << w.name;
+    }
+}
+
+TEST(DensityMatrix, ReadoutConfusionApplied)
+{
+    const auto q5 = topology::ibmQ5Tenerife();
+    auto snap = test::uniformSnapshot(q5, 0.0, 0.0, 0.0);
+    snap.qubit(0).readoutError = 0.3;
+    const NoiseModel model(q5, snap, CoherenceMode::None);
+
+    Circuit c(5);
+    c.measure(0);
+    DensityMatrix rho(5);
+    rho.runNoisy(c, model);
+    const auto dist = rho.outcomeDistribution(c, model);
+    // |0> read as 1 with probability 0.3.
+    EXPECT_NEAR(dist.at(0), 0.7, 1e-9);
+    EXPECT_NEAR(dist.at(1), 0.3, 1e-9);
+
+    const auto clean =
+        rho.outcomeDistribution(c, model, false);
+    EXPECT_NEAR(clean.at(0), 1.0, 1e-9);
+}
+
+TEST(DensityMatrix, TotalVariationBasics)
+{
+    std::map<std::uint64_t, double> a{{0, 0.5}, {1, 0.5}};
+    std::map<std::uint64_t, double> b{{0, 1.0}};
+    EXPECT_NEAR(totalVariation(a, a), 0.0, 1e-12);
+    EXPECT_NEAR(totalVariation(a, b), 0.5, 1e-12);
+}
+
+} // namespace
+} // namespace vaq::sim

@@ -1,0 +1,122 @@
+#include "sim/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "topology/layouts.hpp"
+
+namespace vaq::sim
+{
+namespace
+{
+
+using circuit::Circuit;
+
+class ScheduleTest : public ::testing::Test
+{
+  protected:
+    ScheduleTest()
+        : graph(topology::ibmQ5Tenerife()),
+          snap(test::uniformSnapshot(graph)),
+          model(graph, snap)
+    {}
+
+    topology::CouplingGraph graph;
+    calibration::Snapshot snap;
+    NoiseModel model;
+};
+
+TEST_F(ScheduleTest, EmptyCircuit)
+{
+    const Schedule s = scheduleCircuit(Circuit(5), model);
+    EXPECT_TRUE(s.ops.empty());
+    EXPECT_DOUBLE_EQ(s.durationNs, 0.0);
+}
+
+TEST_F(ScheduleTest, SerialGatesStack)
+{
+    Circuit c(5);
+    c.h(0).h(0).h(0);
+    const Schedule s = scheduleCircuit(c, model);
+    const double t1q = snap.durations.oneQubitNs;
+    ASSERT_EQ(s.ops.size(), 3u);
+    EXPECT_DOUBLE_EQ(s.ops[0].startNs, 0.0);
+    EXPECT_DOUBLE_EQ(s.ops[1].startNs, t1q);
+    EXPECT_DOUBLE_EQ(s.ops[2].startNs, 2.0 * t1q);
+    EXPECT_DOUBLE_EQ(s.durationNs, 3.0 * t1q);
+}
+
+TEST_F(ScheduleTest, ParallelGatesOverlap)
+{
+    Circuit c(5);
+    c.h(0).h(1).h(2);
+    const Schedule s = scheduleCircuit(c, model);
+    EXPECT_DOUBLE_EQ(s.durationNs, snap.durations.oneQubitNs);
+}
+
+TEST_F(ScheduleTest, TwoQubitGateBlocksBothOperands)
+{
+    Circuit c(5);
+    c.cx(0, 1).h(1);
+    const Schedule s = scheduleCircuit(c, model);
+    EXPECT_DOUBLE_EQ(s.ops[1].startNs,
+                     snap.durations.twoQubitNs);
+}
+
+TEST_F(ScheduleTest, BarrierSynchronizesAll)
+{
+    Circuit c(5);
+    c.cx(0, 1).barrier().h(4);
+    const Schedule s = scheduleCircuit(c, model);
+    // h(4) cannot start before the barrier time = CX end.
+    EXPECT_DOUBLE_EQ(s.ops[2].startNs,
+                     snap.durations.twoQubitNs);
+}
+
+TEST_F(ScheduleTest, SwapTakesThreeCnotDurations)
+{
+    Circuit c(5);
+    c.swap(0, 1);
+    const Schedule s = scheduleCircuit(c, model);
+    EXPECT_DOUBLE_EQ(s.durationNs,
+                     3.0 * snap.durations.twoQubitNs);
+}
+
+TEST_F(ScheduleTest, IdleTimeComputed)
+{
+    // Qubit 1 does the first CX then waits while 2-3 run twice,
+    // then works again.
+    Circuit c(5);
+    c.cx(1, 2).cx(2, 3).cx(2, 3).cx(1, 2);
+    const Schedule s = scheduleCircuit(c, model);
+    const double t2q = snap.durations.twoQubitNs;
+    EXPECT_DOUBLE_EQ(s.idleNs(c, 1), 2.0 * t2q);
+    // Qubit 2 never idles.
+    EXPECT_DOUBLE_EQ(s.idleNs(c, 2), 0.0);
+    // Qubit 4 never works.
+    EXPECT_DOUBLE_EQ(s.idleNs(c, 4), 0.0);
+}
+
+TEST_F(ScheduleTest, MakespanIsMaxEnd)
+{
+    Circuit c(5);
+    c.cx(0, 1).cx(2, 3).h(4).h(4);
+    const Schedule s = scheduleCircuit(c, model);
+    double maxEnd = 0.0;
+    for (const ScheduledOp &op : s.ops)
+        maxEnd = std::max(maxEnd, op.endNs);
+    EXPECT_DOUBLE_EQ(s.durationNs, maxEnd);
+}
+
+TEST_F(ScheduleTest, OpsKeepProgramOrderIndices)
+{
+    Circuit c(5);
+    c.h(0).cx(0, 1).measure(1);
+    const Schedule s = scheduleCircuit(c, model);
+    ASSERT_EQ(s.ops.size(), 3u);
+    for (std::size_t i = 0; i < s.ops.size(); ++i)
+        EXPECT_EQ(s.ops[i].gateIndex, i);
+}
+
+} // namespace
+} // namespace vaq::sim

@@ -1,0 +1,224 @@
+#include "sim/statevector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/circuit.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "test_support.hpp"
+
+namespace vaq::sim
+{
+namespace
+{
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+
+TEST(StateVector, InitializedToAllZeros)
+{
+    const StateVector s(3);
+    EXPECT_EQ(s.dimension(), 8u);
+    EXPECT_DOUBLE_EQ(s.probability(0), 1.0);
+    for (std::uint64_t b = 1; b < 8; ++b)
+        EXPECT_DOUBLE_EQ(s.probability(b), 0.0);
+}
+
+TEST(StateVector, WidthValidation)
+{
+    EXPECT_THROW(StateVector(0), VaqError);
+    EXPECT_THROW(StateVector(25), VaqError);
+    EXPECT_NO_THROW(StateVector(1));
+}
+
+TEST(StateVector, PauliXFlipsBit)
+{
+    StateVector s(2);
+    s.apply(Gate::oneQubit(GateKind::X, 1));
+    EXPECT_DOUBLE_EQ(s.probability(0b10), 1.0);
+}
+
+TEST(StateVector, HadamardCreatesSuperposition)
+{
+    StateVector s(1);
+    s.apply(Gate::oneQubit(GateKind::H, 0));
+    EXPECT_NEAR(s.probability(0), 0.5, 1e-12);
+    EXPECT_NEAR(s.probability(1), 0.5, 1e-12);
+    // H is its own inverse.
+    s.apply(Gate::oneQubit(GateKind::H, 0));
+    EXPECT_NEAR(s.probability(0), 1.0, 1e-12);
+}
+
+TEST(StateVector, CnotTruthTable)
+{
+    // |10> -> |11> (control = qubit 0 set).
+    StateVector s(2);
+    s.apply(Gate::oneQubit(GateKind::X, 0));
+    s.apply(Gate::twoQubit(GateKind::CX, 0, 1));
+    EXPECT_DOUBLE_EQ(s.probability(0b11), 1.0);
+
+    // Control clear: target untouched.
+    StateVector t(2);
+    t.apply(Gate::twoQubit(GateKind::CX, 0, 1));
+    EXPECT_DOUBLE_EQ(t.probability(0b00), 1.0);
+}
+
+TEST(StateVector, BellState)
+{
+    StateVector s(2);
+    s.apply(Gate::oneQubit(GateKind::H, 0));
+    s.apply(Gate::twoQubit(GateKind::CX, 0, 1));
+    EXPECT_NEAR(s.probability(0b00), 0.5, 1e-12);
+    EXPECT_NEAR(s.probability(0b11), 0.5, 1e-12);
+    EXPECT_NEAR(s.probability(0b01), 0.0, 1e-12);
+}
+
+TEST(StateVector, SwapExchangesStates)
+{
+    StateVector s(3);
+    s.apply(Gate::oneQubit(GateKind::X, 0));
+    s.apply(Gate::twoQubit(GateKind::SWAP, 0, 2));
+    EXPECT_DOUBLE_EQ(s.probability(0b100), 1.0);
+}
+
+TEST(StateVector, SwapEqualsThreeCnots)
+{
+    Rng rng(5);
+    const Circuit prep = test::randomCircuit(3, 20, rng);
+
+    StateVector direct(3);
+    direct.applyUnitaries(prep);
+    direct.apply(Gate::twoQubit(GateKind::SWAP, 0, 2));
+
+    StateVector threeCx(3);
+    threeCx.applyUnitaries(prep);
+    threeCx.apply(Gate::twoQubit(GateKind::CX, 0, 2));
+    threeCx.apply(Gate::twoQubit(GateKind::CX, 2, 0));
+    threeCx.apply(Gate::twoQubit(GateKind::CX, 0, 2));
+
+    EXPECT_NEAR(direct.fidelity(threeCx), 1.0, 1e-12);
+}
+
+TEST(StateVector, CzPhaseOnlyOnBothSet)
+{
+    StateVector s(2);
+    s.apply(Gate::oneQubit(GateKind::H, 0));
+    s.apply(Gate::oneQubit(GateKind::H, 1));
+    s.apply(Gate::twoQubit(GateKind::CZ, 0, 1));
+    EXPECT_NEAR(s.amplitude(0b11).real(), -0.5, 1e-12);
+    EXPECT_NEAR(s.amplitude(0b00).real(), 0.5, 1e-12);
+}
+
+TEST(StateVector, SAndSdgCancel)
+{
+    StateVector s(1);
+    s.apply(Gate::oneQubit(GateKind::H, 0));
+    s.apply(Gate::oneQubit(GateKind::S, 0));
+    s.apply(Gate::oneQubit(GateKind::Sdg, 0));
+    s.apply(Gate::oneQubit(GateKind::H, 0));
+    EXPECT_NEAR(s.probability(0), 1.0, 1e-12);
+}
+
+TEST(StateVector, TFourthPowerIsZ)
+{
+    StateVector viaT(1), viaZ(1);
+    viaT.apply(Gate::oneQubit(GateKind::H, 0));
+    viaZ.apply(Gate::oneQubit(GateKind::H, 0));
+    for (int i = 0; i < 4; ++i)
+        viaT.apply(Gate::oneQubit(GateKind::T, 0));
+    viaZ.apply(Gate::oneQubit(GateKind::Z, 0));
+    EXPECT_NEAR(viaT.fidelity(viaZ), 1.0, 1e-12);
+}
+
+TEST(StateVector, RxPiIsXUpToPhase)
+{
+    StateVector s(1);
+    s.apply(Gate::oneQubit(GateKind::RX, 0, M_PI));
+    EXPECT_NEAR(s.probability(1), 1.0, 1e-12);
+}
+
+TEST(StateVector, RyRotatesByExpectedAngle)
+{
+    StateVector s(1);
+    s.apply(Gate::oneQubit(GateKind::RY, 0, M_PI / 3.0));
+    EXPECT_NEAR(s.probability(1), std::pow(std::sin(M_PI / 6.0), 2),
+                1e-12);
+}
+
+TEST(StateVector, RzIsDiagonalPhase)
+{
+    StateVector s(1);
+    s.apply(Gate::oneQubit(GateKind::RZ, 0, 1.234));
+    EXPECT_NEAR(s.probability(0), 1.0, 1e-12);
+}
+
+TEST(StateVector, YSquaredIsIdentity)
+{
+    Rng rng(6);
+    const Circuit prep = test::randomCircuit(2, 10, rng);
+    StateVector a(2), b(2);
+    a.applyUnitaries(prep);
+    b.applyUnitaries(prep);
+    b.apply(Gate::oneQubit(GateKind::Y, 0));
+    b.apply(Gate::oneQubit(GateKind::Y, 0));
+    EXPECT_NEAR(a.fidelity(b), 1.0, 1e-12);
+}
+
+TEST(StateVector, NormPreservedByRandomCircuits)
+{
+    Rng rng(7);
+    for (int trial = 0; trial < 10; ++trial) {
+        StateVector s(5);
+        s.applyUnitaries(test::randomCircuit(5, 100, rng));
+        EXPECT_NEAR(s.norm(), 1.0, 1e-9);
+    }
+}
+
+TEST(StateVector, RejectsNonUnitaries)
+{
+    StateVector s(2);
+    EXPECT_THROW(s.apply(Gate::measure(0)), VaqError);
+    EXPECT_THROW(s.apply(Gate::barrier()), VaqError);
+}
+
+TEST(StateVector, SampleMatchesDistribution)
+{
+    StateVector s(2);
+    s.apply(Gate::oneQubit(GateKind::H, 0));
+    s.apply(Gate::twoQubit(GateKind::CX, 0, 1));
+    Rng rng(8);
+    int zeros = 0, threes = 0;
+    const int shots = 20000;
+    for (int i = 0; i < shots; ++i) {
+        const auto outcome = s.sample(rng);
+        EXPECT_TRUE(outcome == 0b00 || outcome == 0b11);
+        zeros += outcome == 0b00;
+        threes += outcome == 0b11;
+    }
+    EXPECT_NEAR(zeros / static_cast<double>(shots), 0.5, 0.02);
+    EXPECT_NEAR(threes / static_cast<double>(shots), 0.5, 0.02);
+}
+
+TEST(StateVector, FidelityDistinguishesStates)
+{
+    StateVector zero(1), one(1);
+    one.apply(Gate::oneQubit(GateKind::X, 0));
+    EXPECT_NEAR(zero.fidelity(one), 0.0, 1e-12);
+    EXPECT_NEAR(zero.fidelity(zero), 1.0, 1e-12);
+}
+
+TEST(StateVector, GhzProbabilities)
+{
+    StateVector s(4);
+    s.apply(Gate::oneQubit(GateKind::H, 0));
+    for (int q = 0; q + 1 < 4; ++q)
+        s.apply(Gate::twoQubit(GateKind::CX, q, q + 1));
+    EXPECT_NEAR(s.probability(0b0000), 0.5, 1e-12);
+    EXPECT_NEAR(s.probability(0b1111), 0.5, 1e-12);
+}
+
+} // namespace
+} // namespace vaq::sim

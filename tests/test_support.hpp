@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Shared helpers for the libvaq test suite.
+ */
+#ifndef VAQ_TESTS_TEST_SUPPORT_HPP
+#define VAQ_TESTS_TEST_SUPPORT_HPP
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "calibration/snapshot.hpp"
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "core/mapped_circuit.hpp"
+#include "sim/statevector.hpp"
+#include "topology/coupling_graph.hpp"
+
+namespace vaq::test
+{
+
+/** Snapshot with every error/coherence field set to one value. */
+inline calibration::Snapshot
+uniformSnapshot(const topology::CouplingGraph &graph,
+                double err2q = 0.04, double err1q = 0.003,
+                double readout = 0.03, double t1_us = 80.0,
+                double t2_us = 42.0)
+{
+    calibration::Snapshot snap(graph);
+    for (int q = 0; q < graph.numQubits(); ++q) {
+        auto &cal = snap.qubit(q);
+        cal.t1Us = t1_us;
+        cal.t2Us = t2_us;
+        cal.error1q = err1q;
+        cal.readoutError = readout;
+    }
+    for (std::size_t l = 0; l < graph.linkCount(); ++l)
+        snap.setLinkError(l, err2q);
+    return snap;
+}
+
+/** Snapshot with per-link errors drawn uniformly from [lo, hi]. */
+inline calibration::Snapshot
+randomSnapshot(const topology::CouplingGraph &graph, Rng &rng,
+               double lo = 0.01, double hi = 0.15)
+{
+    calibration::Snapshot snap = uniformSnapshot(graph);
+    for (std::size_t l = 0; l < graph.linkCount(); ++l)
+        snap.setLinkError(l, rng.uniform(lo, hi));
+    for (int q = 0; q < graph.numQubits(); ++q) {
+        snap.qubit(q).error1q = rng.uniform(0.0005, 0.01);
+        snap.qubit(q).readoutError = rng.uniform(0.01, 0.08);
+    }
+    return snap;
+}
+
+/** Random unitary-only circuit over n qubits (no measures). */
+inline circuit::Circuit
+randomCircuit(int num_qubits, int num_gates, Rng &rng)
+{
+    circuit::Circuit c(num_qubits);
+    for (int i = 0; i < num_gates; ++i) {
+        const auto pick = rng.uniformInt(std::uint64_t{6});
+        const auto q = static_cast<circuit::Qubit>(
+            rng.uniformInt(static_cast<std::uint64_t>(num_qubits)));
+        switch (pick) {
+          case 0: c.h(q); break;
+          case 1: c.t(q); break;
+          case 2: c.x(q); break;
+          case 3: c.rz(q, rng.uniform(0.0, 3.14)); break;
+          default: {
+            if (num_qubits < 2) {
+                c.h(q);
+                break;
+            }
+            circuit::Qubit other;
+            do {
+                other = static_cast<circuit::Qubit>(rng.uniformInt(
+                    static_cast<std::uint64_t>(num_qubits)));
+            } while (other == q);
+            c.cx(q, other);
+            break;
+          }
+        }
+    }
+    return c;
+}
+
+/**
+ * Probability distribution over *program* qubits obtained by
+ * executing the mapped physical circuit (unitaries only) and
+ * reading each program qubit at its final physical location.
+ */
+inline std::map<std::uint64_t, double>
+mappedProgramDistribution(const core::MappedCircuit &mapped)
+{
+    sim::StateVector state(mapped.physical.numQubits());
+    state.applyUnitaries(mapped.physical);
+    std::map<std::uint64_t, double> dist;
+    const std::uint64_t dim = state.dimension();
+    for (std::uint64_t basis = 0; basis < dim; ++basis) {
+        const double p = state.probability(basis);
+        if (p > 1e-12)
+            dist[mapped.logicalOutcome(basis)] += p;
+    }
+    return dist;
+}
+
+/** Probability distribution of a logical circuit (unitaries only). */
+inline std::map<std::uint64_t, double>
+logicalDistribution(const circuit::Circuit &logical)
+{
+    sim::StateVector state(logical.numQubits());
+    state.applyUnitaries(logical);
+    std::map<std::uint64_t, double> dist;
+    const std::uint64_t dim = state.dimension();
+    for (std::uint64_t basis = 0; basis < dim; ++basis) {
+        const double p = state.probability(basis);
+        if (p > 1e-12)
+            dist[basis] += p;
+    }
+    return dist;
+}
+
+/** Max absolute probability difference between two distributions. */
+inline double
+distributionDistance(const std::map<std::uint64_t, double> &a,
+                     const std::map<std::uint64_t, double> &b)
+{
+    double worst = 0.0;
+    for (const auto &[k, v] : a) {
+        const auto it = b.find(k);
+        const double other = it == b.end() ? 0.0 : it->second;
+        worst = std::max(worst, std::abs(v - other));
+    }
+    for (const auto &[k, v] : b) {
+        if (a.find(k) == a.end())
+            worst = std::max(worst, v);
+    }
+    return worst;
+}
+
+} // namespace vaq::test
+
+#endif // VAQ_TESTS_TEST_SUPPORT_HPP

@@ -1,0 +1,105 @@
+#include "topology/coupling_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "topology/layouts.hpp"
+
+namespace vaq::topology
+{
+namespace
+{
+
+TEST(CouplingGraph, ConstructionValidation)
+{
+    EXPECT_THROW(CouplingGraph("x", 0, {}), VaqError);
+    EXPECT_THROW(CouplingGraph("x", 2, {{0, 0}}), VaqError);
+    EXPECT_THROW(CouplingGraph("x", 2, {{0, 1}, {1, 0}}),
+                 VaqError); // duplicate undirected
+    EXPECT_THROW(CouplingGraph("x", 2, {{0, 5}}), VaqError);
+}
+
+TEST(CouplingGraph, LinksAreCanonicalized)
+{
+    const CouplingGraph g("x", 3, {{2, 0}, {1, 2}});
+    EXPECT_EQ(g.links()[0].a, 0);
+    EXPECT_EQ(g.links()[0].b, 2);
+    EXPECT_EQ(g.linkCount(), 2u);
+}
+
+TEST(CouplingGraph, CoupledIsSymmetric)
+{
+    const CouplingGraph g("x", 3, {{0, 1}});
+    EXPECT_TRUE(g.coupled(0, 1));
+    EXPECT_TRUE(g.coupled(1, 0));
+    EXPECT_FALSE(g.coupled(0, 2));
+    EXPECT_FALSE(g.coupled(1, 1));
+}
+
+TEST(CouplingGraph, LinkIndexLookup)
+{
+    const CouplingGraph g("x", 4, {{0, 1}, {1, 2}, {2, 3}});
+    EXPECT_EQ(g.linkIndex(1, 2), 1u);
+    EXPECT_EQ(g.linkIndex(2, 1), 1u);
+    EXPECT_THROW(g.linkIndex(0, 3), VaqError);
+}
+
+TEST(CouplingGraph, NeighborsSorted)
+{
+    const CouplingGraph g("x", 4, {{2, 0}, {0, 3}, {0, 1}});
+    EXPECT_EQ(g.neighbors(0), (std::vector<PhysQubit>{1, 2, 3}));
+    EXPECT_EQ(g.degree(0), 3u);
+    EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(CouplingGraph, HopDistancesOnPath)
+{
+    const CouplingGraph g = linear(5);
+    const auto &d = g.hopDistances();
+    EXPECT_EQ(d[0][4], 4);
+    EXPECT_EQ(d[4][0], 4);
+    EXPECT_EQ(d[2][2], 0);
+    EXPECT_EQ(d[1][2], 1);
+}
+
+TEST(CouplingGraph, DisconnectedDistanceIsMinusOne)
+{
+    const CouplingGraph g("x", 4, {{0, 1}, {2, 3}});
+    EXPECT_EQ(g.hopDistances()[0][3], -1);
+    EXPECT_FALSE(g.isConnected());
+}
+
+TEST(CouplingGraph, ConnectedGraphDetected)
+{
+    EXPECT_TRUE(linear(7).isConnected());
+    EXPECT_TRUE(ibmQ20Tokyo().isConnected());
+}
+
+TEST(CouplingGraph, InducedSubgraphRenumbers)
+{
+    const CouplingGraph g = linear(5);
+    const CouplingGraph sub = g.inducedSubgraph({1, 2, 3});
+    EXPECT_EQ(sub.numQubits(), 3);
+    EXPECT_EQ(sub.linkCount(), 2u);
+    EXPECT_TRUE(sub.coupled(0, 1));
+    EXPECT_TRUE(sub.coupled(1, 2));
+    EXPECT_FALSE(sub.coupled(0, 2));
+}
+
+TEST(CouplingGraph, InducedSubgraphDropsOutsideLinks)
+{
+    const CouplingGraph g = linear(5);
+    const CouplingGraph sub = g.inducedSubgraph({0, 2, 4});
+    EXPECT_EQ(sub.linkCount(), 0u);
+}
+
+TEST(CouplingGraph, InducedSubgraphValidates)
+{
+    const CouplingGraph g = linear(4);
+    EXPECT_THROW(g.inducedSubgraph({}), VaqError);
+    EXPECT_THROW(g.inducedSubgraph({0, 0}), VaqError);
+    EXPECT_THROW(g.inducedSubgraph({0, 9}), VaqError);
+}
+
+} // namespace
+} // namespace vaq::topology

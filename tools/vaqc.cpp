@@ -1,0 +1,311 @@
+/**
+ * @file
+ * vaqc — the libvaq command-line compiler.
+ *
+ * Reads an OpenQASM 2.0 program, compiles it for a machine with a
+ * chosen policy against calibration data (a CSV export or a seeded
+ * synthetic snapshot), and writes the routed program back as QASM
+ * together with a reliability report.
+ *
+ * Usage:
+ *   vaqc --qasm prog.qasm [--machine q20|q5|falcon27|line:N|
+ *        ring:N|grid:RxC] [--policy baseline|vqm|vqm4|vqa|
+ *        vqa+vqm|native] [--calibration cal.csv |
+ *        --synthetic-seed N] [--mah K] [--optimize]
+ *        [--out mapped.qasm] [--trials N]
+ *
+ * Example:
+ *   vaqc --qasm bell.qasm --machine q5 --policy vqa+vqm \
+ *        --synthetic-seed 7 --out bell.mapped.qasm
+ */
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "calibration/csv_io.hpp"
+#include "calibration/synthetic.hpp"
+#include "circuit/lower.hpp"
+#include "circuit/optimizer.hpp"
+#include "circuit/qasm.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/mapper.hpp"
+#include "core/explain.hpp"
+#include "core/verify.hpp"
+#include "sim/fault_sim.hpp"
+#include "topology/layouts.hpp"
+
+namespace
+{
+
+using namespace vaq;
+
+struct Options
+{
+    std::string qasmPath;
+    std::string machine = "q20";
+    std::string policy = "vqa+vqm";
+    std::string calibrationPath;
+    std::string outPath;
+    std::uint64_t syntheticSeed = 7;
+    int mah = core::kUnlimitedHops;
+    std::size_t trials = 100000;
+    bool optimize = false;
+    bool lower = false;
+    bool verify = false;
+    bool explain = false;
+    bool help = false;
+};
+
+void
+printUsage()
+{
+    std::cout <<
+        "vaqc -- variability-aware quantum circuit compiler\n"
+        "\n"
+        "  --qasm FILE          input OpenQASM 2.0 program "
+        "(required)\n"
+        "  --machine NAME       q20 (default) | q5 | falcon27 | "
+        "line:N | ring:N | grid:RxC\n"
+        "  --policy NAME        baseline | vqm | vqm4 | vqa | "
+        "vqa+vqm (default) | native\n"
+        "  --calibration FILE   calibration CSV (see "
+        "calibration/csv_io.hpp)\n"
+        "  --synthetic-seed N   seed for synthetic calibration "
+        "(default 7; used when no CSV)\n"
+        "  --mah K              hop budget for variation-aware "
+        "detours (default unlimited)\n"
+        "  --optimize           run the peephole optimizer on the "
+        "result\n"
+        "  --verify             verify the compilation "
+        "(executability, layout, semantics)\n"
+        "  --lower              lower the result to the native "
+        "{U3, CX} basis\n"
+        "  --explain            print placement/link-usage "
+        "rationale\n"
+        "  --trials N           Monte-Carlo trials for the report "
+        "(default 100000)\n"
+        "  --out FILE           write the mapped program as QASM\n"
+        "  --help               this text\n";
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&](const char *flag) -> std::string {
+            require(i + 1 < argc,
+                    std::string(flag) + " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--qasm")
+            options.qasmPath = next("--qasm");
+        else if (arg == "--machine")
+            options.machine = next("--machine");
+        else if (arg == "--policy")
+            options.policy = next("--policy");
+        else if (arg == "--calibration")
+            options.calibrationPath = next("--calibration");
+        else if (arg == "--synthetic-seed")
+            options.syntheticSeed =
+                parseSize(next("--synthetic-seed"));
+        else if (arg == "--mah")
+            options.mah =
+                static_cast<int>(parseSize(next("--mah")));
+        else if (arg == "--trials")
+            options.trials = parseSize(next("--trials"));
+        else if (arg == "--optimize")
+            options.optimize = true;
+        else if (arg == "--lower")
+            options.lower = true;
+        else if (arg == "--explain")
+            options.explain = true;
+        else if (arg == "--verify")
+            options.verify = true;
+        else if (arg == "--out")
+            options.outPath = next("--out");
+        else if (arg == "--help" || arg == "-h")
+            options.help = true;
+        else
+            throw VaqError("unknown flag: " + arg);
+    }
+    return options;
+}
+
+topology::CouplingGraph
+machineByName(const std::string &name)
+{
+    if (name == "q20")
+        return topology::ibmQ20Tokyo();
+    if (name == "q5")
+        return topology::ibmQ5Tenerife();
+    if (name == "falcon27")
+        return topology::ibmFalcon27();
+    if (startsWith(name, "line:"))
+        return topology::linear(
+            static_cast<int>(parseSize(name.substr(5))));
+    if (startsWith(name, "ring:"))
+        return topology::ring(
+            static_cast<int>(parseSize(name.substr(5))));
+    if (startsWith(name, "grid:")) {
+        const auto dims = split(name.substr(5), 'x');
+        require(dims.size() == 2, "grid needs RxC");
+        return topology::grid(
+            static_cast<int>(parseSize(dims[0])),
+            static_cast<int>(parseSize(dims[1])));
+    }
+    throw VaqError("unknown machine: " + name);
+}
+
+core::Mapper
+policyByName(const std::string &name, int mah)
+{
+    if (name == "baseline")
+        return core::makeBaselineMapper();
+    if (name == "vqm")
+        return core::makeVqmMapper(mah);
+    if (name == "vqm4")
+        return core::makeVqmMapper(4);
+    if (name == "vqa")
+        return core::makeVqaMapper();
+    if (name == "vqa+vqm")
+        return core::makeVqaVqmMapper(mah);
+    if (name == "native")
+        return core::makeRandomizedMapper(1);
+    throw VaqError("unknown policy: " + name);
+}
+
+int
+run(const Options &options)
+{
+    require(!options.qasmPath.empty(),
+            "--qasm is required (see --help)");
+
+    // Program.
+    std::ifstream in(options.qasmPath);
+    require(static_cast<bool>(in),
+            "cannot open " + options.qasmPath);
+    std::ostringstream text;
+    text << in.rdbuf();
+    const circuit::Circuit logical =
+        circuit::fromQasm(text.str());
+
+    // Machine + calibration.
+    const topology::CouplingGraph machine =
+        machineByName(options.machine);
+    calibration::Snapshot snapshot =
+        options.calibrationPath.empty()
+            ? calibration::SyntheticSource(
+                  machine, calibration::SyntheticParams{},
+                  options.syntheticSeed)
+                  .nextCycle()
+            : calibration::loadCsv(options.calibrationPath,
+                                   machine);
+
+    // Compile.
+    const core::Mapper mapper =
+        policyByName(options.policy, options.mah);
+    core::MappedCircuit mapped =
+        mapper.map(logical, machine, snapshot);
+
+    if (options.verify) {
+        const core::VerificationReport report =
+            core::verifyMapping(mapped, logical, machine);
+        if (!report.ok()) {
+            std::cerr << "vaqc: VERIFICATION FAILED: "
+                      << report.failure << "\n";
+            return 3;
+        }
+        std::cout << "verified  : executable, layout-consistent, "
+                  << (report.semanticsChecked
+                          ? "semantics exact"
+                          : "semantics skipped (machine too "
+                            "wide)")
+                  << "\n";
+    }
+
+    if (options.optimize) {
+        circuit::OptimizerStats stats;
+        mapped.physical =
+            circuit::optimize(mapped.physical, &stats);
+        std::cout << "optimizer removed " << stats.removedGates()
+                  << " gates (" << stats.cancelledPairs
+                  << " cancelled pairs, " << stats.fusedRotations
+                  << " fused rotations)\n";
+    }
+
+    if (options.lower) {
+        circuit::LowerStats stats;
+        mapped.physical =
+            circuit::toNativeBasis(mapped.physical, &stats);
+        std::cout << "lowered   : " << stats.loweredOneQubit
+                  << " 1q gates -> u3, " << stats.loweredCz
+                  << " cz -> cx, " << stats.loweredSwaps
+                  << " swap -> 3cx\n";
+    }
+
+    // Report.
+    const sim::NoiseModel model(machine, snapshot);
+    sim::FaultSimOptions simOptions;
+    simOptions.trials = options.trials;
+    const auto result = sim::runFaultInjection(mapped.physical,
+                                               model, simOptions);
+
+    std::cout << "program   : " << options.qasmPath << " ("
+              << logical.numQubits() << " qubits, "
+              << logical.instructionCount()
+              << " instructions)\n";
+    std::cout << "machine   : " << machine.name() << " ("
+              << machine.numQubits() << " qubits, "
+              << machine.linkCount() << " links)\n";
+    std::cout << "policy    : " << mapper.name() << "\n";
+    std::cout << "swaps     : " << mapped.insertedSwaps << "\n";
+    std::cout << "layout    : ";
+    for (int q = 0; q < logical.numQubits(); ++q)
+        std::cout << (q ? " " : "") << mapped.initial.phys(q);
+    std::cout << "\n";
+    std::cout << "PST       : " << formatDouble(result.pst, 5)
+              << " (analytic "
+              << formatDouble(result.analyticPst, 5) << ", "
+              << options.trials << " trials)\n";
+
+    if (options.explain) {
+        std::cout << "\n"
+                  << core::explainMapping(mapped, machine,
+                                          snapshot);
+    }
+
+    if (!options.outPath.empty()) {
+        writeFile(options.outPath,
+                  circuit::toQasm(mapped.physical));
+        std::cout << "wrote     : " << options.outPath << "\n";
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const Options options = parseArgs(argc, argv);
+        if (options.help || argc == 1) {
+            printUsage();
+            return 0;
+        }
+        return run(options);
+    } catch (const VaqError &e) {
+        std::cerr << "vaqc: error: " << e.what() << "\n";
+        return 1;
+    } catch (const VaqInternalError &e) {
+        std::cerr << "vaqc: internal error (please report): "
+                  << e.what() << "\n";
+        return 2;
+    }
+}
