@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaq_common.dir/error.cpp.o"
+  "CMakeFiles/vaq_common.dir/error.cpp.o.d"
+  "CMakeFiles/vaq_common.dir/histogram.cpp.o"
+  "CMakeFiles/vaq_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/vaq_common.dir/rng.cpp.o"
+  "CMakeFiles/vaq_common.dir/rng.cpp.o.d"
+  "CMakeFiles/vaq_common.dir/statistics.cpp.o"
+  "CMakeFiles/vaq_common.dir/statistics.cpp.o.d"
+  "CMakeFiles/vaq_common.dir/strings.cpp.o"
+  "CMakeFiles/vaq_common.dir/strings.cpp.o.d"
+  "CMakeFiles/vaq_common.dir/table.cpp.o"
+  "CMakeFiles/vaq_common.dir/table.cpp.o.d"
+  "libvaq_common.a"
+  "libvaq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaq_sim.dir/characterize.cpp.o"
+  "CMakeFiles/vaq_sim.dir/characterize.cpp.o.d"
+  "CMakeFiles/vaq_sim.dir/density_matrix.cpp.o"
+  "CMakeFiles/vaq_sim.dir/density_matrix.cpp.o.d"
+  "CMakeFiles/vaq_sim.dir/fault_sim.cpp.o"
+  "CMakeFiles/vaq_sim.dir/fault_sim.cpp.o.d"
+  "CMakeFiles/vaq_sim.dir/noise_model.cpp.o"
+  "CMakeFiles/vaq_sim.dir/noise_model.cpp.o.d"
+  "CMakeFiles/vaq_sim.dir/schedule.cpp.o"
+  "CMakeFiles/vaq_sim.dir/schedule.cpp.o.d"
+  "CMakeFiles/vaq_sim.dir/statevector.cpp.o"
+  "CMakeFiles/vaq_sim.dir/statevector.cpp.o.d"
+  "CMakeFiles/vaq_sim.dir/trajectory_sim.cpp.o"
+  "CMakeFiles/vaq_sim.dir/trajectory_sim.cpp.o.d"
+  "libvaq_sim.a"
+  "libvaq_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaq_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
