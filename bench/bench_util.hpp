@@ -14,12 +14,14 @@
 #include <iostream>
 #include <string>
 
+#include <vector>
+
 #include "calibration/snapshot.hpp"
 #include "calibration/synthetic.hpp"
 #include "circuit/circuit.hpp"
 #include "common/strings.hpp"
 #include "core/mapper.hpp"
-#include "sim/fault_sim.hpp"
+#include "sim/parallel_fault_sim.hpp"
 #include "topology/layouts.hpp"
 
 namespace vaq::bench
@@ -58,6 +60,25 @@ analyticPstOf(const core::Mapper &mapper,
     const sim::NoiseModel model(machine, snapshot);
     return sim::analyticPst(
         mapper.map(logical, machine, snapshot).physical, model);
+}
+
+/**
+ * Evaluate a compiled sweep on one shared parallel trial engine:
+ * Monte-Carlo PST (with error bar) plus the closed form, one result
+ * per input circuit. Replaces the per-circuit serial loops the
+ * figure drivers used to run; `FaultSimResult::analyticPst` carries
+ * the same closed-form values those loops reported.
+ */
+inline std::vector<sim::FaultSimResult>
+batchPstOf(const std::vector<circuit::Circuit> &physicals,
+           const topology::CouplingGraph &machine,
+           const calibration::Snapshot &snapshot,
+           std::size_t trials = 200'000)
+{
+    const sim::NoiseModel model(machine, snapshot);
+    sim::ParallelFaultSimOptions options;
+    options.trials = trials;
+    return sim::runFaultInjectionBatch(physicals, model, options);
 }
 
 /**

@@ -25,15 +25,39 @@ main()
         "(avg [min..max] reported).");
 
     bench::Q20Environment env;
-    const core::Mapper baseline = core::makeBaselineMapper();
-    const core::Mapper vqm = core::makeVqmMapper();
-    const core::Mapper vqaVqm = core::makeVqaVqmMapper();
+    std::vector<core::Mapper> policies;
+    policies.push_back(core::makeBaselineMapper());
+    policies.push_back(core::makeVqmMapper());
+    policies.push_back(core::makeVqaVqmMapper());
+    const std::size_t numPolicies = policies.size();
+
+    // Compile the deterministic policy stack for every benchmark,
+    // then evaluate the whole sweep through one batched trial
+    // engine. The 32-seed randomized comparator only feeds the
+    // min/avg/max summary, so it stays on the closed form.
+    const auto suite = workloads::standardSuite(env.machine);
+    std::vector<circuit::Circuit> physicals;
+    physicals.reserve(suite.size() * numPolicies);
+    for (const auto &w : suite) {
+        for (const core::Mapper &policy : policies) {
+            physicals.push_back(
+                policy.map(w.circuit, env.machine, env.averaged)
+                    .physical);
+        }
+    }
+    const auto results =
+        bench::batchPstOf(physicals, env.machine, env.averaged);
 
     TextTable table({"Benchmark", "IBM Native (avg [min..max])",
                      "Baseline", "VQM", "VQA+VQM"});
-    for (const auto &w : workloads::standardSuite(env.machine)) {
-        const double base = bench::analyticPstOf(
-            baseline, w.circuit, env.machine, env.averaged);
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const auto &w = suite[i];
+        const double base =
+            results[i * numPolicies].analyticPst;
+        const double aware =
+            results[i * numPolicies + 1].analyticPst;
+        const double both =
+            results[i * numPolicies + 2].analyticPst;
 
         std::vector<double> native;
         for (std::uint64_t seed = 1; seed <= 32; ++seed) {
@@ -47,11 +71,6 @@ main()
             *std::min_element(native.begin(), native.end());
         const double hi =
             *std::max_element(native.begin(), native.end());
-
-        const double aware = bench::analyticPstOf(
-            vqm, w.circuit, env.machine, env.averaged);
-        const double both = bench::analyticPstOf(
-            vqaVqm, w.circuit, env.machine, env.averaged);
 
         table.addRow({w.name,
                       formatDouble(mean(native), 2) + " [" +

@@ -9,6 +9,7 @@
 
 #include "bench_util.hpp"
 #include "sim/density_matrix.hpp"
+#include "sim/parallel_fault_sim.hpp"
 #include "sim/statevector.hpp"
 #include "sim/trajectory_sim.hpp"
 #include "topology/layouts.hpp"
@@ -55,6 +56,92 @@ BENCHMARK(BM_FaultInjection)
     ->Arg(100000)
     ->Arg(1000000)
     ->Unit(benchmark::kMillisecond);
+
+// The parallel trial engine on the same 1M-trial workload, swept
+// over worker counts; compare against BM_FaultInjection (the serial
+// engine) for the speedup. Real time is the relevant axis.
+void
+BM_ParallelFaultInjection(benchmark::State &state)
+{
+    const sim::NoiseModel model(env().machine, env().averaged);
+    sim::ParallelFaultSim engine(
+        static_cast<std::size_t>(state.range(1)));
+    sim::ParallelFaultSimOptions options;
+    options.trials = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            engine.run(mappedBv16().physical, model, options));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        state.range(0));
+}
+BENCHMARK(BM_ParallelFaultInjection)
+    ->Args({1000000, 1})
+    ->Args({1000000, 2})
+    ->Args({1000000, 4})
+    ->Args({1000000, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Adaptive precision: stop as soon as the error bar is small enough
+// instead of burning the whole 1M-trial budget.
+void
+BM_AdaptiveFaultInjection(benchmark::State &state)
+{
+    const sim::NoiseModel model(env().machine, env().averaged);
+    sim::ParallelFaultSim engine(
+        static_cast<std::size_t>(state.range(0)));
+    sim::ParallelFaultSimOptions options;
+    options.trials = 1000000;
+    options.targetStderr = 1e-3;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            engine.run(mappedBv16().physical, model, options));
+    }
+}
+BENCHMARK(BM_AdaptiveFaultInjection)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Many-circuit sweep through the batch API (the fig12/fig13-style
+// driver pattern): one pool amortized across the whole suite.
+void
+BM_FaultInjectionBatch(benchmark::State &state)
+{
+    const sim::NoiseModel model(env().machine, env().averaged);
+    static const std::vector<circuit::Circuit> suite = [] {
+        std::vector<circuit::Circuit> circuits;
+        const auto mapper = core::makeBaselineMapper();
+        for (const auto &w :
+             workloads::standardSuite(env().machine)) {
+            circuits.push_back(
+                mapper.map(w.circuit, env().machine,
+                           env().averaged)
+                    .physical);
+        }
+        return circuits;
+    }();
+    sim::ParallelFaultSim engine(
+        static_cast<std::size_t>(state.range(0)));
+    sim::ParallelFaultSimOptions options;
+    options.trials = 100000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            engine.runBatch(suite, model, options));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(suite.size()) * 100000);
+}
+BENCHMARK(BM_FaultInjectionBatch)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void
 BM_AnalyticPst(benchmark::State &state)

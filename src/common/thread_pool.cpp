@@ -1,0 +1,100 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace vaq
+{
+
+std::size_t
+ThreadPool::defaultThreadCount()
+{
+    return std::max<std::size_t>(
+        1, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    const std::size_t count =
+        threads == 0 ? defaultThreadCount() : threads;
+    _workers.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _stopping = true;
+    }
+    _wake.notify_all();
+    for (std::thread &worker : _workers)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _wake.wait(lock, [this] {
+                return _stopping || !_tasks.empty();
+            });
+            if (_tasks.empty())
+                return; // stopping and fully drained
+            task = std::move(_tasks.front());
+            _tasks.pop_front();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::parallelFor(
+    std::size_t count,
+    const std::function<void(std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+
+    // Per-call completion state, shared with the queued tasks. The
+    // caller outlives every task (it blocks on `done` below), so
+    // reference capture is safe.
+    struct Burst
+    {
+        std::mutex mutex;
+        std::condition_variable done;
+        std::size_t remaining;
+        std::exception_ptr error;
+    } burst;
+    burst.remaining = count;
+
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        for (std::size_t i = 0; i < count; ++i) {
+            _tasks.emplace_back([&burst, &body, i] {
+                try {
+                    body(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> inner(burst.mutex);
+                    if (!burst.error)
+                        burst.error = std::current_exception();
+                }
+                std::lock_guard<std::mutex> inner(burst.mutex);
+                if (--burst.remaining == 0)
+                    burst.done.notify_all();
+            });
+        }
+    }
+    _wake.notify_all();
+
+    std::unique_lock<std::mutex> lock(burst.mutex);
+    burst.done.wait(lock, [&burst] { return burst.remaining == 0; });
+    if (burst.error)
+        std::rethrow_exception(burst.error);
+}
+
+} // namespace vaq

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Reusable fixed-size worker pool for data-parallel loops.
+ *
+ * Built for the Monte-Carlo trial engine (sim/parallel_fault_sim):
+ * many independent, similarly-sized work items, submitted in bursts,
+ * with the submitting thread blocking until the burst completes.
+ * Workers are spawned once and reused across bursts so the per-call
+ * cost is queue traffic only, not thread creation.
+ */
+#ifndef VAQ_COMMON_THREAD_POOL_HPP
+#define VAQ_COMMON_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vaq
+{
+
+/**
+ * Fixed-size pool of worker threads executing queued tasks.
+ *
+ * Thread-safe for one submitter at a time: parallelFor() blocks the
+ * caller until every task of that call has finished, so the pool is
+ * idle between calls and can be shared sequentially.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * Spawn `threads` workers; 0 means one per hardware thread
+     * (at least one).
+     */
+    explicit ThreadPool(std::size_t threads = 0);
+
+    /** Joins all workers; pending tasks are completed first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    std::size_t threadCount() const { return _workers.size(); }
+
+    /**
+     * Run body(0) .. body(count-1) across the pool and block until
+     * all calls have returned. The first exception thrown by any
+     * body is rethrown on the calling thread (the remaining indices
+     * still run). Which worker executes which index is unspecified;
+     * callers needing determinism must make the bodies independent
+     * and index their outputs.
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &body);
+
+    /** Worker count used for `threads == 0`. */
+    static std::size_t defaultThreadCount();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> _workers;
+    std::deque<std::function<void()>> _tasks;
+    std::mutex _mutex;
+    std::condition_variable _wake;
+    bool _stopping = false;
+};
+
+} // namespace vaq
+
+#endif // VAQ_COMMON_THREAD_POOL_HPP

@@ -15,8 +15,11 @@
 #define VAQ_SIM_FAULT_SIM_HPP
 
 #include <cstdint>
+#include <vector>
 
 #include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "common/statistics.hpp"
 #include "sim/noise_model.hpp"
 #include "sim/schedule.hpp"
 
@@ -63,6 +66,68 @@ double analyticPst(const circuit::Circuit &physical,
 FaultSimResult runFaultInjection(const circuit::Circuit &physical,
                                  const NoiseModel &model,
                                  const FaultSimOptions &options = {});
+
+/**
+ * Building blocks shared by the serial sampler, analyticPst() and
+ * the parallel trial engine (sim/parallel_fault_sim). Exposed so
+ * every entry point runs the exact same trial loop and closed-form
+ * product — they cannot drift apart — and so tests can pin the
+ * boundary behaviour of the error bar.
+ */
+namespace detail
+{
+
+/**
+ * Every independent failure probability a trial is exposed to: one
+ * entry per non-barrier operation, plus per-qubit idle entries in
+ * CoherenceMode::Idle. Throws VaqError when the model yields a
+ * probability outside [0, 1] (corrupt calibration data).
+ */
+std::vector<double> collectErrorProbs(const circuit::Circuit &physical,
+                                      const NoiseModel &model);
+
+/** Closed-form PST: prod(1 - p) over the collected probabilities. */
+double productSuccessProb(const std::vector<double> &probs);
+
+/**
+ * Standard error of a PST estimate of `successes` out of `trials`.
+ * Uses the normal approximation sqrt(p(1-p)/n) away from the
+ * boundaries; at p in {0, 1} — where that formula degenerates to a
+ * spurious 0 — it reports the Wilson-score (z = 1) half-width,
+ * which collapses to 1/(2(n+1)): positive, shrinking like 1/n, in
+ * the spirit of the rule of three. Adaptive stopping can therefore
+ * never terminate on an all-success or all-failure tally's zero
+ * error bar.
+ */
+double pstStandardError(std::size_t successes, std::size_t trials);
+
+/** Per-chunk Monte-Carlo tally; the unit of parallel reduction. */
+struct TrialTally
+{
+    std::size_t trials = 0;
+    std::size_t successes = 0;
+    /** Per-trial 0/1 success stream (RunningStats::merge-reducible). */
+    RunningStats indicator;
+
+    /** Fold another chunk's tally into this one (order-sensitive
+     *  only in floating-point rounding of `indicator`; the integer
+     *  fields are exact in any order). */
+    void merge(const TrialTally &other);
+};
+
+/**
+ * Run `trials` Bernoulli-per-operation trials against `probs`,
+ * consuming randomness from `rng`. The single trial loop behind
+ * both runFaultInjection and ParallelFaultSim.
+ */
+TrialTally simulateChunk(const std::vector<double> &probs,
+                         std::size_t trials, Rng &rng);
+
+/** Assemble a FaultSimResult from a tally and the closed form. */
+FaultSimResult resultFromTally(const TrialTally &tally,
+                               double analytic_pst);
+
+} // namespace detail
 
 } // namespace vaq::sim
 

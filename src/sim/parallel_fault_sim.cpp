@@ -1,0 +1,125 @@
+#include "sim/parallel_fault_sim.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace vaq::sim
+{
+
+using circuit::Circuit;
+
+namespace
+{
+
+/**
+ * Chunks per adaptive wave. A fixed constant (not a function of the
+ * thread count) so the adaptive stopping point is identical no
+ * matter how many workers execute the wave.
+ */
+constexpr std::size_t kAdaptiveWaveChunks = 8;
+
+} // namespace
+
+ParallelFaultSim::ParallelFaultSim(std::size_t threads)
+    : _pool(threads)
+{
+}
+
+FaultSimResult
+ParallelFaultSim::run(const Circuit &physical, const NoiseModel &model,
+                      const ParallelFaultSimOptions &options)
+{
+    require(options.trials > 0, "need at least one trial");
+    require(options.chunkTrials > 0,
+            "chunkTrials must be positive");
+    require(options.targetStderr >= 0.0,
+            "targetStderr must be non-negative");
+    checkExecutable(physical, model);
+
+    const std::vector<double> probs =
+        detail::collectErrorProbs(physical, model);
+
+    const std::size_t numChunks =
+        (options.trials + options.chunkTrials - 1) /
+        options.chunkTrials;
+    const bool adaptive = options.targetStderr > 0.0;
+    const std::size_t waveChunks =
+        adaptive ? kAdaptiveWaveChunks : numChunks;
+
+    // One independent stream per chunk, derived sequentially from
+    // the master seed in chunk order: the stream layout is a pure
+    // function of (seed, trials, chunkTrials).
+    Rng master(options.seed);
+
+    detail::TrialTally total;
+    std::vector<Rng> streams;
+    std::vector<detail::TrialTally> tallies;
+    for (std::size_t first = 0; first < numChunks;
+         first += waveChunks) {
+        const std::size_t count =
+            std::min(waveChunks, numChunks - first);
+
+        streams.clear();
+        streams.reserve(count);
+        for (std::size_t i = 0; i < count; ++i)
+            streams.push_back(master.split());
+
+        tallies.assign(count, detail::TrialTally{});
+        _pool.parallelFor(count, [&](std::size_t i) {
+            const std::size_t begin =
+                (first + i) * options.chunkTrials;
+            const std::size_t n = std::min(
+                options.chunkTrials, options.trials - begin);
+            tallies[i] = detail::simulateChunk(probs, n, streams[i]);
+        });
+
+        // Reduce in chunk order — the merge sequence, like the
+        // streams, never depends on which worker ran which chunk.
+        for (const detail::TrialTally &t : tallies)
+            total.merge(t);
+
+        if (adaptive &&
+            detail::pstStandardError(total.successes,
+                                     total.trials) <=
+                options.targetStderr) {
+            break;
+        }
+    }
+
+    return detail::resultFromTally(
+        total, detail::productSuccessProb(probs));
+}
+
+std::vector<FaultSimResult>
+ParallelFaultSim::runBatch(std::span<const Circuit> physicals,
+                           const NoiseModel &model,
+                           const ParallelFaultSimOptions &options)
+{
+    std::vector<FaultSimResult> results;
+    results.reserve(physicals.size());
+    for (const Circuit &physical : physicals)
+        results.push_back(run(physical, model, options));
+    return results;
+}
+
+FaultSimResult
+runFaultInjectionParallel(const Circuit &physical,
+                          const NoiseModel &model,
+                          const ParallelFaultSimOptions &options)
+{
+    ParallelFaultSim engine(options.threads);
+    return engine.run(physical, model, options);
+}
+
+std::vector<FaultSimResult>
+runFaultInjectionBatch(std::span<const Circuit> physicals,
+                       const NoiseModel &model,
+                       const ParallelFaultSimOptions &options)
+{
+    ParallelFaultSim engine(options.threads);
+    return engine.runBatch(physicals, model, options);
+}
+
+} // namespace vaq::sim

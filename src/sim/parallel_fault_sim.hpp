@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Multi-threaded, deterministic Monte-Carlo trial engine.
+ *
+ * The paper's evaluation runs 1M fault-injection trials per workload
+ * (Section 4.3) for every policy/topology/calibration combination, so
+ * the simulator — not the compiler — dominates wall-clock when
+ * reproducing the figures. This engine shards the trial budget into
+ * fixed-size chunks, gives each chunk its own RNG stream derived from
+ * the master seed via Rng::split() in chunk order, runs the chunks on
+ * a reusable worker pool, and reduces the per-chunk tallies in chunk
+ * order. Because the chunk schedule and streams depend only on
+ * (seed, trials, chunkTrials), the result — including the
+ * early-stopping point of the adaptive mode — is bit-identical for
+ * any thread count.
+ */
+#ifndef VAQ_SIM_PARALLEL_FAULT_SIM_HPP
+#define VAQ_SIM_PARALLEL_FAULT_SIM_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/thread_pool.hpp"
+#include "sim/fault_sim.hpp"
+
+namespace vaq::sim
+{
+
+/** Knobs of the parallel Monte-Carlo fault-injection run. */
+struct ParallelFaultSimOptions
+{
+    std::size_t trials = 1'000'000; ///< paper uses 1M per workload
+    std::uint64_t seed = 13;
+    /** Worker threads for the one-shot entry points; 0 = one per
+     *  hardware thread. Ignored by ParallelFaultSim instances,
+     *  whose pool size is fixed at construction. */
+    std::size_t threads = 0;
+    /**
+     * Trials per chunk — the unit of determinism. Results depend on
+     * this value (it defines the RNG stream layout) but never on
+     * the thread count.
+     */
+    std::size_t chunkTrials = 16'384;
+    /**
+     * Adaptive precision: when > 0, stop as soon as the estimate's
+     * stderrPst falls to or below this target. The check runs after
+     * every fixed-size wave of chunks (not per thread), so the
+     * stopping point is thread-count invariant too. The result's
+     * `trials` field reports the trials actually run.
+     */
+    double targetStderr = 0.0;
+};
+
+/**
+ * Reusable parallel trial engine: one worker pool, many runs.
+ *
+ * Not safe for concurrent use from multiple threads; each run()
+ * blocks until its trials are reduced.
+ */
+class ParallelFaultSim
+{
+  public:
+    /** Spawn the pool; 0 = one worker per hardware thread. */
+    explicit ParallelFaultSim(std::size_t threads = 0);
+
+    /** Worker threads backing the engine. */
+    std::size_t threadCount() const { return _pool.threadCount(); }
+
+    /** Run one Monte-Carlo fault-injection study. */
+    FaultSimResult run(const circuit::Circuit &physical,
+                       const NoiseModel &model,
+                       const ParallelFaultSimOptions &options = {});
+
+    /**
+     * Evaluate many circuits against one model, amortizing the pool
+     * across the sweep. Each circuit is evaluated exactly as a
+     * standalone run() with the same options (same seed), so batch
+     * results do not depend on batch composition or order.
+     */
+    std::vector<FaultSimResult>
+    runBatch(std::span<const circuit::Circuit> physicals,
+             const NoiseModel &model,
+             const ParallelFaultSimOptions &options = {});
+
+  private:
+    ThreadPool _pool;
+};
+
+/** One-shot convenience: build a transient engine (options.threads)
+ *  and run once. Prefer ParallelFaultSim for repeated calls. */
+FaultSimResult
+runFaultInjectionParallel(const circuit::Circuit &physical,
+                          const NoiseModel &model,
+                          const ParallelFaultSimOptions &options = {});
+
+/** One-shot convenience over a circuit sweep (see runBatch). */
+std::vector<FaultSimResult>
+runFaultInjectionBatch(std::span<const circuit::Circuit> physicals,
+                       const NoiseModel &model,
+                       const ParallelFaultSimOptions &options = {});
+
+} // namespace vaq::sim
+
+#endif // VAQ_SIM_PARALLEL_FAULT_SIM_HPP

@@ -188,5 +188,47 @@ TEST(Rng, SplitProducesIndependentStream)
     EXPECT_LT(equal, 3);
 }
 
+TEST(Rng, SiblingSplitsAreMutuallyIndependent)
+{
+    // The parallel trial engine derives one stream per chunk by
+    // repeated splits of the master seed; sibling streams must not
+    // collide or correlate.
+    Rng parent(53);
+    Rng a = parent.split();
+    Rng b = parent.split();
+    Rng c = parent.split();
+    int equalAb = 0, equalBc = 0;
+    for (int i = 0; i < 100; ++i) {
+        const auto xa = a(), xb = b(), xc = c();
+        equalAb += xa == xb ? 1 : 0;
+        equalBc += xb == xc ? 1 : 0;
+    }
+    EXPECT_LT(equalAb, 3);
+    EXPECT_LT(equalBc, 3);
+}
+
+TEST(Rng, SiblingSplitMeansStayUniform)
+{
+    Rng parent(59);
+    for (int s = 0; s < 4; ++s) {
+        Rng child = parent.split();
+        RunningStats stats;
+        for (int i = 0; i < 20000; ++i)
+            stats.add(child.uniform());
+        EXPECT_NEAR(stats.mean(), 0.5, 0.02);
+    }
+}
+
+TEST(Rng, SplitSequenceIsDeterministic)
+{
+    Rng parentA(61), parentB(61);
+    for (int s = 0; s < 5; ++s) {
+        Rng a = parentA.split();
+        Rng b = parentB.split();
+        for (int i = 0; i < 20; ++i)
+            EXPECT_EQ(a(), b());
+    }
+}
+
 } // namespace
 } // namespace vaq

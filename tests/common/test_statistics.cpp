@@ -62,6 +62,41 @@ TEST(RunningStats, MergeMatchesSequential)
     EXPECT_DOUBLE_EQ(partA.max(), whole.max());
 }
 
+TEST(RunningStats, MergeIsAssociative)
+{
+    // The parallel trial engine reduces per-chunk tallies with
+    // merge(); any chunking of the stream must agree with the
+    // single-stream accumulator.
+    Rng rng(11);
+    std::vector<double> xs(3000);
+    for (double &x : xs)
+        x = rng.gauss(-2.0, 4.0);
+
+    RunningStats whole;
+    RunningStats parts[3];
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        whole.add(xs[i]);
+        parts[i % 3].add(xs[i]);
+    }
+
+    RunningStats leftFold = parts[0];
+    leftFold.merge(parts[1]);
+    leftFold.merge(parts[2]);
+
+    RunningStats rightFold = parts[1];
+    rightFold.merge(parts[2]);
+    RunningStats rightAssoc = parts[0];
+    rightAssoc.merge(rightFold);
+
+    for (const RunningStats &merged : {leftFold, rightAssoc}) {
+        EXPECT_EQ(merged.count(), whole.count());
+        EXPECT_NEAR(merged.mean(), whole.mean(), 1e-9);
+        EXPECT_NEAR(merged.variance(), whole.variance(), 1e-9);
+        EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+        EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+    }
+}
+
 TEST(RunningStats, MergeWithEmptyIsIdentity)
 {
     RunningStats a, empty;

@@ -1,0 +1,98 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace vaq
+{
+namespace
+{
+
+TEST(ThreadPool, DefaultHasAtLeastOneWorker)
+{
+    ThreadPool pool;
+    EXPECT_GE(pool.threadCount(), 1u);
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+}
+
+TEST(ThreadPool, ExplicitWorkerCount)
+{
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.threadCount(), 3u);
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> visits(257);
+    pool.parallelFor(visits.size(),
+                     [&](std::size_t i) { ++visits[i]; });
+    for (const auto &v : visits)
+        EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroCountIsNoop)
+{
+    ThreadPool pool(2);
+    bool touched = false;
+    pool.parallelFor(0, [&](std::size_t) { touched = true; });
+    EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, PoolIsReusableAcrossBursts)
+{
+    ThreadPool pool(2);
+    std::atomic<int> total{0};
+    for (int burst = 0; burst < 10; ++burst)
+        pool.parallelFor(100, [&](std::size_t) { ++total; });
+    EXPECT_EQ(total.load(), 1000);
+}
+
+TEST(ThreadPool, IndexedOutputNeedsNoSynchronization)
+{
+    ThreadPool pool(8);
+    std::vector<std::size_t> out(1000, 0);
+    pool.parallelFor(out.size(),
+                     [&](std::size_t i) { out[i] = i * i; });
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(pool.parallelFor(16,
+                                  [&](std::size_t i) {
+                                      ++ran;
+                                      if (i == 5)
+                                          throw VaqError("boom");
+                                  }),
+                 VaqError);
+    // Every task still ran; the pool is not poisoned.
+    EXPECT_EQ(ran.load(), 16);
+    std::atomic<int> again{0};
+    pool.parallelFor(4, [&](std::size_t) { ++again; });
+    EXPECT_EQ(again.load(), 4);
+}
+
+TEST(ThreadPool, SingleWorkerStillCompletesAllTasks)
+{
+    ThreadPool pool(1);
+    std::vector<int> order;
+    pool.parallelFor(50, [&](std::size_t i) {
+        order.push_back(static_cast<int>(i));
+    });
+    // One worker drains the queue in submission order.
+    std::vector<int> expected(50);
+    std::iota(expected.begin(), expected.end(), 0);
+    EXPECT_EQ(order, expected);
+}
+
+} // namespace
+} // namespace vaq

@@ -156,6 +156,78 @@ TEST_F(FaultSimTest, ZeroErrorMachineAlwaysSucceeds)
     EXPECT_DOUBLE_EQ(result.analyticPst, 1.0);
 }
 
+TEST_F(FaultSimTest, ResultAnalyticSharesAnalyticPstCodePath)
+{
+    // runFaultInjection and analyticPst() reduce the same collected
+    // probabilities through one helper; the reported closed forms
+    // must be bit-identical, not merely close.
+    const NoiseModel model(graph, snap, CoherenceMode::Idle);
+    Circuit c(5);
+    c.h(0).cx(0, 1);
+    for (int i = 0; i < 10; ++i)
+        c.cx(2, 3);
+    c.cx(1, 2).measureAll();
+    FaultSimOptions options;
+    options.trials = 1000;
+    const auto result = runFaultInjection(c, model, options);
+    EXPECT_DOUBLE_EQ(result.analyticPst, analyticPst(c, model));
+}
+
+TEST(FaultSimStderr, BoundaryTalliesNeverReportZero)
+{
+    // All-success / all-failure used to report stderr == 0 via the
+    // normal approximation; the Wilson/rule-of-three bound keeps the
+    // error bar positive so adaptive stopping cannot fire spuriously.
+    EXPECT_GT(detail::pstStandardError(0, 1000), 0.0);
+    EXPECT_GT(detail::pstStandardError(1000, 1000), 0.0);
+    // Wilson z = 1 half-width at the boundary is 1/(2(n+1)).
+    EXPECT_DOUBLE_EQ(detail::pstStandardError(0, 1000),
+                     0.5 / 1001.0);
+    EXPECT_DOUBLE_EQ(detail::pstStandardError(1000, 1000),
+                     0.5 / 1001.0);
+}
+
+TEST(FaultSimStderr, BoundaryBoundShrinksWithTrials)
+{
+    EXPECT_GT(detail::pstStandardError(0, 100),
+              detail::pstStandardError(0, 10'000));
+    EXPECT_GT(detail::pstStandardError(0, 10'000),
+              detail::pstStandardError(0, 1'000'000));
+}
+
+TEST(FaultSimStderr, InteriorMatchesNormalApproximation)
+{
+    const double p = 400.0 / 1000.0;
+    EXPECT_DOUBLE_EQ(detail::pstStandardError(400, 1000),
+                     std::sqrt(p * (1.0 - p) / 1000.0));
+}
+
+TEST(FaultSimStderr, BoundaryResultsSurfaceTheBound)
+{
+    const auto graph = topology::ibmQ5Tenerife();
+    const auto perfect = test::uniformSnapshot(graph, 0.0, 0.0, 0.0);
+    const NoiseModel model(graph, perfect, CoherenceMode::None);
+    Circuit c(5);
+    c.h(0).cx(0, 1).measureAll();
+    FaultSimOptions options;
+    options.trials = 500;
+    const auto result = runFaultInjection(c, model, options);
+    EXPECT_DOUBLE_EQ(result.pst, 1.0);
+    EXPECT_DOUBLE_EQ(result.stderrPst, 0.5 / 501.0);
+}
+
+TEST(FaultSimProbs, CorruptCalibrationThrowsInsteadOfClamping)
+{
+    const auto graph = topology::ibmQ5Tenerife();
+    auto snap = test::uniformSnapshot(graph);
+    snap.qubit(2).error1q = -0.25;
+    const NoiseModel model(graph, snap, CoherenceMode::None);
+    Circuit c(5);
+    c.h(2);
+    EXPECT_THROW(analyticPst(c, model), VaqError);
+    EXPECT_THROW(runFaultInjection(c, model, {}), VaqError);
+}
+
 TEST_F(FaultSimTest, OptionsValidated)
 {
     const NoiseModel model(graph, snap);

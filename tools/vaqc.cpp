@@ -12,7 +12,8 @@
  *        ring:N|grid:RxC] [--policy baseline|vqm|vqm4|vqa|
  *        vqa+vqm|native] [--calibration cal.csv |
  *        --synthetic-seed N] [--mah K] [--optimize]
- *        [--out mapped.qasm] [--trials N]
+ *        [--out mapped.qasm] [--trials N] [--threads N]
+ *        [--target-stderr X]
  *
  * Example:
  *   vaqc --qasm bell.qasm --machine q5 --policy vqa+vqm \
@@ -35,7 +36,7 @@
 #include "core/mapper.hpp"
 #include "core/explain.hpp"
 #include "core/verify.hpp"
-#include "sim/fault_sim.hpp"
+#include "sim/parallel_fault_sim.hpp"
 #include "topology/layouts.hpp"
 
 namespace
@@ -53,6 +54,8 @@ struct Options
     std::uint64_t syntheticSeed = 7;
     int mah = core::kUnlimitedHops;
     std::size_t trials = 100000;
+    std::size_t threads = 0;
+    double targetStderr = 0.0;
     bool optimize = false;
     bool lower = false;
     bool verify = false;
@@ -88,6 +91,12 @@ printUsage()
         "rationale\n"
         "  --trials N           Monte-Carlo trials for the report "
         "(default 100000)\n"
+        "  --threads N          simulator worker threads (default "
+        "0 = one per core)\n"
+        "  --target-stderr X    stop the Monte-Carlo run early "
+        "once the PST\n"
+        "                       standard error drops to X "
+        "(default 0 = run all trials)\n"
         "  --out FILE           write the mapped program as QASM\n"
         "  --help               this text\n";
 }
@@ -119,6 +128,11 @@ parseArgs(int argc, char **argv)
                 static_cast<int>(parseSize(next("--mah")));
         else if (arg == "--trials")
             options.trials = parseSize(next("--trials"));
+        else if (arg == "--threads")
+            options.threads = parseSize(next("--threads"));
+        else if (arg == "--target-stderr")
+            options.targetStderr =
+                parseDouble(next("--target-stderr"));
         else if (arg == "--optimize")
             options.optimize = true;
         else if (arg == "--lower")
@@ -251,10 +265,12 @@ run(const Options &options)
 
     // Report.
     const sim::NoiseModel model(machine, snapshot);
-    sim::FaultSimOptions simOptions;
+    sim::ParallelFaultSimOptions simOptions;
     simOptions.trials = options.trials;
-    const auto result = sim::runFaultInjection(mapped.physical,
-                                               model, simOptions);
+    simOptions.threads = options.threads;
+    simOptions.targetStderr = options.targetStderr;
+    const auto result = sim::runFaultInjectionParallel(
+        mapped.physical, model, simOptions);
 
     std::cout << "program   : " << options.qasmPath << " ("
               << logical.numQubits() << " qubits, "
@@ -270,9 +286,10 @@ run(const Options &options)
         std::cout << (q ? " " : "") << mapped.initial.phys(q);
     std::cout << "\n";
     std::cout << "PST       : " << formatDouble(result.pst, 5)
+              << " +/- " << formatDouble(result.stderrPst, 5)
               << " (analytic "
               << formatDouble(result.analyticPst, 5) << ", "
-              << options.trials << " trials)\n";
+              << result.trials << " trials)\n";
 
     if (options.explain) {
         std::cout << "\n"
