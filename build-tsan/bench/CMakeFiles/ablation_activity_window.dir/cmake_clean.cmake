@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_activity_window.dir/ablation_activity_window.cpp.o"
+  "CMakeFiles/ablation_activity_window.dir/ablation_activity_window.cpp.o.d"
+  "ablation_activity_window"
+  "ablation_activity_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_activity_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

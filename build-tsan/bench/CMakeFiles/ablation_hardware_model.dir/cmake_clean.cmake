@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hardware_model.dir/ablation_hardware_model.cpp.o"
+  "CMakeFiles/ablation_hardware_model.dir/ablation_hardware_model.cpp.o.d"
+  "ablation_hardware_model"
+  "ablation_hardware_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hardware_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mah.dir/ablation_mah.cpp.o"
+  "CMakeFiles/ablation_mah.dir/ablation_mah.cpp.o.d"
+  "ablation_mah"
+  "ablation_mah.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mah.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_cross_machine.dir/extension_cross_machine.cpp.o"
+  "CMakeFiles/extension_cross_machine.dir/extension_cross_machine.cpp.o.d"
+  "extension_cross_machine"
+  "extension_cross_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_cross_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_coherence_dist.dir/fig05_coherence_dist.cpp.o"
+  "CMakeFiles/fig05_coherence_dist.dir/fig05_coherence_dist.cpp.o.d"
+  "fig05_coherence_dist"
+  "fig05_coherence_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_coherence_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_error1q_dist.dir/fig06_error1q_dist.cpp.o"
+  "CMakeFiles/fig06_error1q_dist.dir/fig06_error1q_dist.cpp.o.d"
+  "fig06_error1q_dist"
+  "fig06_error1q_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_error1q_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

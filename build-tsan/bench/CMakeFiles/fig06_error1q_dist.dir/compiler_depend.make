@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig06_error1q_dist.
+# This may be replaced when dependencies are built.

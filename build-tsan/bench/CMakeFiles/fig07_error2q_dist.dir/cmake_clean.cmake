@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_error2q_dist.dir/fig07_error2q_dist.cpp.o"
+  "CMakeFiles/fig07_error2q_dist.dir/fig07_error2q_dist.cpp.o.d"
+  "fig07_error2q_dist"
+  "fig07_error2q_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_error2q_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

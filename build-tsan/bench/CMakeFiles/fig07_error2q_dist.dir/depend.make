@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_error2q_dist.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_temporal_variation.dir/fig08_temporal_variation.cpp.o"
+  "CMakeFiles/fig08_temporal_variation.dir/fig08_temporal_variation.cpp.o.d"
+  "fig08_temporal_variation"
+  "fig08_temporal_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_temporal_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

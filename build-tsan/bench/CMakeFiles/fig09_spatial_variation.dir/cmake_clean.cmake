@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_spatial_variation.dir/fig09_spatial_variation.cpp.o"
+  "CMakeFiles/fig09_spatial_variation.dir/fig09_spatial_variation.cpp.o.d"
+  "fig09_spatial_variation"
+  "fig09_spatial_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_spatial_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_vqm_pst.dir/fig12_vqm_pst.cpp.o"
+  "CMakeFiles/fig12_vqm_pst.dir/fig12_vqm_pst.cpp.o.d"
+  "fig12_vqm_pst"
+  "fig12_vqm_pst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_vqm_pst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

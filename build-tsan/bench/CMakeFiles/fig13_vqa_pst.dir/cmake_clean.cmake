@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_vqa_pst.dir/fig13_vqa_pst.cpp.o"
+  "CMakeFiles/fig13_vqa_pst.dir/fig13_vqa_pst.cpp.o.d"
+  "fig13_vqa_pst"
+  "fig13_vqa_pst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_vqa_pst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_daily_variation.dir/fig14_daily_variation.cpp.o"
+  "CMakeFiles/fig14_daily_variation.dir/fig14_daily_variation.cpp.o.d"
+  "fig14_daily_variation"
+  "fig14_daily_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_daily_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

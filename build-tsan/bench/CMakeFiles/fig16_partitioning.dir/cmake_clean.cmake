@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_partitioning.dir/fig16_partitioning.cpp.o"
+  "CMakeFiles/fig16_partitioning.dir/fig16_partitioning.cpp.o.d"
+  "fig16_partitioning"
+  "fig16_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

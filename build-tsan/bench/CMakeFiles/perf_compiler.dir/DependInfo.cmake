@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/perf_compiler.cpp" "bench/CMakeFiles/perf_compiler.dir/perf_compiler.cpp.o" "gcc" "bench/CMakeFiles/perf_compiler.dir/perf_compiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/partition/CMakeFiles/vaq_partition.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/vaq_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workloads/CMakeFiles/vaq_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/vaq_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/calibration/CMakeFiles/vaq_calibration.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/graph/CMakeFiles/vaq_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/topology/CMakeFiles/vaq_topology.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/circuit/CMakeFiles/vaq_circuit.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/vaq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

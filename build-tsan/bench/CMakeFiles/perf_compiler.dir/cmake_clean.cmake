@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_compiler.dir/perf_compiler.cpp.o"
+  "CMakeFiles/perf_compiler.dir/perf_compiler.cpp.o.d"
+  "perf_compiler"
+  "perf_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

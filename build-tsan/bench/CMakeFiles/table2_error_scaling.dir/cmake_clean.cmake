@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_error_scaling.dir/table2_error_scaling.cpp.o"
+  "CMakeFiles/table2_error_scaling.dir/table2_error_scaling.cpp.o.d"
+  "table2_error_scaling"
+  "table2_error_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_error_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

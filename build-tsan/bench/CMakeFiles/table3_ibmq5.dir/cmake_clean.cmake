@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_ibmq5.dir/table3_ibmq5.cpp.o"
+  "CMakeFiles/table3_ibmq5.dir/table3_ibmq5.cpp.o.d"
+  "table3_ibmq5"
+  "table3_ibmq5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_ibmq5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterize_and_run.dir/characterize_and_run.cpp.o"
+  "CMakeFiles/characterize_and_run.dir/characterize_and_run.cpp.o.d"
+  "characterize_and_run"
+  "characterize_and_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize_and_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daily_recompilation.dir/daily_recompilation.cpp.o"
+  "CMakeFiles/daily_recompilation.dir/daily_recompilation.cpp.o.d"
+  "daily_recompilation"
+  "daily_recompilation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daily_recompilation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

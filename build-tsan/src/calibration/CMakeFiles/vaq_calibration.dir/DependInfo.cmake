@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/calibration/csv_io.cpp" "src/calibration/CMakeFiles/vaq_calibration.dir/csv_io.cpp.o" "gcc" "src/calibration/CMakeFiles/vaq_calibration.dir/csv_io.cpp.o.d"
+  "/root/repo/src/calibration/snapshot.cpp" "src/calibration/CMakeFiles/vaq_calibration.dir/snapshot.cpp.o" "gcc" "src/calibration/CMakeFiles/vaq_calibration.dir/snapshot.cpp.o.d"
+  "/root/repo/src/calibration/synthetic.cpp" "src/calibration/CMakeFiles/vaq_calibration.dir/synthetic.cpp.o" "gcc" "src/calibration/CMakeFiles/vaq_calibration.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/vaq_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/topology/CMakeFiles/vaq_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

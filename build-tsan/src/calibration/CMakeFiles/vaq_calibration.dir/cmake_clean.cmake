@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaq_calibration.dir/csv_io.cpp.o"
+  "CMakeFiles/vaq_calibration.dir/csv_io.cpp.o.d"
+  "CMakeFiles/vaq_calibration.dir/snapshot.cpp.o"
+  "CMakeFiles/vaq_calibration.dir/snapshot.cpp.o.d"
+  "CMakeFiles/vaq_calibration.dir/synthetic.cpp.o"
+  "CMakeFiles/vaq_calibration.dir/synthetic.cpp.o.d"
+  "libvaq_calibration.a"
+  "libvaq_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaq_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

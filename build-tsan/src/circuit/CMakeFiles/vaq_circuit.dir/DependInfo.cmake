@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/circuit.cpp" "src/circuit/CMakeFiles/vaq_circuit.dir/circuit.cpp.o" "gcc" "src/circuit/CMakeFiles/vaq_circuit.dir/circuit.cpp.o.d"
+  "/root/repo/src/circuit/gate.cpp" "src/circuit/CMakeFiles/vaq_circuit.dir/gate.cpp.o" "gcc" "src/circuit/CMakeFiles/vaq_circuit.dir/gate.cpp.o.d"
+  "/root/repo/src/circuit/layering.cpp" "src/circuit/CMakeFiles/vaq_circuit.dir/layering.cpp.o" "gcc" "src/circuit/CMakeFiles/vaq_circuit.dir/layering.cpp.o.d"
+  "/root/repo/src/circuit/lower.cpp" "src/circuit/CMakeFiles/vaq_circuit.dir/lower.cpp.o" "gcc" "src/circuit/CMakeFiles/vaq_circuit.dir/lower.cpp.o.d"
+  "/root/repo/src/circuit/optimizer.cpp" "src/circuit/CMakeFiles/vaq_circuit.dir/optimizer.cpp.o" "gcc" "src/circuit/CMakeFiles/vaq_circuit.dir/optimizer.cpp.o.d"
+  "/root/repo/src/circuit/orient.cpp" "src/circuit/CMakeFiles/vaq_circuit.dir/orient.cpp.o" "gcc" "src/circuit/CMakeFiles/vaq_circuit.dir/orient.cpp.o.d"
+  "/root/repo/src/circuit/qasm.cpp" "src/circuit/CMakeFiles/vaq_circuit.dir/qasm.cpp.o" "gcc" "src/circuit/CMakeFiles/vaq_circuit.dir/qasm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/vaq_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/topology/CMakeFiles/vaq_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

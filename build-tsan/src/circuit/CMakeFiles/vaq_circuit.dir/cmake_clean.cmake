@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaq_circuit.dir/circuit.cpp.o"
+  "CMakeFiles/vaq_circuit.dir/circuit.cpp.o.d"
+  "CMakeFiles/vaq_circuit.dir/gate.cpp.o"
+  "CMakeFiles/vaq_circuit.dir/gate.cpp.o.d"
+  "CMakeFiles/vaq_circuit.dir/layering.cpp.o"
+  "CMakeFiles/vaq_circuit.dir/layering.cpp.o.d"
+  "CMakeFiles/vaq_circuit.dir/lower.cpp.o"
+  "CMakeFiles/vaq_circuit.dir/lower.cpp.o.d"
+  "CMakeFiles/vaq_circuit.dir/optimizer.cpp.o"
+  "CMakeFiles/vaq_circuit.dir/optimizer.cpp.o.d"
+  "CMakeFiles/vaq_circuit.dir/orient.cpp.o"
+  "CMakeFiles/vaq_circuit.dir/orient.cpp.o.d"
+  "CMakeFiles/vaq_circuit.dir/qasm.cpp.o"
+  "CMakeFiles/vaq_circuit.dir/qasm.cpp.o.d"
+  "libvaq_circuit.a"
+  "libvaq_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaq_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

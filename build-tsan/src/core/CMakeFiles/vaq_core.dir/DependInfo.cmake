@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocator.cpp" "src/core/CMakeFiles/vaq_core.dir/allocator.cpp.o" "gcc" "src/core/CMakeFiles/vaq_core.dir/allocator.cpp.o.d"
+  "/root/repo/src/core/astar_router.cpp" "src/core/CMakeFiles/vaq_core.dir/astar_router.cpp.o" "gcc" "src/core/CMakeFiles/vaq_core.dir/astar_router.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "src/core/CMakeFiles/vaq_core.dir/cost_model.cpp.o" "gcc" "src/core/CMakeFiles/vaq_core.dir/cost_model.cpp.o.d"
+  "/root/repo/src/core/explain.cpp" "src/core/CMakeFiles/vaq_core.dir/explain.cpp.o" "gcc" "src/core/CMakeFiles/vaq_core.dir/explain.cpp.o.d"
+  "/root/repo/src/core/layout.cpp" "src/core/CMakeFiles/vaq_core.dir/layout.cpp.o" "gcc" "src/core/CMakeFiles/vaq_core.dir/layout.cpp.o.d"
+  "/root/repo/src/core/mapped_circuit.cpp" "src/core/CMakeFiles/vaq_core.dir/mapped_circuit.cpp.o" "gcc" "src/core/CMakeFiles/vaq_core.dir/mapped_circuit.cpp.o.d"
+  "/root/repo/src/core/mapper.cpp" "src/core/CMakeFiles/vaq_core.dir/mapper.cpp.o" "gcc" "src/core/CMakeFiles/vaq_core.dir/mapper.cpp.o.d"
+  "/root/repo/src/core/movement_planner.cpp" "src/core/CMakeFiles/vaq_core.dir/movement_planner.cpp.o" "gcc" "src/core/CMakeFiles/vaq_core.dir/movement_planner.cpp.o.d"
+  "/root/repo/src/core/router.cpp" "src/core/CMakeFiles/vaq_core.dir/router.cpp.o" "gcc" "src/core/CMakeFiles/vaq_core.dir/router.cpp.o.d"
+  "/root/repo/src/core/verify.cpp" "src/core/CMakeFiles/vaq_core.dir/verify.cpp.o" "gcc" "src/core/CMakeFiles/vaq_core.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/vaq_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/circuit/CMakeFiles/vaq_circuit.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/topology/CMakeFiles/vaq_topology.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/graph/CMakeFiles/vaq_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/calibration/CMakeFiles/vaq_calibration.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/vaq_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaq_core.dir/allocator.cpp.o"
+  "CMakeFiles/vaq_core.dir/allocator.cpp.o.d"
+  "CMakeFiles/vaq_core.dir/astar_router.cpp.o"
+  "CMakeFiles/vaq_core.dir/astar_router.cpp.o.d"
+  "CMakeFiles/vaq_core.dir/cost_model.cpp.o"
+  "CMakeFiles/vaq_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/vaq_core.dir/explain.cpp.o"
+  "CMakeFiles/vaq_core.dir/explain.cpp.o.d"
+  "CMakeFiles/vaq_core.dir/layout.cpp.o"
+  "CMakeFiles/vaq_core.dir/layout.cpp.o.d"
+  "CMakeFiles/vaq_core.dir/mapped_circuit.cpp.o"
+  "CMakeFiles/vaq_core.dir/mapped_circuit.cpp.o.d"
+  "CMakeFiles/vaq_core.dir/mapper.cpp.o"
+  "CMakeFiles/vaq_core.dir/mapper.cpp.o.d"
+  "CMakeFiles/vaq_core.dir/movement_planner.cpp.o"
+  "CMakeFiles/vaq_core.dir/movement_planner.cpp.o.d"
+  "CMakeFiles/vaq_core.dir/router.cpp.o"
+  "CMakeFiles/vaq_core.dir/router.cpp.o.d"
+  "CMakeFiles/vaq_core.dir/verify.cpp.o"
+  "CMakeFiles/vaq_core.dir/verify.cpp.o.d"
+  "libvaq_core.a"
+  "libvaq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/kcore.cpp" "src/graph/CMakeFiles/vaq_graph.dir/kcore.cpp.o" "gcc" "src/graph/CMakeFiles/vaq_graph.dir/kcore.cpp.o.d"
+  "/root/repo/src/graph/shortest_path.cpp" "src/graph/CMakeFiles/vaq_graph.dir/shortest_path.cpp.o" "gcc" "src/graph/CMakeFiles/vaq_graph.dir/shortest_path.cpp.o.d"
+  "/root/repo/src/graph/subgraph.cpp" "src/graph/CMakeFiles/vaq_graph.dir/subgraph.cpp.o" "gcc" "src/graph/CMakeFiles/vaq_graph.dir/subgraph.cpp.o.d"
+  "/root/repo/src/graph/weighted_graph.cpp" "src/graph/CMakeFiles/vaq_graph.dir/weighted_graph.cpp.o" "gcc" "src/graph/CMakeFiles/vaq_graph.dir/weighted_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/vaq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

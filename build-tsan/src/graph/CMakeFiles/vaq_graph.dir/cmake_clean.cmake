@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaq_graph.dir/kcore.cpp.o"
+  "CMakeFiles/vaq_graph.dir/kcore.cpp.o.d"
+  "CMakeFiles/vaq_graph.dir/shortest_path.cpp.o"
+  "CMakeFiles/vaq_graph.dir/shortest_path.cpp.o.d"
+  "CMakeFiles/vaq_graph.dir/subgraph.cpp.o"
+  "CMakeFiles/vaq_graph.dir/subgraph.cpp.o.d"
+  "CMakeFiles/vaq_graph.dir/weighted_graph.cpp.o"
+  "CMakeFiles/vaq_graph.dir/weighted_graph.cpp.o.d"
+  "libvaq_graph.a"
+  "libvaq_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaq_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaq_partition.dir/partition.cpp.o"
+  "CMakeFiles/vaq_partition.dir/partition.cpp.o.d"
+  "libvaq_partition.a"
+  "libvaq_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaq_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaq_runtime.dir/iterative.cpp.o"
+  "CMakeFiles/vaq_runtime.dir/iterative.cpp.o.d"
+  "libvaq_runtime.a"
+  "libvaq_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaq_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/characterize.cpp" "src/sim/CMakeFiles/vaq_sim.dir/characterize.cpp.o" "gcc" "src/sim/CMakeFiles/vaq_sim.dir/characterize.cpp.o.d"
+  "/root/repo/src/sim/density_matrix.cpp" "src/sim/CMakeFiles/vaq_sim.dir/density_matrix.cpp.o" "gcc" "src/sim/CMakeFiles/vaq_sim.dir/density_matrix.cpp.o.d"
+  "/root/repo/src/sim/fault_sim.cpp" "src/sim/CMakeFiles/vaq_sim.dir/fault_sim.cpp.o" "gcc" "src/sim/CMakeFiles/vaq_sim.dir/fault_sim.cpp.o.d"
+  "/root/repo/src/sim/noise_model.cpp" "src/sim/CMakeFiles/vaq_sim.dir/noise_model.cpp.o" "gcc" "src/sim/CMakeFiles/vaq_sim.dir/noise_model.cpp.o.d"
+  "/root/repo/src/sim/parallel_fault_sim.cpp" "src/sim/CMakeFiles/vaq_sim.dir/parallel_fault_sim.cpp.o" "gcc" "src/sim/CMakeFiles/vaq_sim.dir/parallel_fault_sim.cpp.o.d"
+  "/root/repo/src/sim/schedule.cpp" "src/sim/CMakeFiles/vaq_sim.dir/schedule.cpp.o" "gcc" "src/sim/CMakeFiles/vaq_sim.dir/schedule.cpp.o.d"
+  "/root/repo/src/sim/statevector.cpp" "src/sim/CMakeFiles/vaq_sim.dir/statevector.cpp.o" "gcc" "src/sim/CMakeFiles/vaq_sim.dir/statevector.cpp.o.d"
+  "/root/repo/src/sim/trajectory_sim.cpp" "src/sim/CMakeFiles/vaq_sim.dir/trajectory_sim.cpp.o" "gcc" "src/sim/CMakeFiles/vaq_sim.dir/trajectory_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/vaq_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/circuit/CMakeFiles/vaq_circuit.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/topology/CMakeFiles/vaq_topology.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/calibration/CMakeFiles/vaq_calibration.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/coupling_graph.cpp" "src/topology/CMakeFiles/vaq_topology.dir/coupling_graph.cpp.o" "gcc" "src/topology/CMakeFiles/vaq_topology.dir/coupling_graph.cpp.o.d"
+  "/root/repo/src/topology/directions.cpp" "src/topology/CMakeFiles/vaq_topology.dir/directions.cpp.o" "gcc" "src/topology/CMakeFiles/vaq_topology.dir/directions.cpp.o.d"
+  "/root/repo/src/topology/layouts.cpp" "src/topology/CMakeFiles/vaq_topology.dir/layouts.cpp.o" "gcc" "src/topology/CMakeFiles/vaq_topology.dir/layouts.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/vaq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaq_topology.dir/coupling_graph.cpp.o"
+  "CMakeFiles/vaq_topology.dir/coupling_graph.cpp.o.d"
+  "CMakeFiles/vaq_topology.dir/directions.cpp.o"
+  "CMakeFiles/vaq_topology.dir/directions.cpp.o.d"
+  "CMakeFiles/vaq_topology.dir/layouts.cpp.o"
+  "CMakeFiles/vaq_topology.dir/layouts.cpp.o.d"
+  "libvaq_topology.a"
+  "libvaq_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaq_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

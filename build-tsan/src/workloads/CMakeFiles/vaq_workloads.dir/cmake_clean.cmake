@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaq_workloads.dir/workloads.cpp.o"
+  "CMakeFiles/vaq_workloads.dir/workloads.cpp.o.d"
+  "libvaq_workloads.a"
+  "libvaq_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaq_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

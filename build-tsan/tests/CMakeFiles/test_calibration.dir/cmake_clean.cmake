@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_calibration.dir/calibration/test_csv_io.cpp.o"
+  "CMakeFiles/test_calibration.dir/calibration/test_csv_io.cpp.o.d"
+  "CMakeFiles/test_calibration.dir/calibration/test_snapshot.cpp.o"
+  "CMakeFiles/test_calibration.dir/calibration/test_snapshot.cpp.o.d"
+  "CMakeFiles/test_calibration.dir/calibration/test_synthetic.cpp.o"
+  "CMakeFiles/test_calibration.dir/calibration/test_synthetic.cpp.o.d"
+  "test_calibration"
+  "test_calibration.pdb"
+  "test_calibration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/circuit/test_circuit.cpp" "tests/CMakeFiles/test_circuit.dir/circuit/test_circuit.cpp.o" "gcc" "tests/CMakeFiles/test_circuit.dir/circuit/test_circuit.cpp.o.d"
+  "/root/repo/tests/circuit/test_gate.cpp" "tests/CMakeFiles/test_circuit.dir/circuit/test_gate.cpp.o" "gcc" "tests/CMakeFiles/test_circuit.dir/circuit/test_gate.cpp.o.d"
+  "/root/repo/tests/circuit/test_layering.cpp" "tests/CMakeFiles/test_circuit.dir/circuit/test_layering.cpp.o" "gcc" "tests/CMakeFiles/test_circuit.dir/circuit/test_layering.cpp.o.d"
+  "/root/repo/tests/circuit/test_lower.cpp" "tests/CMakeFiles/test_circuit.dir/circuit/test_lower.cpp.o" "gcc" "tests/CMakeFiles/test_circuit.dir/circuit/test_lower.cpp.o.d"
+  "/root/repo/tests/circuit/test_optimizer.cpp" "tests/CMakeFiles/test_circuit.dir/circuit/test_optimizer.cpp.o" "gcc" "tests/CMakeFiles/test_circuit.dir/circuit/test_optimizer.cpp.o.d"
+  "/root/repo/tests/circuit/test_orient.cpp" "tests/CMakeFiles/test_circuit.dir/circuit/test_orient.cpp.o" "gcc" "tests/CMakeFiles/test_circuit.dir/circuit/test_orient.cpp.o.d"
+  "/root/repo/tests/circuit/test_qasm.cpp" "tests/CMakeFiles/test_circuit.dir/circuit/test_qasm.cpp.o" "gcc" "tests/CMakeFiles/test_circuit.dir/circuit/test_qasm.cpp.o.d"
+  "/root/repo/tests/circuit/test_u3.cpp" "tests/CMakeFiles/test_circuit.dir/circuit/test_u3.cpp.o" "gcc" "tests/CMakeFiles/test_circuit.dir/circuit/test_u3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/runtime/CMakeFiles/vaq_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/partition/CMakeFiles/vaq_partition.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/vaq_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workloads/CMakeFiles/vaq_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/vaq_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/calibration/CMakeFiles/vaq_calibration.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/graph/CMakeFiles/vaq_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/topology/CMakeFiles/vaq_topology.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/circuit/CMakeFiles/vaq_circuit.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/vaq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

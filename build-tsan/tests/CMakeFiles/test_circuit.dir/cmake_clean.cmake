@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_circuit.dir/circuit/test_circuit.cpp.o"
+  "CMakeFiles/test_circuit.dir/circuit/test_circuit.cpp.o.d"
+  "CMakeFiles/test_circuit.dir/circuit/test_gate.cpp.o"
+  "CMakeFiles/test_circuit.dir/circuit/test_gate.cpp.o.d"
+  "CMakeFiles/test_circuit.dir/circuit/test_layering.cpp.o"
+  "CMakeFiles/test_circuit.dir/circuit/test_layering.cpp.o.d"
+  "CMakeFiles/test_circuit.dir/circuit/test_lower.cpp.o"
+  "CMakeFiles/test_circuit.dir/circuit/test_lower.cpp.o.d"
+  "CMakeFiles/test_circuit.dir/circuit/test_optimizer.cpp.o"
+  "CMakeFiles/test_circuit.dir/circuit/test_optimizer.cpp.o.d"
+  "CMakeFiles/test_circuit.dir/circuit/test_orient.cpp.o"
+  "CMakeFiles/test_circuit.dir/circuit/test_orient.cpp.o.d"
+  "CMakeFiles/test_circuit.dir/circuit/test_qasm.cpp.o"
+  "CMakeFiles/test_circuit.dir/circuit/test_qasm.cpp.o.d"
+  "CMakeFiles/test_circuit.dir/circuit/test_u3.cpp.o"
+  "CMakeFiles/test_circuit.dir/circuit/test_u3.cpp.o.d"
+  "test_circuit"
+  "test_circuit.pdb"
+  "test_circuit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

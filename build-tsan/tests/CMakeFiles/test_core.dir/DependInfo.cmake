@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_allocator.cpp" "tests/CMakeFiles/test_core.dir/core/test_allocator.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_allocator.cpp.o.d"
+  "/root/repo/tests/core/test_astar_router.cpp" "tests/CMakeFiles/test_core.dir/core/test_astar_router.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_astar_router.cpp.o.d"
+  "/root/repo/tests/core/test_cost_model.cpp" "tests/CMakeFiles/test_core.dir/core/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_cost_model.cpp.o.d"
+  "/root/repo/tests/core/test_explain.cpp" "tests/CMakeFiles/test_core.dir/core/test_explain.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_explain.cpp.o.d"
+  "/root/repo/tests/core/test_layout.cpp" "tests/CMakeFiles/test_core.dir/core/test_layout.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_layout.cpp.o.d"
+  "/root/repo/tests/core/test_mapper.cpp" "tests/CMakeFiles/test_core.dir/core/test_mapper.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_mapper.cpp.o.d"
+  "/root/repo/tests/core/test_movement_planner.cpp" "tests/CMakeFiles/test_core.dir/core/test_movement_planner.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_movement_planner.cpp.o.d"
+  "/root/repo/tests/core/test_router.cpp" "tests/CMakeFiles/test_core.dir/core/test_router.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_router.cpp.o.d"
+  "/root/repo/tests/core/test_verify.cpp" "tests/CMakeFiles/test_core.dir/core/test_verify.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/runtime/CMakeFiles/vaq_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/partition/CMakeFiles/vaq_partition.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/vaq_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workloads/CMakeFiles/vaq_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/vaq_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/calibration/CMakeFiles/vaq_calibration.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/graph/CMakeFiles/vaq_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/topology/CMakeFiles/vaq_topology.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/circuit/CMakeFiles/vaq_circuit.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/vaq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

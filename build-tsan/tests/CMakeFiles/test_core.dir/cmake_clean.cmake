@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_allocator.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_allocator.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_astar_router.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_astar_router.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_cost_model.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_cost_model.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_explain.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_explain.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_layout.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_layout.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_mapper.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_mapper.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_movement_planner.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_movement_planner.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_router.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_router.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_verify.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_verify.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_characterize.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_characterize.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_density_matrix.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_density_matrix.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_fault_sim.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_fault_sim.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_noise_model.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_noise_model.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_schedule.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_schedule.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_statevector.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_statevector.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_trajectory.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_trajectory.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

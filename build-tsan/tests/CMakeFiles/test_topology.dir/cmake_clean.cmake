@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topology.dir/topology/test_coupling_graph.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/test_coupling_graph.cpp.o.d"
+  "CMakeFiles/test_topology.dir/topology/test_layouts.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/test_layouts.cpp.o.d"
+  "test_topology"
+  "test_topology.pdb"
+  "test_topology[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/test_common[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_circuit[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_topology[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_graph[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_calibration[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_core[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_partition[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_integration[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaqc.dir/vaqc.cpp.o"
+  "CMakeFiles/vaqc.dir/vaqc.cpp.o.d"
+  "vaqc"
+  "vaqc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaqc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vaqc.
+# This may be replaced when dependencies are built.

@@ -154,12 +154,12 @@ bench/CMakeFiles/ablation_router_strategy.dir/ablation_router_strategy.cpp.o: \
  /usr/include/c++/12/bits/locale_facets.tcc \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
- /root/repo/src/calibration/snapshot.hpp /usr/include/c++/12/cstddef \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
+ /root/repo/src/calibration/snapshot.hpp /usr/include/c++/12/cstddef \
  /root/repo/src/topology/coupling_graph.hpp \
  /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/ext/aligned_buffer.h \
@@ -218,6 +218,25 @@ bench/CMakeFiles/ablation_router_strategy.dir/ablation_router_strategy.cpp.o: \
  /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/core/mapped_circuit.hpp /root/repo/src/core/router.hpp \
  /root/repo/src/core/movement_planner.hpp \
- /root/repo/src/sim/fault_sim.hpp /root/repo/src/sim/noise_model.hpp \
+ /root/repo/src/sim/parallel_fault_sim.hpp /usr/include/c++/12/span \
+ /root/repo/src/common/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/sim/fault_sim.hpp \
+ /root/repo/src/common/statistics.hpp /root/repo/src/sim/noise_model.hpp \
  /root/repo/src/sim/schedule.hpp /root/repo/src/topology/layouts.hpp \
  /root/repo/src/common/table.hpp /root/repo/src/workloads/workloads.hpp

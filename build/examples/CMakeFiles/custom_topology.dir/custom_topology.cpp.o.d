@@ -216,5 +216,7 @@ examples/CMakeFiles/custom_topology.dir/custom_topology.cpp.o: \
  /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/core/mapped_circuit.hpp /root/repo/src/core/router.hpp \
  /root/repo/src/core/movement_planner.hpp \
- /root/repo/src/sim/fault_sim.hpp /root/repo/src/sim/noise_model.hpp \
- /root/repo/src/sim/schedule.hpp /root/repo/src/topology/layouts.hpp
+ /root/repo/src/sim/fault_sim.hpp /root/repo/src/common/rng.hpp \
+ /usr/include/c++/12/array /root/repo/src/common/statistics.hpp \
+ /root/repo/src/sim/noise_model.hpp /root/repo/src/sim/schedule.hpp \
+ /root/repo/src/topology/layouts.hpp

@@ -217,6 +217,7 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/core/mapped_circuit.hpp /root/repo/src/core/router.hpp \
  /root/repo/src/core/movement_planner.hpp \
- /root/repo/src/sim/fault_sim.hpp /root/repo/src/sim/noise_model.hpp \
- /root/repo/src/sim/schedule.hpp /root/repo/src/topology/layouts.hpp \
+ /root/repo/src/sim/fault_sim.hpp /root/repo/src/common/statistics.hpp \
+ /root/repo/src/sim/noise_model.hpp /root/repo/src/sim/schedule.hpp \
+ /root/repo/src/topology/layouts.hpp \
  /root/repo/src/workloads/workloads.hpp

@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/density_matrix.cpp" "src/sim/CMakeFiles/vaq_sim.dir/density_matrix.cpp.o" "gcc" "src/sim/CMakeFiles/vaq_sim.dir/density_matrix.cpp.o.d"
   "/root/repo/src/sim/fault_sim.cpp" "src/sim/CMakeFiles/vaq_sim.dir/fault_sim.cpp.o" "gcc" "src/sim/CMakeFiles/vaq_sim.dir/fault_sim.cpp.o.d"
   "/root/repo/src/sim/noise_model.cpp" "src/sim/CMakeFiles/vaq_sim.dir/noise_model.cpp.o" "gcc" "src/sim/CMakeFiles/vaq_sim.dir/noise_model.cpp.o.d"
+  "/root/repo/src/sim/parallel_fault_sim.cpp" "src/sim/CMakeFiles/vaq_sim.dir/parallel_fault_sim.cpp.o" "gcc" "src/sim/CMakeFiles/vaq_sim.dir/parallel_fault_sim.cpp.o.d"
   "/root/repo/src/sim/schedule.cpp" "src/sim/CMakeFiles/vaq_sim.dir/schedule.cpp.o" "gcc" "src/sim/CMakeFiles/vaq_sim.dir/schedule.cpp.o.d"
   "/root/repo/src/sim/statevector.cpp" "src/sim/CMakeFiles/vaq_sim.dir/statevector.cpp.o" "gcc" "src/sim/CMakeFiles/vaq_sim.dir/statevector.cpp.o.d"
   "/root/repo/src/sim/trajectory_sim.cpp" "src/sim/CMakeFiles/vaq_sim.dir/trajectory_sim.cpp.o" "gcc" "src/sim/CMakeFiles/vaq_sim.dir/trajectory_sim.cpp.o.d"

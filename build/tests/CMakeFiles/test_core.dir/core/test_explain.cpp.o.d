@@ -304,9 +304,10 @@ tests/CMakeFiles/test_core.dir/core/test_explain.cpp.o: \
  /root/repo/src/graph/subgraph.hpp \
  /root/repo/src/graph/weighted_graph.hpp /root/repo/src/core/router.hpp \
  /root/repo/src/core/movement_planner.hpp \
- /root/repo/src/sim/fault_sim.hpp /root/repo/src/sim/noise_model.hpp \
- /root/repo/src/sim/schedule.hpp /root/repo/tests/test_support.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/sim/fault_sim.hpp /root/repo/src/common/statistics.hpp \
+ /root/repo/src/sim/noise_model.hpp /root/repo/src/sim/schedule.hpp \
+ /root/repo/tests/test_support.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \

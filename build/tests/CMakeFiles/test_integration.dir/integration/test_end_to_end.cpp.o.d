@@ -307,10 +307,10 @@ tests/CMakeFiles/test_integration.dir/integration/test_end_to_end.cpp.o: \
  /root/repo/src/core/movement_planner.hpp \
  /root/repo/src/partition/partition.hpp \
  /root/repo/src/sim/noise_model.hpp /root/repo/src/sim/fault_sim.hpp \
- /root/repo/src/sim/schedule.hpp /root/repo/src/sim/trajectory_sim.hpp \
- /root/repo/src/sim/statevector.hpp /usr/include/c++/12/complex \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/common/statistics.hpp /root/repo/src/sim/schedule.hpp \
+ /root/repo/src/sim/trajectory_sim.hpp /root/repo/src/sim/statevector.hpp \
+ /usr/include/c++/12/complex /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

@@ -321,4 +321,5 @@ tests/CMakeFiles/test_integration.dir/integration/test_paper_toys.cpp.o: \
  /root/repo/src/graph/shortest_path.hpp \
  /root/repo/src/graph/weighted_graph.hpp /root/repo/src/sim/fault_sim.hpp \
  /root/repo/src/circuit/circuit.hpp /root/repo/src/circuit/gate.hpp \
+ /root/repo/src/common/rng.hpp /root/repo/src/common/statistics.hpp \
  /root/repo/src/sim/noise_model.hpp /root/repo/src/sim/schedule.hpp

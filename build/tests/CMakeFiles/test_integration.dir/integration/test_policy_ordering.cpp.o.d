@@ -304,8 +304,8 @@ tests/CMakeFiles/test_integration.dir/integration/test_policy_ordering.cpp.o: \
  /root/repo/src/graph/weighted_graph.hpp \
  /root/repo/src/core/mapped_circuit.hpp /root/repo/src/core/router.hpp \
  /root/repo/src/core/movement_planner.hpp \
- /root/repo/src/sim/fault_sim.hpp /root/repo/src/sim/noise_model.hpp \
- /root/repo/src/sim/schedule.hpp /root/repo/src/common/statistics.hpp \
+ /root/repo/src/sim/fault_sim.hpp /root/repo/src/common/statistics.hpp \
+ /root/repo/src/sim/noise_model.hpp /root/repo/src/sim/schedule.hpp \
  /root/repo/tests/test_support.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_thread_pool.cpp" "tests/CMakeFiles/test_parallel.dir/common/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/test_parallel.dir/common/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/sim/test_parallel_fault_sim.cpp" "tests/CMakeFiles/test_parallel.dir/sim/test_parallel_fault_sim.cpp.o" "gcc" "tests/CMakeFiles/test_parallel.dir/sim/test_parallel_fault_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/vaq_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/vaq_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vaq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/vaq_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vaq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/calibration/CMakeFiles/vaq_calibration.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/vaq_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/vaq_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/vaq_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vaq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -326,9 +326,9 @@ tests/CMakeFiles/test_sim.dir/sim/test_characterize.cpp.o: \
  /root/repo/src/graph/weighted_graph.hpp \
  /root/repo/src/core/mapped_circuit.hpp /root/repo/src/core/router.hpp \
  /root/repo/src/core/movement_planner.hpp \
- /root/repo/src/sim/fault_sim.hpp /root/repo/src/sim/schedule.hpp \
- /root/repo/tests/test_support.hpp /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/sim/fault_sim.hpp /root/repo/src/common/statistics.hpp \
+ /root/repo/src/sim/schedule.hpp /root/repo/tests/test_support.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/topology/layouts.hpp \

@@ -10,6 +10,7 @@ include("/root/repo/build/tests/test_topology[1]_include.cmake")
 include("/root/repo/build/tests/test_graph[1]_include.cmake")
 include("/root/repo/build/tests/test_calibration[1]_include.cmake")
 include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
 include("/root/repo/build/tests/test_workloads[1]_include.cmake")
 include("/root/repo/build/tests/test_core[1]_include.cmake")
 include("/root/repo/build/tests/test_partition[1]_include.cmake")
