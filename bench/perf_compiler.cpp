@@ -9,6 +9,8 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hpp"
+#include "core/batch_compiler.hpp"
+#include "core/compile_cache.hpp"
 #include "workloads/workloads.hpp"
 
 namespace
@@ -110,6 +112,98 @@ BM_FullPolicy(benchmark::State &state)
 }
 BENCHMARK(BM_FullPolicy)->DenseRange(0, 2)->Unit(
     benchmark::kMillisecond);
+
+/**
+ * The recompile-everything burst of the batch compiler: 100
+ * programs x 4 calibration cycles. The acceptance target is >= 3x
+ * the sequential seed compiler below — on few-core machines the
+ * speedup comes from the shared reliability matrix and movement-
+ * plan tables, not from parallelism.
+ */
+std::vector<circuit::Circuit>
+batchCircuits()
+{
+    std::vector<circuit::Circuit> circuits;
+    circuits.reserve(100);
+    for (int i = 0; i < 100; ++i) {
+        const int n = 4 + (i % 9);
+        circuits.push_back(i % 2 == 0
+                               ? workloads::bernsteinVazirani(n)
+                               : workloads::qft(n));
+    }
+    return circuits;
+}
+
+std::vector<calibration::Snapshot>
+batchSnapshots()
+{
+    calibration::SyntheticSource source(
+        env().machine, calibration::SyntheticParams{},
+        bench::kArchiveSeed);
+    std::vector<calibration::Snapshot> snapshots;
+    for (int c = 0; c < 4; ++c)
+        snapshots.push_back(source.nextCycle());
+    return snapshots;
+}
+
+void
+BM_BatchCompile100x4(benchmark::State &state)
+{
+    const auto circuits = batchCircuits();
+    const auto snapshots = batchSnapshots();
+    const core::Mapper mapper = core::makeVqmMapper();
+    core::BatchOptions options;
+    options.threads = static_cast<std::size_t>(state.range(0));
+    options.scoreResults = false;
+    core::BatchCompiler compiler(mapper, env().machine, options);
+    core::setPathCacheEnabled(true);
+    core::invalidatePathCaches();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            compiler.compileAll(circuits, snapshots));
+    }
+    state.counters["jobs_per_s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) *
+            static_cast<double>(circuits.size()) *
+            static_cast<double>(snapshots.size()),
+        benchmark::Counter::kIsRate);
+}
+// Real time + process CPU: the work happens on pool threads, so
+// main-thread CPU time (the default) would be near zero and the
+// rate counter meaningless.
+BENCHMARK(BM_BatchCompile100x4)
+    ->Arg(0)
+    ->Arg(1)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime()
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_SequentialCompile100x4_Seed(benchmark::State &state)
+{
+    const auto circuits = batchCircuits();
+    const auto snapshots = batchSnapshots();
+    const core::Mapper mapper = core::makeVqmMapper();
+    // The seed compiler: caches off, one compile at a time, every
+    // route and distance recomputed per job.
+    core::setPathCacheEnabled(false);
+    for (auto _ : state) {
+        for (const auto &snapshot : snapshots) {
+            for (const auto &circuit : circuits) {
+                benchmark::DoNotOptimize(mapper.map(
+                    circuit, env().machine, snapshot));
+            }
+        }
+    }
+    core::setPathCacheEnabled(true);
+    state.counters["jobs_per_s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) *
+            static_cast<double>(circuits.size()) *
+            static_cast<double>(snapshots.size()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SequentialCompile100x4_Seed)
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_StrongestSubgraph(benchmark::State &state)

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/hashing.hpp"
 #include "common/statistics.hpp"
 
 namespace vaq::calibration
@@ -154,6 +155,28 @@ Snapshot::validate() const
                 durations.twoQubitNs > 0.0 &&
                 durations.measureNs > 0.0,
             "gate durations must be positive");
+}
+
+std::uint64_t
+Snapshot::contentHash() const
+{
+    std::uint64_t h = kHashSeed;
+    h = hashCombine(h,
+                    static_cast<std::uint64_t>(_qubits.size()));
+    for (const QubitCalibration &q : _qubits) {
+        h = hashCombine(h, q.t1Us);
+        h = hashCombine(h, q.t2Us);
+        h = hashCombine(h, q.error1q);
+        h = hashCombine(h, q.readoutError);
+    }
+    h = hashCombine(
+        h, static_cast<std::uint64_t>(_linkError2q.size()));
+    for (double e : _linkError2q)
+        h = hashCombine(h, e);
+    h = hashCombine(h, durations.oneQubitNs);
+    h = hashCombine(h, durations.twoQubitNs);
+    h = hashCombine(h, durations.measureNs);
+    return h;
 }
 
 void

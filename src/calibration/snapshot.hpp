@@ -10,6 +10,7 @@
 #define VAQ_CALIBRATION_SNAPSHOT_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "topology/coupling_graph.hpp"
@@ -110,6 +111,15 @@ class Snapshot
     /** Throws VaqError unless all probabilities are in [0, 1] and
      *  coherence times are positive. */
     void validate() const;
+
+    /**
+     * Content hash over every calibration field (bit patterns of
+     * the doubles, FNV-1a). Two snapshots hash equal iff their data
+     * is bit-identical, so the hash keys caches of anything derived
+     * from one calibration cycle (e.g. the reliability-path matrix;
+     * see graph/reliability_matrix.hpp).
+     */
+    std::uint64_t contentHash() const;
 
   private:
     std::vector<QubitCalibration> _qubits;

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * FNV-1a content hashing helpers.
+ *
+ * Used to derive cache keys from calibration snapshots, machine
+ * topologies and cost tables (see graph/reliability_matrix.hpp):
+ * equal content produces equal keys across the process, and the
+ * helpers compose so multi-part keys stay consistent everywhere.
+ */
+#ifndef VAQ_COMMON_HASHING_HPP
+#define VAQ_COMMON_HASHING_HPP
+
+#include <bit>
+#include <cstdint>
+
+namespace vaq
+{
+
+/** FNV-1a offset basis (seed value for hashCombine chains). */
+inline constexpr std::uint64_t kHashSeed = 1469598103934665603ULL;
+
+/** FNV-1a step over one 64-bit word. */
+inline std::uint64_t
+hashCombine(std::uint64_t h, std::uint64_t word)
+{
+    h ^= word;
+    h *= 1099511628211ULL;
+    return h;
+}
+
+/** FNV-1a step over a double's bit pattern. */
+inline std::uint64_t
+hashCombine(std::uint64_t h, double value)
+{
+    return hashCombine(h, std::bit_cast<std::uint64_t>(value));
+}
+
+} // namespace vaq
+
+#endif // VAQ_COMMON_HASHING_HPP

@@ -7,6 +7,7 @@
 #include "circuit/layering.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "core/compile_cache.hpp"
 #include "graph/shortest_path.hpp"
 #include "graph/weighted_graph.hpp"
 
@@ -261,19 +262,15 @@ LocalityAllocator::allocate(const Circuit &logical,
         }
     } else {
         // Reliability distances; prefer high-node-strength qubits
-        // (Algorithm 1, steps 2 and 4).
-        std::vector<graph::WeightedEdge> edges;
-        edges.reserve(graph.linkCount());
-        for (std::size_t l = 0; l < graph.linkCount(); ++l) {
-            const topology::Link &link = graph.links()[l];
-            const double e = std::clamp(snapshot.linkError(l),
-                                        1e-6, 1.0 - 1e-6);
-            edges.push_back(graph::WeightedEdge{
-                link.a, link.b, -std::log(1.0 - e)});
+        // (Algorithm 1, steps 2 and 4). The shared matrix holds
+        // the same distances the per-query search computes.
+        if (pathCacheEnabled()) {
+            dist = sharedReliabilityMatrix(graph, snapshot)
+                       ->distances();
+        } else {
+            dist = graph::allPairsDistances(
+                reliabilityCostGraph(graph, snapshot));
         }
-        const graph::WeightedGraph costGraph(graph.numQubits(),
-                                             edges);
-        dist = graph::allPairsDistances(costGraph);
         for (std::size_t l = 0; l < graph.linkCount(); ++l) {
             const topology::Link &link = graph.links()[l];
             const double strength = 1.0 - snapshot.linkError(l);
@@ -358,18 +355,11 @@ StrengthAllocator::allocate(const Circuit &logical,
     // weighting moves by reliability distance (-log success).
     const InteractionSummary summary(logical, _windowLayers);
 
-    std::vector<graph::WeightedEdge> costEdges;
-    costEdges.reserve(graph.linkCount());
-    for (std::size_t l = 0; l < graph.linkCount(); ++l) {
-        const topology::Link &link = graph.links()[l];
-        const double e =
-            std::clamp(snapshot.linkError(l), 1e-6, 1.0 - 1e-6);
-        costEdges.push_back(graph::WeightedEdge{
-            link.a, link.b, -std::log(1.0 - e)});
-    }
-    const graph::WeightedGraph costGraph(graph.numQubits(),
-                                         costEdges);
-    const auto dist = graph::allPairsDistances(costGraph);
+    const std::vector<std::vector<double>> dist =
+        pathCacheEnabled()
+            ? sharedReliabilityMatrix(graph, snapshot)->distances()
+            : graph::allPairsDistances(
+                  reliabilityCostGraph(graph, snapshot));
 
     // Candidates: region nodes, strongest first.
     std::vector<PhysQubit> candidates(region.begin(), region.end());

@@ -67,7 +67,7 @@ planLayerSwaps(const topology::CouplingGraph &graph,
         auto &cell = bound[static_cast<std::size_t>(pa)]
                           [static_cast<std::size_t>(pb)];
         if (cell < 0.0) {
-            cell = planner.plan(pa, pb).cost;
+            cell = planner.planCost(pa, pb);
             bound[static_cast<std::size_t>(pb)]
                  [static_cast<std::size_t>(pa)] = cell;
         }

@@ -1,0 +1,91 @@
+#include "core/batch_compiler.hpp"
+
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "common/error.hpp"
+#include "core/compile_cache.hpp"
+#include "sim/fault_sim.hpp"
+#include "sim/noise_model.hpp"
+
+namespace vaq::core
+{
+
+BatchCompiler::BatchCompiler(const Mapper &mapper,
+                             const topology::CouplingGraph &graph,
+                             BatchOptions options)
+    : _mapper(mapper),
+      _graph(graph),
+      _options(options),
+      _pool(options.threads)
+{
+}
+
+std::vector<BatchResult>
+BatchCompiler::compile(
+    const std::vector<circuit::Circuit> &circuits,
+    const std::vector<calibration::Snapshot> &snapshots,
+    const std::vector<BatchJob> &jobs)
+{
+    for (const BatchJob &job : jobs) {
+        require(job.circuit < circuits.size(),
+                "batch job references a missing circuit");
+        require(job.snapshot < snapshots.size(),
+                "batch job references a missing snapshot");
+    }
+
+    if (pathCacheEnabled()) {
+        // Build each snapshot's matrix once up front; without this
+        // the first wave of workers would serialize on the cache
+        // mutex while one of them builds it.
+        std::set<std::size_t> distinct;
+        for (const BatchJob &job : jobs)
+            distinct.insert(job.snapshot);
+        for (std::size_t s : distinct)
+            sharedReliabilityMatrix(_graph, snapshots[s]);
+    }
+
+    // Per-job result slots: workers never touch shared state, so
+    // the output is a pure function of the job list.
+    std::vector<std::optional<BatchResult>> slots(jobs.size());
+    _pool.parallelFor(jobs.size(), [&](std::size_t i) {
+        const BatchJob &job = jobs[i];
+        const calibration::Snapshot &snapshot =
+            snapshots[job.snapshot];
+        MappedCircuit mapped =
+            _mapper.map(circuits[job.circuit], _graph, snapshot);
+        double pst = 0.0;
+        if (_options.scoreResults) {
+            const sim::NoiseModel model(_graph, snapshot,
+                                        sim::CoherenceMode::PerOp);
+            pst = sim::analyticPst(mapped.physical, model);
+        }
+        slots[i].emplace(job.circuit, job.snapshot,
+                         std::move(mapped), pst);
+    });
+
+    std::vector<BatchResult> results;
+    results.reserve(jobs.size());
+    for (std::optional<BatchResult> &slot : slots) {
+        VAQ_ASSERT(slot.has_value(), "batch job left no result");
+        results.push_back(std::move(*slot));
+    }
+    return results;
+}
+
+std::vector<BatchResult>
+BatchCompiler::compileAll(
+    const std::vector<circuit::Circuit> &circuits,
+    const std::vector<calibration::Snapshot> &snapshots)
+{
+    std::vector<BatchJob> jobs;
+    jobs.reserve(circuits.size() * snapshots.size());
+    for (std::size_t s = 0; s < snapshots.size(); ++s) {
+        for (std::size_t c = 0; c < circuits.size(); ++c)
+            jobs.push_back(BatchJob{c, s});
+    }
+    return compile(circuits, snapshots, jobs);
+}
+
+} // namespace vaq::core

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Batch compilation: map many (circuit, snapshot) pairs through one
+ * mapper concurrently.
+ *
+ * The paper's setting recompiles every queued program whenever a
+ * new calibration cycle is published (Section 3.3): a compile burst
+ * of many circuits against few snapshots. Each job is independent,
+ * and everything snapshot-derived — the reliability-path matrix,
+ * the movement-plan tables — comes from the shared stores of
+ * core/compile_cache.hpp, so a burst pays for each table once
+ * instead of once per circuit. Jobs run on a reusable ThreadPool
+ * and write results into per-job slots, so the output is identical
+ * for any thread count (the differential tests check 1/4/8).
+ */
+#ifndef VAQ_CORE_BATCH_COMPILER_HPP
+#define VAQ_CORE_BATCH_COMPILER_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "calibration/snapshot.hpp"
+#include "circuit/circuit.hpp"
+#include "common/thread_pool.hpp"
+#include "core/mapped_circuit.hpp"
+#include "core/mapper.hpp"
+#include "topology/coupling_graph.hpp"
+
+namespace vaq::core
+{
+
+/** One compile order: circuits[circuit] on snapshots[snapshot]. */
+struct BatchJob
+{
+    std::size_t circuit = 0;
+    std::size_t snapshot = 0;
+};
+
+/** Batch-compiler knobs. */
+struct BatchOptions
+{
+    /** Worker threads; 0 = one per hardware thread. */
+    std::size_t threads = 0;
+    /** Fill BatchResult::analyticPst (skip to save scoring time). */
+    bool scoreResults = true;
+};
+
+/** One compiled job. */
+struct BatchResult
+{
+    std::size_t circuit;
+    std::size_t snapshot;
+    MappedCircuit mapped;
+    /** Compile-time PST estimate; 0 when scoring is disabled. */
+    double analyticPst;
+
+    BatchResult(std::size_t circuit_index,
+                std::size_t snapshot_index, MappedCircuit mapped_in,
+                double pst)
+        : circuit(circuit_index),
+          snapshot(snapshot_index),
+          mapped(std::move(mapped_in)),
+          analyticPst(pst)
+    {}
+};
+
+/** Concurrent (circuit, snapshot) compiler over one mapper. */
+class BatchCompiler
+{
+  public:
+    /**
+     * @param mapper Policy portfolio to compile with; must outlive
+     *        the compiler, and Mapper::map must stay const-safe
+     *        (it is: each call builds its own routing state).
+     * @param graph Target machine (must outlive the compiler).
+     */
+    BatchCompiler(const Mapper &mapper,
+                  const topology::CouplingGraph &graph,
+                  BatchOptions options = {});
+
+    /** Worker threads serving this compiler. */
+    std::size_t threadCount() const { return _pool.threadCount(); }
+
+    /**
+     * Compile every job and return results in job order. Shared
+     * matrices are pre-built per distinct snapshot so workers start
+     * from warm caches. The first job exception is rethrown.
+     */
+    std::vector<BatchResult>
+    compile(const std::vector<circuit::Circuit> &circuits,
+            const std::vector<calibration::Snapshot> &snapshots,
+            const std::vector<BatchJob> &jobs);
+
+    /**
+     * Compile the full cross product, snapshot-major: all circuits
+     * on snapshots[0], then on snapshots[1], ...
+     */
+    std::vector<BatchResult>
+    compileAll(const std::vector<circuit::Circuit> &circuits,
+               const std::vector<calibration::Snapshot> &snapshots);
+
+  private:
+    const Mapper &_mapper;
+    const topology::CouplingGraph &_graph;
+    BatchOptions _options;
+    ThreadPool _pool;
+};
+
+} // namespace vaq::core
+
+#endif // VAQ_CORE_BATCH_COMPILER_HPP

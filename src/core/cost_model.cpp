@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/hashing.hpp"
 
 namespace vaq::core
 {
@@ -57,6 +58,24 @@ ReliabilityCost::cnotCost(topology::PhysQubit a,
                           topology::PhysQubit b) const
 {
     return _cnotCostPerLink[_graph.linkIndex(a, b)];
+}
+
+std::uint64_t
+SwapCountCost::contentHash() const
+{
+    // Uniform costs carry no calibration data: every SwapCountCost
+    // on the same machine prices identically, so a fixed tag is a
+    // complete description.
+    return hashCombine(kHashSeed, std::uint64_t{1});
+}
+
+std::uint64_t
+ReliabilityCost::contentHash() const
+{
+    std::uint64_t h = hashCombine(kHashSeed, std::uint64_t{2});
+    for (double c : _cnotCostPerLink)
+        h = hashCombine(h, c);
+    return h;
 }
 
 std::unique_ptr<CostModel>

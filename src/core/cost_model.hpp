@@ -12,6 +12,7 @@
 #ifndef VAQ_CORE_COST_MODEL_HPP
 #define VAQ_CORE_COST_MODEL_HPP
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -51,6 +52,15 @@ class CostModel
      * to skip pointless planning under uniform costs.
      */
     virtual bool relocationCanHelp() const = 0;
+
+    /**
+     * Content hash over everything the per-link costs depend on.
+     * Two models with equal hashes (on the same machine) price
+     * every SWAP/CNOT identically, so routing-plan caches can be
+     * keyed on (topology hash, cost hash, MAH budget); see
+     * core/compile_cache.hpp.
+     */
+    virtual std::uint64_t contentHash() const = 0;
 };
 
 /** Uniform cost: every SWAP is 1, every CNOT is 1. */
@@ -65,6 +75,7 @@ class SwapCountCost final : public CostModel
                     topology::PhysQubit b) const override;
     std::string name() const override { return "swap-count"; }
     bool relocationCanHelp() const override { return false; }
+    std::uint64_t contentHash() const override;
 
   private:
     const topology::CouplingGraph &_graph;
@@ -89,6 +100,7 @@ class ReliabilityCost final : public CostModel
                     topology::PhysQubit b) const override;
     std::string name() const override { return "reliability"; }
     bool relocationCanHelp() const override { return true; }
+    std::uint64_t contentHash() const override;
 
   private:
     const topology::CouplingGraph &_graph;

@@ -1,6 +1,7 @@
 #include "core/mapper.hpp"
 
 #include "common/error.hpp"
+#include "core/compile_cache.hpp"
 #include "sim/fault_sim.hpp"
 #include "sim/noise_model.hpp"
 
@@ -42,7 +43,16 @@ Mapper::mapWithConfig(const PolicyConfig &config,
         config.allocator->allocate(logical, graph, snapshot);
     const std::unique_ptr<CostModel> cost =
         makeCostModel(config.costKind, graph, snapshot);
-    const Router router(graph, *cost, config.routerOptions);
+    RouterOptions options = config.routerOptions;
+    if (pathCacheEnabled() && !options.planCache) {
+        // Hand the router the process-wide route table for this
+        // (machine, calibration, cost, MAH) tuple; concurrent
+        // compiles against the same snapshot then share every
+        // movement plan instead of re-searching it.
+        options.planCache = sharedPlanCache(
+            graph, snapshot, config.costKind, options.mah);
+    }
+    const Router router(graph, *cost, options);
     RouteResult routed = router.route(logical, initial);
 
     MappedCircuit mapped(logical.numQubits(), graph.numQubits());

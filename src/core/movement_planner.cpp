@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "common/error.hpp"
+#include "core/compile_cache.hpp"
 
 namespace vaq::core
 {
@@ -26,11 +27,19 @@ struct MovementPlanner::Candidate
 
 MovementPlanner::MovementPlanner(
     const topology::CouplingGraph &graph, const CostModel &cost,
-    int mah)
-    : _graph(graph), _cost(cost), _mah(mah)
+    int mah, std::shared_ptr<const PlanCache> shared)
+    : _graph(graph), _cost(cost), _mah(mah),
+      _shared(std::move(shared))
 {
     require(mah >= 0 || mah == kUnlimitedHops,
             "MAH must be >= 0 or kUnlimitedHops");
+    if (_shared) {
+        require(_shared->numQubits() == graph.numQubits(),
+                "shared plan cache built for a different machine");
+    } else if (pathCacheEnabled()) {
+        const auto n = static_cast<std::size_t>(graph.numQubits());
+        _memo.resize(n * n);
+    }
 }
 
 void
@@ -78,9 +87,45 @@ MovementPlanner::cappedDijkstra(
     }
 }
 
+const MovementPlan *
+MovementPlanner::cachedPlan(topology::PhysQubit pa,
+                            topology::PhysQubit pb) const
+{
+    if (_shared)
+        return &_shared->plan(pa, pb);
+    if (_memo.empty())
+        return nullptr;
+    const auto idx =
+        static_cast<std::size_t>(pa) *
+            static_cast<std::size_t>(_graph.numQubits()) +
+        static_cast<std::size_t>(pb);
+    auto &slot = _memo[idx];
+    if (!slot)
+        slot = computePlan(pa, pb);
+    return &*slot;
+}
+
 MovementPlan
 MovementPlanner::plan(topology::PhysQubit pa,
                       topology::PhysQubit pb) const
+{
+    if (const MovementPlan *cached = cachedPlan(pa, pb))
+        return *cached;
+    return computePlan(pa, pb);
+}
+
+double
+MovementPlanner::planCost(topology::PhysQubit pa,
+                          topology::PhysQubit pb) const
+{
+    if (const MovementPlan *cached = cachedPlan(pa, pb))
+        return cached->cost;
+    return computePlan(pa, pb).cost;
+}
+
+MovementPlan
+MovementPlanner::computePlan(topology::PhysQubit pa,
+                             topology::PhysQubit pb) const
 {
     require(pa != pb, "cannot route a qubit to itself");
 
@@ -182,8 +227,49 @@ MovementPlanner::adjacencyBound(topology::PhysQubit pa,
 {
     if (_graph.coupled(pa, pb))
         return 0.0;
-    MovementPlan p = plan(pa, pb);
+    if (const MovementPlan *cached = cachedPlan(pa, pb))
+        return cached->cost -
+               _cost.cnotCost(cached->gateA, cached->gateB);
+    MovementPlan p = computePlan(pa, pb);
     return p.cost - _cost.cnotCost(p.gateA, p.gateB);
+}
+
+PlanCache::PlanCache(const topology::CouplingGraph &graph,
+                     const calibration::Snapshot &snapshot,
+                     CostKind kind, int mah)
+    : _graph(graph),
+      _cost(makeCostModel(kind, _graph, snapshot)),
+      // The inner planner is handed no shared cache and is used
+      // only through computePlan(), which touches no mutable
+      // state — concurrent first-use fills of distinct entries are
+      // safe.
+      _planner(_graph, *_cost, mah),
+      _plans(static_cast<std::size_t>(graph.numQubits()) *
+             static_cast<std::size_t>(graph.numQubits())),
+      _once(std::make_unique<std::once_flag[]>(
+          static_cast<std::size_t>(graph.numQubits()) *
+          static_cast<std::size_t>(graph.numQubits())))
+{
+}
+
+const MovementPlan &
+PlanCache::plan(topology::PhysQubit pa,
+                topology::PhysQubit pb) const
+{
+    const int n = _graph.numQubits();
+    require(pa >= 0 && pa < n && pb >= 0 && pb < n,
+            "physical qubit index out of range");
+    const auto idx =
+        static_cast<std::size_t>(pa) *
+            static_cast<std::size_t>(_graph.numQubits()) +
+        static_cast<std::size_t>(pb);
+    // A throwing compute (pa == pb, disconnected pair) leaves the
+    // flag unset, so the error repeats on every query just as the
+    // uncached planner's would.
+    std::call_once(_once[idx], [&] {
+        _plans[idx] = _planner.computePlan(pa, pb);
+    });
+    return _plans[idx];
 }
 
 } // namespace vaq::core

@@ -10,13 +10,25 @@
  * under ReliabilityCost it returns the maximum-reliability route
  * (VQM), optionally constrained by the Maximum Additional Hops
  * (MAH) budget of Section 5.3.
+ *
+ * A route is a pure function of (machine, cost model, MAH): it does
+ * not depend on the layout or the circuit. The planner therefore
+ * memoizes routes per qubit pair, and a PlanCache can share one
+ * fully materialized route table across every compile that uses the
+ * same calibration snapshot (see core/compile_cache.hpp). Both
+ * layers return exactly what the uncached search computes — they
+ * only skip recomputation.
  */
 #ifndef VAQ_CORE_MOVEMENT_PLANNER_HPP
 #define VAQ_CORE_MOVEMENT_PLANNER_HPP
 
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <utility>
 #include <vector>
 
+#include "calibration/snapshot.hpp"
 #include "core/cost_model.hpp"
 #include "topology/coupling_graph.hpp"
 
@@ -41,9 +53,15 @@ struct MovementPlan
 /** Unlimited MAH sentinel. */
 inline constexpr int kUnlimitedHops = -1;
 
+class PlanCache;
+
 /**
- * Stateless route planner for one machine + cost model. The
- * referenced graph and model must outlive the planner.
+ * Route planner for one machine + cost model. The referenced graph
+ * and model must outlive the planner.
+ *
+ * Not thread-safe: the per-instance route memo is filled without
+ * locking (each compile builds its own planner). For cross-thread
+ * sharing hand the planner a PlanCache instead.
  */
 class MovementPlanner
 {
@@ -53,10 +71,15 @@ class MovementPlanner
      * @param cost Active cost model.
      * @param mah Maximum additional hops beyond the hop-minimal
      *        route (kUnlimitedHops = unconstrained).
+     * @param shared Optional shared route table (must have been
+     *        built for the same machine, cost data and MAH); when
+     *        set, all lookups are served from it.
      */
     MovementPlanner(const topology::CouplingGraph &graph,
                     const CostModel &cost,
-                    int mah = kUnlimitedHops);
+                    int mah = kUnlimitedHops,
+                    std::shared_ptr<const PlanCache> shared =
+                        nullptr);
 
     /**
      * Plan the SWAPs that make the qubits at `pa` and `pb`
@@ -72,6 +95,13 @@ class MovementPlanner
                       topology::PhysQubit pb) const;
 
     /**
+     * Cost of plan(pa, pb) without materializing a copy of the
+     * route — the hot call of the A* heuristic.
+     */
+    double planCost(topology::PhysQubit pa,
+                    topology::PhysQubit pb) const;
+
+    /**
      * Minimal SWAP-cost (excluding the final CNOT) to make the pair
      * adjacent — the lower bound used as the A* heuristic. Zero for
      * already-adjacent pairs.
@@ -80,7 +110,17 @@ class MovementPlanner
                           topology::PhysQubit pb) const;
 
   private:
+    friend class PlanCache;
+
     struct Candidate;
+
+    /** The uncached route search (the seed algorithm). */
+    MovementPlan computePlan(topology::PhysQubit pa,
+                             topology::PhysQubit pb) const;
+
+    /** Memoized route, or nullptr when memoization is off. */
+    const MovementPlan *cachedPlan(topology::PhysQubit pa,
+                                   topology::PhysQubit pb) const;
 
     /** Hop-capped Dijkstra from src avoiding `blocked`. */
     void cappedDijkstra(topology::PhysQubit src,
@@ -91,6 +131,47 @@ class MovementPlanner
     const topology::CouplingGraph &_graph;
     const CostModel &_cost;
     int _mah;
+    std::shared_ptr<const PlanCache> _shared;
+    /** Lazily filled pair -> route memo (pa * n + pb), active when
+     *  no shared cache is set and the path cache is enabled. */
+    mutable std::vector<std::optional<MovementPlan>> _memo;
+};
+
+/**
+ * Thread-safe, lazily filled table of movement routes for one
+ * (machine, calibration, cost kind, MAH) tuple. The cache owns
+ * copies of the machine and cost data, so it can outlive the
+ * compile that created it and be shared across snapshots' worth of
+ * batch traffic (see core/batch_compiler.hpp). Entries are computed
+ * at most once, under std::call_once, by the exact search the
+ * uncached planner runs.
+ */
+class PlanCache
+{
+  public:
+    PlanCache(const topology::CouplingGraph &graph,
+              const calibration::Snapshot &snapshot, CostKind kind,
+              int mah);
+
+    PlanCache(const PlanCache &) = delete;
+    PlanCache &operator=(const PlanCache &) = delete;
+
+    /** Machine width the table covers. */
+    int numQubits() const { return _graph.numQubits(); }
+
+    /**
+     * The route for (pa, pb), computing it on first use.
+     * @throws VaqError exactly when the uncached planner would.
+     */
+    const MovementPlan &plan(topology::PhysQubit pa,
+                             topology::PhysQubit pb) const;
+
+  private:
+    topology::CouplingGraph _graph;
+    std::unique_ptr<CostModel> _cost;
+    MovementPlanner _planner;
+    mutable std::vector<MovementPlan> _plans;
+    mutable std::unique_ptr<std::once_flag[]> _once;
 };
 
 } // namespace vaq::core

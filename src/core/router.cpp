@@ -16,7 +16,7 @@ Router::Router(const topology::CouplingGraph &graph,
     : _graph(graph),
       _cost(cost),
       _options(options),
-      _planner(graph, cost, options.mah)
+      _planner(graph, cost, options.mah, options.planCache)
 {
 }
 

@@ -20,6 +20,7 @@
 #define VAQ_CORE_ROUTER_HPP
 
 #include <cstddef>
+#include <memory>
 
 #include "circuit/circuit.hpp"
 #include "core/cost_model.hpp"
@@ -51,6 +52,12 @@ struct RouterOptions
      * meaningful for non-uniform cost models.
      */
     bool allowRelocation = true;
+    /**
+     * Optional shared movement-plan table (core/compile_cache.hpp).
+     * Must match the router's machine, cost data and MAH; when
+     * unset the router plans routes itself.
+     */
+    std::shared_ptr<const PlanCache> planCache;
 };
 
 /** Output of the routing pass. */

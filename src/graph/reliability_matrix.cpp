@@ -1,0 +1,191 @@
+#include "graph/reliability_matrix.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "graph/shortest_path.hpp"
+
+namespace vaq::graph
+{
+
+ReliabilityMatrix::ReliabilityMatrix(const WeightedGraph &costs,
+                                     std::uint64_t snapshot_hash)
+    : _numNodes(costs.numNodes()), _snapshotHash(snapshot_hash)
+{
+    const auto n = static_cast<std::size_t>(_numNodes);
+    _dist.assign(n, std::vector<double>(n, kUnreachable));
+    _next.assign(n, std::vector<int>(n, -1));
+
+    for (std::size_t v = 0; v < n; ++v)
+        _dist[v][v] = 0.0;
+    for (const WeightedEdge &e : costs.edges()) {
+        require(e.weight >= 0.0,
+                "reliability matrix requires non-negative weights");
+        const auto a = static_cast<std::size_t>(e.a);
+        const auto b = static_cast<std::size_t>(e.b);
+        _dist[a][b] = e.weight;
+        _dist[b][a] = e.weight;
+        _next[a][b] = e.b;
+        _next[b][a] = e.a;
+    }
+
+    // Floyd-Warshall with next-hop propagation. Strict-improvement
+    // updates keep the sweep deterministic: on exact ties the path
+    // through the smallest intermediate node wins.
+    for (std::size_t k = 0; k < n; ++k) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const double dik = _dist[i][k];
+            if (dik == kUnreachable)
+                continue;
+            for (std::size_t j = 0; j < n; ++j) {
+                const double dkj = _dist[k][j];
+                if (dkj == kUnreachable)
+                    continue;
+                const double alt = dik + dkj;
+                if (alt < _dist[i][j]) {
+                    _dist[i][j] = alt;
+                    _next[i][j] = _next[i][k];
+                }
+            }
+        }
+    }
+
+    // Re-accumulate each distance along its next-hop chain so the
+    // stored doubles match what Dijkstra's left-to-right relaxation
+    // produces for the same path (Floyd-Warshall's divide-and-sum
+    // association can differ in the last ULP).
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            if (i == j || _next[i][j] < 0)
+                continue;
+            double sum = 0.0;
+            int at = static_cast<int>(i);
+            while (at != static_cast<int>(j)) {
+                const int hop = _next[static_cast<std::size_t>(at)]
+                                     [j];
+                sum += costs.weight(at, hop);
+                at = hop;
+            }
+            _dist[i][j] = sum;
+        }
+    }
+}
+
+double
+ReliabilityMatrix::distance(int a, int b) const
+{
+    require(a >= 0 && a < _numNodes && b >= 0 && b < _numNodes,
+            "reliability matrix node out of range");
+    return _dist[static_cast<std::size_t>(a)]
+                [static_cast<std::size_t>(b)];
+}
+
+bool
+ReliabilityMatrix::reachable(int a, int b) const
+{
+    return distance(a, b) != kUnreachable;
+}
+
+int
+ReliabilityMatrix::nextHop(int a, int b) const
+{
+    require(a >= 0 && a < _numNodes && b >= 0 && b < _numNodes,
+            "reliability matrix node out of range");
+    return _next[static_cast<std::size_t>(a)]
+                [static_cast<std::size_t>(b)];
+}
+
+std::vector<int>
+ReliabilityMatrix::path(int a, int b) const
+{
+    require(reachable(a, b),
+            "destination unreachable in reliability matrix");
+    std::vector<int> nodes{a};
+    while (a != b) {
+        a = _next[static_cast<std::size_t>(a)]
+                 [static_cast<std::size_t>(b)];
+        VAQ_ASSERT(a >= 0, "broken next-hop chain");
+        nodes.push_back(a);
+    }
+    return nodes;
+}
+
+ReliabilityMatrixCache::ReliabilityMatrixCache(std::size_t capacity)
+    : _capacity(capacity)
+{
+    require(capacity > 0, "cache capacity must be positive");
+}
+
+std::shared_ptr<const ReliabilityMatrix>
+ReliabilityMatrixCache::obtain(std::uint64_t key,
+                               const Builder &build)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    ++_clock;
+    const auto it = _entries.find(key);
+    if (it != _entries.end()) {
+        if (it->second.epoch == _epoch) {
+            ++_hits;
+            it->second.lastUsed = _clock;
+            return it->second.matrix;
+        }
+        _entries.erase(it); // stale epoch: rebuild below
+    }
+    ++_misses;
+    Entry entry;
+    entry.matrix = build();
+    require(entry.matrix != nullptr,
+            "matrix builder returned null");
+    entry.epoch = _epoch;
+    entry.lastUsed = _clock;
+
+    if (_entries.size() >= _capacity) {
+        auto victim = _entries.begin();
+        for (auto e = _entries.begin(); e != _entries.end(); ++e) {
+            if (e->second.lastUsed < victim->second.lastUsed)
+                victim = e;
+        }
+        _entries.erase(victim);
+    }
+    auto matrix = entry.matrix;
+    _entries.emplace(key, std::move(entry));
+    return matrix;
+}
+
+void
+ReliabilityMatrixCache::invalidate()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    ++_epoch;
+    _entries.clear();
+}
+
+std::uint64_t
+ReliabilityMatrixCache::epoch() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _epoch;
+}
+
+std::size_t
+ReliabilityMatrixCache::size() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _entries.size();
+}
+
+std::size_t
+ReliabilityMatrixCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _hits;
+}
+
+std::size_t
+ReliabilityMatrixCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _misses;
+}
+
+} // namespace vaq::graph

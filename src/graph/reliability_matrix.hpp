@@ -1,0 +1,155 @@
+/**
+ * @file
+ * All-pairs most-reliable-path table with next-hop reconstruction,
+ * plus a hash-keyed, epoch-invalidated cache of such tables.
+ *
+ * The paper's reliability matrix (Section 5) is a fixed function of
+ * one calibration snapshot: with edge weights set to -log(link
+ * success probability), the cheapest a-b path is the
+ * maximum-reliability SWAP route, and the whole table can be built
+ * once per snapshot (Floyd-Warshall) instead of re-running Dijkstra
+ * for every routing query. Noise-adaptive compilers recompile per
+ * calibration cycle, so one table is shared by *every* circuit
+ * compiled against that cycle — the ReliabilityMatrixCache makes
+ * that sharing explicit and thread-safe.
+ *
+ * Bit-compatibility note: after the Floyd-Warshall sweep the final
+ * distances are re-accumulated by walking each next-hop chain and
+ * summing edge weights left-to-right — the same association order
+ * Dijkstra uses — so consumers that previously called
+ * allPairsDistances() observe identical doubles.
+ */
+#ifndef VAQ_GRAPH_RELIABILITY_MATRIX_HPP
+#define VAQ_GRAPH_RELIABILITY_MATRIX_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/weighted_graph.hpp"
+
+namespace vaq::graph
+{
+
+/**
+ * Immutable all-pairs shortest-path table over a cost-weighted
+ * graph. Safe to share across threads once constructed.
+ */
+class ReliabilityMatrix
+{
+  public:
+    /**
+     * Build the table from `costs` (all weights must be
+     * non-negative). `snapshot_hash` identifies the calibration
+     * data the weights were derived from; it is carried along so
+     * cache consumers can audit what they were served.
+     */
+    explicit ReliabilityMatrix(const WeightedGraph &costs,
+                               std::uint64_t snapshot_hash = 0);
+
+    /** Node count. */
+    int numNodes() const { return _numNodes; }
+
+    /** Cost of the cheapest a-b path (kUnreachable when none). */
+    double distance(int a, int b) const;
+
+    /** Full distance table, indexed [from][to]. */
+    const std::vector<std::vector<double>> &distances() const
+    {
+        return _dist;
+    }
+
+    /** True when b is reachable from a. */
+    bool reachable(int a, int b) const;
+
+    /**
+     * First node after `a` on the cheapest a-b path; `b` itself for
+     * a direct edge, -1 when a == b or b is unreachable.
+     */
+    int nextHop(int a, int b) const;
+
+    /**
+     * Reconstruct the node sequence a..b (inclusive) along the
+     * cheapest path. @throws VaqError when b is unreachable.
+     */
+    std::vector<int> path(int a, int b) const;
+
+    /** Hash of the calibration snapshot this table was built for. */
+    std::uint64_t snapshotHash() const { return _snapshotHash; }
+
+  private:
+    int _numNodes;
+    std::uint64_t _snapshotHash;
+    std::vector<std::vector<double>> _dist;
+    std::vector<std::vector<int>> _next;
+};
+
+/**
+ * Thread-safe cache of ReliabilityMatrix tables keyed on a
+ * calibration-snapshot hash (callers fold machine identity and any
+ * cost-model parameters into the key).
+ *
+ * Invalidation is epoch-based: every entry records the epoch it was
+ * inserted under, and invalidate() bumps the epoch, making all
+ * existing entries stale at once (a new calibration push obsoletes
+ * every table derived from the old data). Stale entries are dropped
+ * lazily on the next lookup.
+ */
+class ReliabilityMatrixCache
+{
+  public:
+    /** Builds the matrix for a key on a cache miss. */
+    using Builder =
+        std::function<std::shared_ptr<const ReliabilityMatrix>()>;
+
+    /**
+     * @param capacity Maximum number of cached tables; the
+     *        least-recently-used entry is evicted beyond it.
+     */
+    explicit ReliabilityMatrixCache(std::size_t capacity = 64);
+
+    /**
+     * Return the cached table for `key`, or invoke `build` and
+     * cache its result. The builder runs under the cache lock so
+     * concurrent requests for the same key build exactly once.
+     */
+    std::shared_ptr<const ReliabilityMatrix>
+    obtain(std::uint64_t key, const Builder &build);
+
+    /** Drop every entry and start a new epoch. */
+    void invalidate();
+
+    /** Current epoch (starts at 0, +1 per invalidate()). */
+    std::uint64_t epoch() const;
+
+    /** Number of live entries. */
+    std::size_t size() const;
+
+    /** Lookup counters since construction (not reset by
+     *  invalidate()). */
+    std::size_t hits() const;
+    std::size_t misses() const;
+
+  private:
+    struct Entry
+    {
+        std::shared_ptr<const ReliabilityMatrix> matrix;
+        std::uint64_t epoch = 0;
+        std::uint64_t lastUsed = 0;
+    };
+
+    mutable std::mutex _mutex;
+    std::unordered_map<std::uint64_t, Entry> _entries;
+    std::size_t _capacity;
+    std::uint64_t _epoch = 0;
+    std::uint64_t _clock = 0;
+    std::size_t _hits = 0;
+    std::size_t _misses = 0;
+};
+
+} // namespace vaq::graph
+
+#endif // VAQ_GRAPH_RELIABILITY_MATRIX_HPP

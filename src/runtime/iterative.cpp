@@ -1,9 +1,44 @@
 #include "runtime/iterative.hpp"
 
 #include "common/error.hpp"
+#include "core/batch_compiler.hpp"
 
 namespace vaq::runtime
 {
+
+namespace
+{
+
+/**
+ * Translate physical outcomes back into program outcomes; distinct
+ * physical outcomes can collapse onto the same logical one (bits of
+ * unmeasured free qubits are dropped).
+ */
+TrialLog
+translateLog(const circuit::Circuit &logical,
+             const core::MappedCircuit &mapped,
+             const sim::ShotCounts &counts)
+{
+    const std::uint64_t measuredLogicalMask = [&] {
+        std::uint64_t mask = 0;
+        for (const circuit::Gate &g : logical.gates()) {
+            if (g.kind == circuit::GateKind::MEASURE)
+                mask |= 1ULL << g.q0;
+        }
+        return mask;
+    }();
+    TrialLog log;
+    for (const auto &[physOutcome, count] : counts.counts) {
+        const std::uint64_t logicalOutcome =
+            mapped.logicalOutcome(physOutcome) &
+            measuredLogicalMask;
+        log.outcomes[logicalOutcome] += count;
+    }
+    log.trials = counts.shots;
+    return log;
+}
+
+} // namespace
 
 std::uint64_t
 TrialLog::inferredOutcome() const
@@ -62,25 +97,40 @@ IterativeRunner::run(const circuit::Circuit &logical,
     require(counts.shots == trials,
             "machine returned a different trial count");
 
-    // Translate physical outcomes back into program outcomes;
-    // distinct physical outcomes can collapse onto the same
-    // logical one (bits of unmeasured free qubits are dropped).
-    const std::uint64_t measuredLogicalMask = [&] {
-        std::uint64_t mask = 0;
-        for (const circuit::Gate &g : logical.gates()) {
-            if (g.kind == circuit::GateKind::MEASURE)
-                mask |= 1ULL << g.q0;
-        }
-        return mask;
-    }();
-    for (const auto &[physOutcome, count] : counts.counts) {
-        const std::uint64_t logicalOutcome =
-            result.mapped.logicalOutcome(physOutcome) &
-            measuredLogicalMask;
-        result.log.outcomes[logicalOutcome] += count;
-    }
-    result.log.trials = trials;
+    result.log = translateLog(logical, result.mapped, counts);
     return result;
+}
+
+std::vector<JobResult>
+IterativeRunner::runBatch(
+    const std::vector<circuit::Circuit> &logicals,
+    const core::Mapper &mapper,
+    const calibration::Snapshot &calibration, std::size_t trials,
+    std::size_t threads) const
+{
+    require(trials > 0, "need at least one trial");
+
+    core::BatchOptions options;
+    options.threads = threads;
+    options.scoreResults = false;
+    core::BatchCompiler compiler(mapper, _graph, options);
+    std::vector<core::BatchResult> compiled = compiler.compileAll(
+        logicals, std::vector<calibration::Snapshot>{calibration});
+
+    std::vector<JobResult> results;
+    results.reserve(logicals.size());
+    for (core::BatchResult &entry : compiled) {
+        const circuit::Circuit &logical = logicals[entry.circuit];
+        JobResult result(logical.numQubits(), _graph.numQubits());
+        result.mapped = std::move(entry.mapped);
+        const sim::ShotCounts counts =
+            _machine(result.mapped.physical, trials);
+        require(counts.shots == trials,
+                "machine returned a different trial count");
+        result.log = translateLog(logical, result.mapped, counts);
+        results.push_back(std::move(result));
+    }
+    return results;
 }
 
 } // namespace vaq::runtime

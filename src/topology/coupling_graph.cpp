@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "common/error.hpp"
+#include "common/hashing.hpp"
 
 namespace vaq::topology
 {
@@ -90,9 +91,36 @@ CouplingGraph::degree(PhysQubit q) const
     return neighbors(q).size();
 }
 
+CouplingGraph::CouplingGraph(const CouplingGraph &other)
+    : _name(other._name),
+      _numQubits(other._numQubits),
+      _links(other._links),
+      _adjacency(other._adjacency),
+      _linkLookup(other._linkLookup)
+{
+    const std::lock_guard<std::mutex> lock(other._hopMutex);
+    _hopCache = other._hopCache;
+}
+
+CouplingGraph &
+CouplingGraph::operator=(const CouplingGraph &other)
+{
+    if (this == &other)
+        return *this;
+    _name = other._name;
+    _numQubits = other._numQubits;
+    _links = other._links;
+    _adjacency = other._adjacency;
+    _linkLookup = other._linkLookup;
+    const std::scoped_lock lock(_hopMutex, other._hopMutex);
+    _hopCache = other._hopCache;
+    return *this;
+}
+
 const std::vector<std::vector<int>> &
 CouplingGraph::hopDistances() const
 {
+    const std::lock_guard<std::mutex> lock(_hopMutex);
     if (!_hopCache.empty())
         return _hopCache;
 
@@ -153,6 +181,18 @@ CouplingGraph::inducedSubgraph(
     }
     return CouplingGraph(_name + "-sub",
                          static_cast<int>(nodes.size()), sublinks);
+}
+
+std::uint64_t
+CouplingGraph::topologyHash() const
+{
+    std::uint64_t h = kHashSeed;
+    h = hashCombine(h, static_cast<std::uint64_t>(_numQubits));
+    for (const Link &link : _links) {
+        h = hashCombine(h, static_cast<std::uint64_t>(link.a));
+        h = hashCombine(h, static_cast<std::uint64_t>(link.b));
+    }
+    return h;
 }
 
 } // namespace vaq::topology

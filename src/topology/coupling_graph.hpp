@@ -11,6 +11,8 @@
 #define VAQ_TOPOLOGY_COUPLING_GRAPH_HPP
 
 #include <cstddef>
+#include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -44,6 +46,11 @@ class CouplingGraph
     CouplingGraph(std::string name, int num_qubits,
                   const std::vector<Link> &links);
 
+    // Copyable despite the mutex guarding the lazy hop cache (the
+    // batch compiler shares one const graph across threads).
+    CouplingGraph(const CouplingGraph &other);
+    CouplingGraph &operator=(const CouplingGraph &other);
+
     /** Machine name. */
     const std::string &name() const { return _name; }
 
@@ -74,6 +81,8 @@ class CouplingGraph
     /**
      * Hop-count distance matrix (BFS). distance[a][b] is the minimum
      * number of links on any a-b path; unreachable pairs get -1.
+     * Computed lazily under a lock, so concurrent callers (batch
+     * compilation shares one const graph) are safe.
      */
     const std::vector<std::vector<int>> &hopDistances() const;
 
@@ -87,6 +96,14 @@ class CouplingGraph
     CouplingGraph inducedSubgraph(
         const std::vector<PhysQubit> &nodes) const;
 
+    /**
+     * Content hash over qubit count and link list (name excluded):
+     * two graphs with identical connectivity hash equal. Combined
+     * with Snapshot::contentHash() to key per-machine caches such
+     * as the reliability-path matrix.
+     */
+    std::uint64_t topologyHash() const;
+
   private:
     void checkNode(PhysQubit q) const;
 
@@ -95,6 +112,7 @@ class CouplingGraph
     std::vector<Link> _links;
     std::vector<std::vector<PhysQubit>> _adjacency;
     std::unordered_map<long, std::size_t> _linkLookup;
+    mutable std::mutex _hopMutex; ///< guards the lazy fill below
     mutable std::vector<std::vector<int>> _hopCache;
 };
 

@@ -1,0 +1,13 @@
+// A routed IBM-Q5 Tenerife circuit before CNOT orientation:
+// cx q[1],q[0] is native, cx q[0],q[1] is reversed, and the SWAP
+// lowers to three CX of alternating direction.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[5];
+creg c[5];
+cx q[1],q[0];
+cx q[0],q[1];
+swap q[2],q[1];
+barrier q;
+measure q[0] -> c[0];
+measure q[1] -> c[1];

@@ -1,0 +1,5 @@
+// An empty three-qubit program: registers only, no gates.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];

@@ -1,0 +1,9 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[1];
+creg c[1];
+h q[0];
+t q[0];
+rz(0.785398163397) q[0];
+x q[0];
+measure q[0] -> c[0];

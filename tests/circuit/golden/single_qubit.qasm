@@ -1,0 +1,11 @@
+// A one-qubit program covering plain, parameterized, and measure
+// statements (one statement per line, as the subset requires).
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[1];
+creg c[1];
+h q[0];
+t q[0];
+rz(pi/4) q[0];
+x q[0];
+measure q[0] -> c[0];

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Differential harness for the shared path caches: with the caches
+ * on, every compile must produce bit-identical output to the seed
+ * per-query code path (caches off). The guarantee rests on the
+ * reliability matrix re-accumulating each Floyd-Warshall distance
+ * along its next-hop chain — the exact left-to-right sum Dijkstra
+ * forms — and on the plan tables storing exactly what the uncached
+ * planner computes; these tests are the enforcement.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "calibration/snapshot.hpp"
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "core/batch_compiler.hpp"
+#include "core/compile_cache.hpp"
+#include "core/mapper.hpp"
+#include "graph/reliability_matrix.hpp"
+#include "graph/shortest_path.hpp"
+#include "sim/fault_sim.hpp"
+#include "sim/noise_model.hpp"
+#include "test_support.hpp"
+#include "topology/layouts.hpp"
+
+namespace
+{
+
+using namespace vaq;
+
+/** Scoped override of the global path-cache toggle. */
+class PathCacheGuard
+{
+  public:
+    explicit PathCacheGuard(bool enabled)
+        : _saved(core::pathCacheEnabled())
+    {
+        core::setPathCacheEnabled(enabled);
+    }
+    ~PathCacheGuard() { core::setPathCacheEnabled(_saved); }
+
+  private:
+    bool _saved;
+};
+
+double
+scoreOf(const core::MappedCircuit &mapped,
+        const topology::CouplingGraph &graph,
+        const calibration::Snapshot &snapshot)
+{
+    const sim::NoiseModel model(graph, snapshot,
+                                sim::CoherenceMode::PerOp);
+    return sim::analyticPst(mapped.physical, model);
+}
+
+/**
+ * Compile with caches off (the seed path) and on, and require the
+ * outputs to agree bit for bit: same physical gate stream, same
+ * layouts, same SWAP count, same analytic PST double.
+ */
+void
+expectIdenticalCompile(const core::Mapper &mapper,
+                       const circuit::Circuit &logical,
+                       const topology::CouplingGraph &graph,
+                       const calibration::Snapshot &snapshot)
+{
+    std::unique_ptr<core::MappedCircuit> seed;
+    {
+        const PathCacheGuard off(false);
+        seed = std::make_unique<core::MappedCircuit>(
+            mapper.map(logical, graph, snapshot));
+    }
+    std::unique_ptr<core::MappedCircuit> cached;
+    {
+        const PathCacheGuard on(true);
+        cached = std::make_unique<core::MappedCircuit>(
+            mapper.map(logical, graph, snapshot));
+    }
+
+    EXPECT_EQ(seed->physical, cached->physical);
+    EXPECT_EQ(seed->initial, cached->initial);
+    EXPECT_EQ(seed->final, cached->final);
+    EXPECT_EQ(seed->insertedSwaps, cached->insertedSwaps);
+    EXPECT_EQ(scoreOf(*seed, graph, snapshot),
+              scoreOf(*cached, graph, snapshot));
+}
+
+/**
+ * The bit-compatibility cornerstone: Floyd-Warshall distances,
+ * re-accumulated along next-hop chains, equal repeated-Dijkstra
+ * distances exactly (== on doubles, no tolerance).
+ */
+TEST(RouterDifferential, MatrixDistancesMatchDijkstraBitwise)
+{
+    Rng rng(11);
+    for (const auto &machine :
+         {topology::ibmQ20Tokyo(), topology::ibmFalcon27(),
+          topology::grid(4, 5), topology::ring(9)}) {
+        for (int trial = 0; trial < 5; ++trial) {
+            const calibration::Snapshot snapshot =
+                test::randomSnapshot(machine, rng);
+            const graph::WeightedGraph costs =
+                core::reliabilityCostGraph(machine, snapshot);
+            const graph::ReliabilityMatrix matrix(costs);
+            const auto reference =
+                graph::allPairsDistances(costs);
+            for (int a = 0; a < machine.numQubits(); ++a) {
+                for (int b = 0; b < machine.numQubits(); ++b) {
+                    EXPECT_EQ(
+                        matrix.distance(a, b),
+                        reference[static_cast<std::size_t>(a)]
+                                 [static_cast<std::size_t>(b)])
+                        << machine.name() << " trial " << trial
+                        << " pair (" << a << ", " << b << ")";
+                }
+            }
+        }
+    }
+}
+
+TEST(RouterDifferential, VqmMatchesSeedOn50RandomCircuits)
+{
+    const topology::CouplingGraph machine =
+        topology::ibmQ20Tokyo();
+    const core::Mapper mapper = core::makeVqmMapper();
+    Rng rng(23);
+    for (int trial = 0; trial < 50; ++trial) {
+        const calibration::Snapshot snapshot =
+            test::randomSnapshot(machine, rng);
+        const int qubits =
+            3 + static_cast<int>(rng.uniformInt(std::uint64_t{6}));
+        const circuit::Circuit logical = test::randomCircuit(
+            qubits,
+            10 + static_cast<int>(rng.uniformInt(std::uint64_t{20})),
+            rng);
+        expectIdenticalCompile(mapper, logical, machine, snapshot);
+    }
+}
+
+TEST(RouterDifferential, FullPortfoliosMatchSeed)
+{
+    const topology::CouplingGraph machine =
+        topology::ibmQ20Tokyo();
+    // Every allocator/cost/strategy combination the portfolios
+    // exercise: baseline (uniform costs), VQA+VQM (strength
+    // allocation + reliability routing), MAH-bounded VQM.
+    const core::Mapper baseline = core::makeBaselineMapper();
+    const core::Mapper vqaVqm = core::makeVqaVqmMapper();
+    const core::Mapper vqmMah = core::makeVqmMapper(4);
+    Rng rng(31);
+    for (int trial = 0; trial < 8; ++trial) {
+        const calibration::Snapshot snapshot =
+            test::randomSnapshot(machine, rng);
+        const circuit::Circuit logical =
+            test::randomCircuit(6, 24, rng);
+        expectIdenticalCompile(baseline, logical, machine,
+                               snapshot);
+        expectIdenticalCompile(vqaVqm, logical, machine, snapshot);
+        expectIdenticalCompile(vqmMah, logical, machine, snapshot);
+    }
+}
+
+TEST(RouterDifferential, UniformCalibrationTiesResolveIdentically)
+{
+    // Uniform link errors make every route cost tie; the cached
+    // and per-query searches must still break every tie the same
+    // way.
+    const topology::CouplingGraph machine =
+        topology::ibmQ20Tokyo();
+    const calibration::Snapshot snapshot =
+        test::uniformSnapshot(machine);
+    const core::Mapper mapper = core::makeVqmMapper();
+    Rng rng(47);
+    for (int trial = 0; trial < 10; ++trial) {
+        const circuit::Circuit logical =
+            test::randomCircuit(7, 30, rng);
+        expectIdenticalCompile(mapper, logical, machine, snapshot);
+    }
+}
+
+TEST(RouterDifferential, BatchAgreesAcrossThreadCounts)
+{
+    const topology::CouplingGraph machine =
+        topology::ibmQ20Tokyo();
+    const core::Mapper mapper = core::makeVqmMapper();
+    Rng rng(59);
+
+    std::vector<circuit::Circuit> circuits;
+    for (int i = 0; i < 12; ++i)
+        circuits.push_back(test::randomCircuit(5, 18, rng));
+    std::vector<calibration::Snapshot> snapshots;
+    for (int s = 0; s < 3; ++s)
+        snapshots.push_back(test::randomSnapshot(machine, rng));
+
+    // Sequential seed reference, caches off.
+    std::vector<core::MappedCircuit> reference;
+    {
+        const PathCacheGuard off(false);
+        for (const auto &snapshot : snapshots) {
+            for (const auto &circuit : circuits) {
+                reference.push_back(
+                    mapper.map(circuit, machine, snapshot));
+            }
+        }
+    }
+
+    const PathCacheGuard on(true);
+    for (const std::size_t threads : {1u, 4u, 8u}) {
+        core::BatchOptions options;
+        options.threads = threads;
+        core::BatchCompiler compiler(mapper, machine, options);
+        const std::vector<core::BatchResult> results =
+            compiler.compileAll(circuits, snapshots);
+        ASSERT_EQ(results.size(), reference.size());
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const core::MappedCircuit &seed = reference[i];
+            const core::MappedCircuit &got = results[i].mapped;
+            EXPECT_EQ(seed.physical, got.physical)
+                << "job " << i << " with " << threads
+                << " threads";
+            EXPECT_EQ(seed.initial, got.initial);
+            EXPECT_EQ(seed.final, got.final);
+            EXPECT_EQ(seed.insertedSwaps, got.insertedSwaps);
+            EXPECT_EQ(
+                scoreOf(seed, machine,
+                        snapshots[results[i].snapshot]),
+                results[i].analyticPst);
+        }
+    }
+}
+
+TEST(RouterDifferential, SharedMatrixIsReusedAndInvalidated)
+{
+    const topology::CouplingGraph machine = topology::ibmQ5Tenerife();
+    Rng rng(71);
+    const calibration::Snapshot snapshot =
+        test::randomSnapshot(machine, rng);
+
+    const PathCacheGuard on(true);
+    const auto first =
+        core::sharedReliabilityMatrix(machine, snapshot);
+    const auto second =
+        core::sharedReliabilityMatrix(machine, snapshot);
+    EXPECT_EQ(first.get(), second.get());
+
+    const std::uint64_t epochBefore =
+        core::pathCacheStats().epoch;
+    core::invalidatePathCaches();
+    EXPECT_GT(core::pathCacheStats().epoch, epochBefore);
+
+    // Old handles stay valid; fresh lookups rebuild.
+    const auto third =
+        core::sharedReliabilityMatrix(machine, snapshot);
+    EXPECT_NE(first.get(), third.get());
+    EXPECT_EQ(first->distance(0, 4), third->distance(0, 4));
+}
+
+} // namespace

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Property test tying the batch compiler to the independent
+ * verifier: every mapping the batch compiler emits must pass
+ * verifyMapping, and dropping any single non-barrier gate from a
+ * passing mapping must make it fail. The second half guards the
+ * verifier itself — an accept-everything checker would pass the
+ * first property trivially.
+ */
+#include "core/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "calibration/snapshot.hpp"
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "core/batch_compiler.hpp"
+#include "core/mapper.hpp"
+#include "test_support.hpp"
+#include "topology/layouts.hpp"
+
+namespace
+{
+
+using namespace vaq;
+
+/** Copy of `mapped` with the physical gate at `drop` removed. */
+core::MappedCircuit
+withoutGate(const core::MappedCircuit &mapped, std::size_t drop)
+{
+    core::MappedCircuit mutant = mapped;
+    circuit::Circuit shorter(mapped.physical.numQubits());
+    const auto &gates = mapped.physical.gates();
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        if (i != drop)
+            shorter.append(gates[i]);
+    }
+    mutant.physical = shorter;
+    return mutant;
+}
+
+TEST(VerifyProperty, BatchOutputsAllVerifyAndMutantsAllFail)
+{
+    const topology::CouplingGraph machine =
+        topology::ibmQ5Tenerife();
+    const core::Mapper mapper = core::makeVqmMapper();
+    Rng rng(83);
+
+    std::vector<circuit::Circuit> circuits;
+    for (int i = 0; i < 8; ++i)
+        circuits.push_back(test::randomCircuit(4, 14, rng));
+    std::vector<calibration::Snapshot> snapshots;
+    for (int s = 0; s < 2; ++s)
+        snapshots.push_back(test::randomSnapshot(machine, rng));
+
+    core::BatchOptions options;
+    options.threads = 4;
+    core::BatchCompiler compiler(mapper, machine, options);
+    const std::vector<core::BatchResult> results =
+        compiler.compileAll(circuits, snapshots);
+    ASSERT_EQ(results.size(), circuits.size() * snapshots.size());
+
+    for (const core::BatchResult &result : results) {
+        const circuit::Circuit &logical =
+            circuits[result.circuit];
+        const auto report = core::verifyMapping(
+            result.mapped, logical, machine);
+        EXPECT_TRUE(report.ok())
+            << "job (" << result.circuit << ", "
+            << result.snapshot << "): " << report.failure;
+
+        // Drop each gate in turn; every mutant must be rejected.
+        // Barriers are scheduling hints the verifier ignores, so
+        // removing one leaves a still-faithful circuit.
+        const auto &gates = result.mapped.physical.gates();
+        for (std::size_t drop = 0; drop < gates.size(); ++drop) {
+            if (gates[drop].kind == circuit::GateKind::BARRIER)
+                continue;
+            const auto mutant = withoutGate(result.mapped, drop);
+            EXPECT_FALSE(
+                core::verifyMapping(mutant, logical, machine)
+                    .ok())
+                << "dropping gate " << drop << " of job ("
+                << result.circuit << ", " << result.snapshot
+                << ") went undetected";
+        }
+    }
+}
+
+} // namespace

@@ -13,17 +13,24 @@
  *        vqa+vqm|native] [--calibration cal.csv |
  *        --synthetic-seed N] [--mah K] [--optimize]
  *        [--out mapped.qasm] [--trials N] [--threads N]
- *        [--target-stderr X]
+ *        [--target-stderr X] [--no-path-cache]
+ *
+ * Batch mode compiles every --qasm program (the flag repeats)
+ * against several consecutive calibration cycles concurrently:
+ *   vaqc --batch --qasm a.qasm --qasm b.qasm [--batch-cycles N]
+ *        [--threads N] ...
  *
  * Example:
  *   vaqc --qasm bell.qasm --machine q5 --policy vqa+vqm \
  *        --synthetic-seed 7 --out bell.mapped.qasm
  */
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "calibration/csv_io.hpp"
 #include "calibration/synthetic.hpp"
@@ -33,6 +40,8 @@
 #include "common/error.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "core/batch_compiler.hpp"
+#include "core/compile_cache.hpp"
 #include "core/mapper.hpp"
 #include "core/explain.hpp"
 #include "core/verify.hpp"
@@ -46,7 +55,7 @@ using namespace vaq;
 
 struct Options
 {
-    std::string qasmPath;
+    std::vector<std::string> qasmPaths;
     std::string machine = "q20";
     std::string policy = "vqa+vqm";
     std::string calibrationPath;
@@ -56,6 +65,9 @@ struct Options
     std::size_t trials = 100000;
     std::size_t threads = 0;
     double targetStderr = 0.0;
+    std::size_t batchCycles = 4;
+    bool batch = false;
+    bool noPathCache = false;
     bool optimize = false;
     bool lower = false;
     bool verify = false;
@@ -70,7 +82,16 @@ printUsage()
         "vaqc -- variability-aware quantum circuit compiler\n"
         "\n"
         "  --qasm FILE          input OpenQASM 2.0 program "
-        "(required)\n"
+        "(required; repeat for --batch)\n"
+        "  --batch              compile every program against "
+        "consecutive calibration\n"
+        "                       cycles concurrently and print a "
+        "batch report\n"
+        "  --batch-cycles N     calibration cycles in the batch "
+        "(default 4; synthetic only)\n"
+        "  --no-path-cache      disable the shared reliability-"
+        "path caches and recompute\n"
+        "                       all routes per compile\n"
         "  --machine NAME       q20 (default) | q5 | falcon27 | "
         "line:N | ring:N | grid:RxC\n"
         "  --policy NAME        baseline | vqm | vqm4 | vqa | "
@@ -113,7 +134,14 @@ parseArgs(int argc, char **argv)
             return argv[++i];
         };
         if (arg == "--qasm")
-            options.qasmPath = next("--qasm");
+            options.qasmPaths.push_back(next("--qasm"));
+        else if (arg == "--batch")
+            options.batch = true;
+        else if (arg == "--batch-cycles")
+            options.batchCycles =
+                parseSize(next("--batch-cycles"));
+        else if (arg == "--no-path-cache")
+            options.noPathCache = true;
         else if (arg == "--machine")
             options.machine = next("--machine");
         else if (arg == "--policy")
@@ -194,20 +222,105 @@ policyByName(const std::string &name, int mah)
     throw VaqError("unknown policy: " + name);
 }
 
+circuit::Circuit
+loadQasm(const std::string &path)
+{
+    std::ifstream in(path);
+    require(static_cast<bool>(in), "cannot open " + path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return circuit::fromQasm(text.str());
+}
+
+/**
+ * Batch mode: all programs x `batchCycles` consecutive calibration
+ * cycles through the concurrent batch compiler, with a per-job
+ * table and a throughput/cache summary.
+ */
+int
+runBatch(const Options &options)
+{
+    const topology::CouplingGraph machine =
+        machineByName(options.machine);
+
+    std::vector<circuit::Circuit> circuits;
+    circuits.reserve(options.qasmPaths.size());
+    for (const std::string &path : options.qasmPaths)
+        circuits.push_back(loadQasm(path));
+
+    std::vector<calibration::Snapshot> snapshots;
+    if (!options.calibrationPath.empty()) {
+        snapshots.push_back(
+            calibration::loadCsv(options.calibrationPath,
+                                 machine));
+    } else {
+        require(options.batchCycles > 0,
+                "--batch-cycles must be positive");
+        calibration::SyntheticSource source(
+            machine, calibration::SyntheticParams{},
+            options.syntheticSeed);
+        for (std::size_t c = 0; c < options.batchCycles; ++c)
+            snapshots.push_back(source.nextCycle());
+    }
+
+    const core::Mapper mapper =
+        policyByName(options.policy, options.mah);
+    core::BatchOptions batchOptions;
+    batchOptions.threads = options.threads;
+    core::BatchCompiler compiler(mapper, machine, batchOptions);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<core::BatchResult> results =
+        compiler.compileAll(circuits, snapshots);
+    const double seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    std::cout << "machine   : " << machine.name() << " ("
+              << machine.numQubits() << " qubits, "
+              << machine.linkCount() << " links)\n";
+    std::cout << "policy    : " << mapper.name() << "\n";
+    std::cout << "batch     : " << circuits.size()
+              << " programs x " << snapshots.size()
+              << " cycles = " << results.size() << " jobs on "
+              << compiler.threadCount() << " threads\n\n";
+
+    TextTable table({"program", "cycle", "swaps", "analytic-pst"});
+    for (const core::BatchResult &r : results) {
+        table.addRow(
+            {options.qasmPaths[r.circuit], std::to_string(r.snapshot),
+             std::to_string(r.mapped.insertedSwaps),
+             formatDouble(r.analyticPst, 5)});
+    }
+    std::cout << table.render() << "\n";
+
+    std::cout << "elapsed   : " << formatDouble(seconds, 3)
+              << " s (" << formatDouble(
+                     static_cast<double>(results.size()) /
+                         seconds, 1)
+              << " jobs/s)\n";
+    const core::PathCacheStats stats = core::pathCacheStats();
+    std::cout << "caches    : matrix " << stats.matrixHits
+              << " hits / " << stats.matrixMisses
+              << " misses, plans " << stats.planHits
+              << " hits / " << stats.planMisses << " misses"
+              << (core::pathCacheEnabled() ? "" : " (disabled)")
+              << "\n";
+    return 0;
+}
+
 int
 run(const Options &options)
 {
-    require(!options.qasmPath.empty(),
+    require(!options.qasmPaths.empty(),
             "--qasm is required (see --help)");
+    require(options.qasmPaths.size() == 1,
+            "multiple --qasm programs need --batch");
 
     // Program.
-    std::ifstream in(options.qasmPath);
-    require(static_cast<bool>(in),
-            "cannot open " + options.qasmPath);
-    std::ostringstream text;
-    text << in.rdbuf();
-    const circuit::Circuit logical =
-        circuit::fromQasm(text.str());
+    const std::string &qasmPath = options.qasmPaths.front();
+    const circuit::Circuit logical = loadQasm(qasmPath);
 
     // Machine + calibration.
     const topology::CouplingGraph machine =
@@ -272,7 +385,7 @@ run(const Options &options)
     const auto result = sim::runFaultInjectionParallel(
         mapped.physical, model, simOptions);
 
-    std::cout << "program   : " << options.qasmPath << " ("
+    std::cout << "program   : " << qasmPath << " ("
               << logical.numQubits() << " qubits, "
               << logical.instructionCount()
               << " instructions)\n";
@@ -315,6 +428,13 @@ main(int argc, char **argv)
         if (options.help || argc == 1) {
             printUsage();
             return 0;
+        }
+        if (options.noPathCache)
+            core::setPathCacheEnabled(false);
+        if (options.batch) {
+            require(!options.qasmPaths.empty(),
+                    "--batch needs at least one --qasm program");
+            return runBatch(options);
         }
         return run(options);
     } catch (const VaqError &e) {
