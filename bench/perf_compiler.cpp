@@ -11,6 +11,7 @@
 #include "bench_util.hpp"
 #include "core/batch_compiler.hpp"
 #include "core/compile_cache.hpp"
+#include "core/compile_options.hpp"
 #include "workloads/workloads.hpp"
 
 namespace
@@ -151,22 +152,36 @@ BM_BatchCompile100x4(benchmark::State &state)
 {
     const auto circuits = batchCircuits();
     const auto snapshots = batchSnapshots();
-    const core::Mapper mapper = core::makeVqmMapper();
+    const core::Mapper mapper = core::makeMapper({.name = "vqm"});
     core::BatchOptions options;
-    options.threads = static_cast<std::size_t>(state.range(0));
+    options.compile.cacheEnabled = true;
+    options.compile.threads =
+        static_cast<std::size_t>(state.range(0));
     options.scoreResults = false;
     core::BatchCompiler compiler(mapper, env().machine, options);
-    core::setPathCacheEnabled(true);
     core::invalidatePathCaches();
+    const core::PathCacheStats before = core::pathCacheStats();
     for (auto _ : state) {
         benchmark::DoNotOptimize(
             compiler.compileAll(circuits, snapshots));
     }
+    const core::PathCacheStats after = core::pathCacheStats();
     state.counters["jobs_per_s"] = benchmark::Counter(
         static_cast<double>(state.iterations()) *
             static_cast<double>(circuits.size()) *
             static_cast<double>(snapshots.size()),
         benchmark::Counter::kIsRate);
+    // Cache effectiveness over the whole run: hits / lookups across
+    // the shared reliability-matrix and movement-plan tables.
+    const double hits = static_cast<double>(
+        (after.matrixHits - before.matrixHits) +
+        (after.planHits - before.planHits));
+    const double lookups =
+        hits + static_cast<double>(
+                   (after.matrixMisses - before.matrixMisses) +
+                   (after.planMisses - before.planMisses));
+    state.counters["cache_hit_ratio"] =
+        lookups > 0.0 ? hits / lookups : 0.0;
 }
 // Real time + process CPU: the work happens on pool threads, so
 // main-thread CPU time (the default) would be near zero and the
@@ -183,19 +198,19 @@ BM_SequentialCompile100x4_Seed(benchmark::State &state)
 {
     const auto circuits = batchCircuits();
     const auto snapshots = batchSnapshots();
-    const core::Mapper mapper = core::makeVqmMapper();
+    const core::Mapper mapper = core::makeMapper({.name = "vqm"});
     // The seed compiler: caches off, one compile at a time, every
     // route and distance recomputed per job.
-    core::setPathCacheEnabled(false);
+    const core::CompileOptions seedOptions{.cacheEnabled = false};
     for (auto _ : state) {
         for (const auto &snapshot : snapshots) {
             for (const auto &circuit : circuits) {
-                benchmark::DoNotOptimize(mapper.map(
-                    circuit, env().machine, snapshot));
+                benchmark::DoNotOptimize(mapper.compile(
+                    circuit, env().machine, snapshot,
+                    seedOptions));
             }
         }
     }
-    core::setPathCacheEnabled(true);
     state.counters["jobs_per_s"] = benchmark::Counter(
         static_cast<double>(state.iterations()) *
             static_cast<double>(circuits.size()) *
@@ -203,6 +218,35 @@ BM_SequentialCompile100x4_Seed(benchmark::State &state)
         benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SequentialCompile100x4_Seed)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Compile-then-simulate throughput on the compiled artifact, so the
+ * benchmark JSON carries a trials/sec figure next to the compile
+ * rates above (the runtime's job loop does both per job).
+ */
+void
+BM_CompiledCircuitTrialRate(benchmark::State &state)
+{
+    const auto bv = workloads::bernsteinVazirani(16);
+    const auto mapped = core::makeMapper({.name = "vqa+vqm"})
+                            .map(bv, env().machine, env().averaged);
+    const sim::NoiseModel model(env().machine, env().averaged);
+    sim::ParallelFaultSim engine;
+    sim::ParallelFaultSimOptions options;
+    options.trials = 200000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            engine.run(mapped.physical, model, options));
+    }
+    state.counters["trials_per_s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) *
+            static_cast<double>(options.trials),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CompiledCircuitTrialRate)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime()
     ->Unit(benchmark::kMillisecond);
 
 void

@@ -1,11 +1,14 @@
 #include "core/batch_compiler.hpp"
 
+#include <atomic>
 #include <optional>
 #include <set>
 #include <utility>
 
 #include "common/error.hpp"
 #include "core/compile_cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/fault_sim.hpp"
 #include "sim/noise_model.hpp"
 
@@ -18,7 +21,7 @@ BatchCompiler::BatchCompiler(const Mapper &mapper,
     : _mapper(mapper),
       _graph(graph),
       _options(options),
-      _pool(options.threads)
+      _pool(options.compile.threads)
 {
 }
 
@@ -35,10 +38,18 @@ BatchCompiler::compile(
                 "batch job references a missing snapshot");
     }
 
-    if (pathCacheEnabled()) {
+    const bool telemetry =
+        _options.compile.telemetryEnabled && obs::enabled();
+    obs::Span batchSpan("batch.compile", telemetry);
+    if (telemetry)
+        obs::gaugeSet("batch.queue.depth",
+                      static_cast<double>(jobs.size()));
+
+    if (_options.compile.cacheEnabled) {
         // Build each snapshot's matrix once up front; without this
         // the first wave of workers would serialize on the cache
         // mutex while one of them builds it.
+        const PathCacheScope cacheScope(true);
         std::set<std::size_t> distinct;
         for (const BatchJob &job : jobs)
             distinct.insert(job.snapshot);
@@ -49,12 +60,15 @@ BatchCompiler::compile(
     // Per-job result slots: workers never touch shared state, so
     // the output is a pure function of the job list.
     std::vector<std::optional<BatchResult>> slots(jobs.size());
+    std::atomic<std::size_t> remaining{jobs.size()};
     _pool.parallelFor(jobs.size(), [&](std::size_t i) {
+        obs::ScopedTimer jobTimer("batch.job.seconds", telemetry);
         const BatchJob &job = jobs[i];
         const calibration::Snapshot &snapshot =
             snapshots[job.snapshot];
-        MappedCircuit mapped =
-            _mapper.map(circuits[job.circuit], _graph, snapshot);
+        MappedCircuit mapped = _mapper.compile(
+            circuits[job.circuit], _graph, snapshot,
+            _options.compile);
         double pst = 0.0;
         if (_options.scoreResults) {
             const sim::NoiseModel model(_graph, snapshot,
@@ -63,6 +77,14 @@ BatchCompiler::compile(
         }
         slots[i].emplace(job.circuit, job.snapshot,
                          std::move(mapped), pst);
+        if (telemetry) {
+            const std::size_t left = remaining.fetch_sub(
+                                         1, std::memory_order_relaxed) -
+                                     1;
+            obs::gaugeSet("batch.queue.depth",
+                          static_cast<double>(left));
+            obs::count("batch.jobs.completed");
+        }
     });
 
     std::vector<BatchResult> results;

@@ -39,8 +39,9 @@ struct BatchJob
 /** Batch-compiler knobs. */
 struct BatchOptions
 {
-    /** Worker threads; 0 = one per hardware thread. */
-    std::size_t threads = 0;
+    /** Per-compile options applied to every job; compile.threads
+     *  sizes the worker pool (0 = one per hardware thread). */
+    CompileOptions compile;
     /** Fill BatchResult::analyticPst (skip to save scoring time). */
     bool scoreResults = true;
 };

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "common/hashing.hpp"
+#include "core/compile_options.hpp"
+#include "obs/metrics.hpp"
 
 namespace vaq::core
 {
@@ -17,6 +19,9 @@ namespace
 {
 
 std::atomic<bool> g_pathCacheEnabled{true};
+
+/** Per-thread PathCacheScope override: -1 unset, else 0/1. */
+thread_local int t_pathCacheOverride = -1;
 
 /** Process-wide matrix store (epoch + LRU inside). */
 graph::ReliabilityMatrixCache &
@@ -73,7 +78,20 @@ setPathCacheEnabled(bool enabled)
 bool
 pathCacheEnabled()
 {
+    if (t_pathCacheOverride >= 0)
+        return t_pathCacheOverride != 0;
     return g_pathCacheEnabled.load(std::memory_order_relaxed);
+}
+
+PathCacheScope::PathCacheScope(bool enabled)
+    : _previous(t_pathCacheOverride)
+{
+    t_pathCacheOverride = enabled ? 1 : 0;
+}
+
+PathCacheScope::~PathCacheScope()
+{
+    t_pathCacheOverride = _previous;
 }
 
 graph::WeightedGraph
@@ -125,9 +143,11 @@ sharedPlanCache(const topology::CouplingGraph &graph,
     if (it != store.entries.end()) {
         ++store.hits;
         it->second.lastUsed = store.useCounter;
+        obs::count("cache.plan.hits");
         return it->second.table;
     }
     ++store.misses;
+    obs::count("cache.plan.misses");
     if (store.entries.size() >= PlanStore::kCapacity) {
         auto victim = store.entries.begin();
         for (auto e = store.entries.begin();
@@ -136,6 +156,7 @@ sharedPlanCache(const topology::CouplingGraph &graph,
                 victim = e;
         }
         store.entries.erase(victim);
+        obs::count("cache.plan.evictions");
     }
     auto table =
         std::make_shared<const PlanCache>(graph, snapshot, kind, mah);

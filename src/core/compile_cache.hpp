@@ -43,10 +43,20 @@ namespace vaq::core
  * recomputes from scratch exactly as the original per-query code
  * path does. The differential tests flip this to prove both modes
  * agree; `vaqc --no-path-cache` exposes it on the command line.
+ *
+ * Deprecated shim: prefer CompileOptions::cacheEnabled (see
+ * core/compile_options.hpp), which scopes the choice to one compile
+ * instead of the whole process. The global remains the default that
+ * CompileOptions snapshots, so existing callers and the CLI flag
+ * keep their behavior.
  */
 void setPathCacheEnabled(bool enabled);
 
-/** Current state of the global path-cache toggle. */
+/**
+ * Effective path-cache state on this thread: a PathCacheScope
+ * override installed by Mapper::compile when one is active,
+ * otherwise the global toggle.
+ */
 bool pathCacheEnabled();
 
 /**

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Per-compile options: the explicit replacement for the process
+ * globals that used to steer a compile.
+ *
+ * Historically the only way to turn the shared path caches off was
+ * the global core::setPathCacheEnabled toggle, which is both racy
+ * to flip around a single compile and invisible in signatures. A
+ * CompileOptions value travels with the call instead: through
+ * Mapper::compile, BatchCompiler and IterativeRunner::runBatch.
+ * Default-constructed options snapshot the current globals, so
+ * `mapper.map(...)` (which forwards a default CompileOptions) and
+ * the `--no-path-cache` flag behave exactly as before.
+ */
+#ifndef VAQ_CORE_COMPILE_OPTIONS_HPP
+#define VAQ_CORE_COMPILE_OPTIONS_HPP
+
+#include <cstddef>
+
+#include "obs/metrics.hpp"
+
+namespace vaq::core
+{
+
+// Defined in compile_cache.hpp; declared here so default options
+// can snapshot the (deprecated) global toggle without pulling in
+// the whole cache header.
+bool pathCacheEnabled();
+
+/** Options for one compile (or one batch of compiles). */
+struct CompileOptions
+{
+    /** Consult the shared reliability-matrix / movement-plan
+     *  stores. Defaults to the global toggle's current state. */
+    bool cacheEnabled = pathCacheEnabled();
+    /** Record metrics and tracing spans for this compile (only
+     *  effective while obs::enabled() is also on). */
+    bool telemetryEnabled = obs::enabled();
+    /** Worker threads for batch entry points; 0 = one per
+     *  hardware thread. Ignored by single-circuit compiles. */
+    std::size_t threads = 0;
+};
+
+/**
+ * RAII thread-local override of the path-cache toggle. Installed
+ * by Mapper::compile so the layers that read pathCacheEnabled()
+ * internally (allocators, the movement planner) honor the
+ * per-compile CompileOptions::cacheEnabled without threading a flag
+ * through every signature. Thread-local, so concurrent compiles
+ * with different options never observe each other's scope.
+ */
+class PathCacheScope
+{
+  public:
+    explicit PathCacheScope(bool enabled);
+    ~PathCacheScope();
+
+    PathCacheScope(const PathCacheScope &) = delete;
+    PathCacheScope &operator=(const PathCacheScope &) = delete;
+
+  private:
+    int _previous;
+};
+
+} // namespace vaq::core
+
+#endif // VAQ_CORE_COMPILE_OPTIONS_HPP

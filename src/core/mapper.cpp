@@ -1,7 +1,13 @@
 #include "core/mapper.hpp"
 
+#include <functional>
+#include <map>
+#include <sstream>
+
 #include "common/error.hpp"
 #include "core/compile_cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/fault_sim.hpp"
 #include "sim/noise_model.hpp"
 
@@ -20,6 +26,7 @@ Mapper::Mapper(std::string name,
     config.allocator = std::move(allocator);
     config.costKind = cost_kind;
     config.routerOptions = router_options;
+    config.label = _name;
     _configs.push_back(std::move(config));
 }
 
@@ -37,10 +44,17 @@ MappedCircuit
 Mapper::mapWithConfig(const PolicyConfig &config,
                       const Circuit &logical,
                       const topology::CouplingGraph &graph,
-                      const calibration::Snapshot &snapshot) const
+                      const calibration::Snapshot &snapshot,
+                      bool telemetry) const
 {
-    const Layout initial =
-        config.allocator->allocate(logical, graph, snapshot);
+    Layout initial(logical.numQubits(), graph.numQubits());
+    {
+        obs::Span span("mapper.allocate", telemetry);
+        obs::ScopedTimer timer("mapper.allocate.seconds",
+                               telemetry);
+        initial =
+            config.allocator->allocate(logical, graph, snapshot);
+    }
     const std::unique_ptr<CostModel> cost =
         makeCostModel(config.costKind, graph, snapshot);
     RouterOptions options = config.routerOptions;
@@ -52,8 +66,13 @@ Mapper::mapWithConfig(const PolicyConfig &config,
         options.planCache = sharedPlanCache(
             graph, snapshot, config.costKind, options.mah);
     }
-    const Router router(graph, *cost, options);
-    RouteResult routed = router.route(logical, initial);
+    RouteResult routed(logical.numQubits(), graph.numQubits());
+    {
+        obs::Span span("mapper.route", telemetry);
+        obs::ScopedTimer timer("mapper.route.seconds", telemetry);
+        const Router router(graph, *cost, options);
+        routed = router.route(logical, initial);
+    }
 
     MappedCircuit mapped(logical.numQubits(), graph.numQubits());
     mapped.physical = std::move(routed.physical);
@@ -65,14 +84,22 @@ Mapper::mapWithConfig(const PolicyConfig &config,
 }
 
 MappedCircuit
-Mapper::map(const Circuit &logical,
-            const topology::CouplingGraph &graph,
-            const calibration::Snapshot &snapshot) const
+Mapper::compile(const Circuit &logical,
+                const topology::CouplingGraph &graph,
+                const calibration::Snapshot &snapshot,
+                const CompileOptions &options) const
 {
     require(logical.numQubits() <= graph.numQubits(),
             "program needs more qubits than the machine has");
     require(graph.isConnected(),
             "machine coupling graph must be connected");
+
+    const PathCacheScope cacheScope(options.cacheEnabled);
+    const bool telemetry =
+        options.telemetryEnabled && obs::enabled();
+    obs::Span compileSpan("mapper.compile", telemetry);
+    obs::ScopedTimer compileTimer("mapper.compile.seconds",
+                                  telemetry);
 
     // Score each configuration with the compile-time reliability
     // estimate and keep the winner. Error rates are known at
@@ -82,17 +109,37 @@ Mapper::map(const Circuit &logical,
                                 sim::CoherenceMode::PerOp);
     MappedCircuit best(logical.numQubits(), graph.numQubits());
     double bestScore = -1.0;
+    const PolicyConfig *winner = nullptr;
     for (const PolicyConfig &config : _configs) {
-        MappedCircuit candidate =
-            mapWithConfig(config, logical, graph, snapshot);
-        const double score =
-            sim::analyticPst(candidate.physical, model);
+        MappedCircuit candidate = mapWithConfig(
+            config, logical, graph, snapshot, telemetry);
+        double score = 0.0;
+        {
+            obs::Span span("mapper.score", telemetry);
+            obs::ScopedTimer timer("mapper.score.seconds",
+                                   telemetry);
+            score = sim::analyticPst(candidate.physical, model);
+        }
         if (score > bestScore) {
             bestScore = score;
             best = std::move(candidate);
+            winner = &config;
         }
     }
+    if (telemetry && winner != nullptr) {
+        obs::count("mapper.portfolio.winner{policy=\"" + _name +
+                   "\",config=\"" + winner->label + "\"}");
+        obs::count("mapper.compiles");
+    }
     return best;
+}
+
+MappedCircuit
+Mapper::map(const Circuit &logical,
+            const topology::CouplingGraph &graph,
+            const calibration::Snapshot &snapshot) const
+{
+    return compile(logical, graph, snapshot, CompileOptions{});
 }
 
 MappedCircuit
@@ -156,6 +203,7 @@ baselineConfig()
     config.allocator = std::make_unique<LocalityAllocator>();
     config.costKind = CostKind::SwapCount;
     config.routerOptions.strategy = RouteStrategy::LayerAstar;
+    config.label = "baseline";
     return config;
 }
 
@@ -179,6 +227,7 @@ vqmConfigs(int mah)
         c.costKind = CostKind::Reliability;
         c.routerOptions.mah = mah;
         c.routerOptions.strategy = RouteStrategy::PerGate;
+        c.label = "vqm-pergate";
         configs.push_back(std::move(c));
     }
     // Same allocation, joint per-layer A* (Algorithm 1 step 5).
@@ -188,6 +237,7 @@ vqmConfigs(int mah)
         c.costKind = CostKind::Reliability;
         c.routerOptions.mah = mah;
         c.routerOptions.strategy = RouteStrategy::LayerAstar;
+        c.label = "vqm-astar";
         configs.push_back(std::move(c));
     }
     // No-variation fallback (Section 5.3: with uniform error rates
@@ -196,40 +246,41 @@ vqmConfigs(int mah)
     return configs;
 }
 
-} // namespace
+/** Registry builders, one per canonical policy name. */
 
 Mapper
-makeRandomizedMapper(std::uint64_t seed)
+buildRandomized(const PolicySpec &spec)
 {
     // The IBM-native stand-in routes per gate: the production
     // compiler of the time did not do layer-joint optimization.
     RouterOptions options;
     options.strategy = RouteStrategy::PerGate;
     return Mapper("ibm-native",
-                  std::make_unique<RandomAllocator>(seed),
+                  std::make_unique<RandomAllocator>(spec.seed),
                   CostKind::SwapCount, options);
 }
 
 Mapper
-makeBaselineMapper(RouteStrategy strategy)
+buildBaseline(const PolicySpec &)
 {
     RouterOptions options;
-    options.strategy = strategy;
+    options.strategy = RouteStrategy::LayerAstar;
     return Mapper("baseline", std::make_unique<LocalityAllocator>(),
                   CostKind::SwapCount, options);
 }
 
 Mapper
-makeVqmMapper(int mah)
+buildVqm(const PolicySpec &spec)
 {
     const std::string name =
-        mah == kUnlimitedHops ? "vqm"
-                              : "vqm-mah" + std::to_string(mah);
-    return Mapper(name, vqmConfigs(mah));
+        spec.mah == kUnlimitedHops
+            ? "vqm"
+            : "vqm-mah" + std::to_string(spec.mah);
+    return Mapper(name, vqmConfigs(spec.mah));
 }
 
 Mapper
-makeVqaMapper()
+buildVqa(const PolicySpec &)
 {
     std::vector<PolicyConfig> configs;
     {
@@ -238,6 +289,7 @@ makeVqaMapper()
             graph::SubgraphScore::InducedWeight);
         c.costKind = CostKind::SwapCount;
         c.routerOptions.strategy = RouteStrategy::LayerAstar;
+        c.label = "vqa-strength";
         configs.push_back(std::move(c));
     }
     configs.push_back(baselineConfig());
@@ -245,8 +297,9 @@ makeVqaMapper()
 }
 
 Mapper
-makeVqaVqmMapper(int mah)
+buildVqaVqm(const PolicySpec &spec)
 {
+    const int mah = spec.mah;
     // VQA allocation variants (strongest-subgraph placement, plus
     // the strength-weighted locality embedding of Algorithm 1 step
     // 4) on top of the full VQM portfolio, so VQA+VQM is never
@@ -260,6 +313,9 @@ makeVqaVqmMapper(int mah)
         c.costKind = CostKind::Reliability;
         c.routerOptions.mah = mah;
         c.routerOptions.strategy = RouteStrategy::PerGate;
+        c.label = score == graph::SubgraphScore::InducedWeight
+                      ? "vqa-induced-pergate"
+                      : "vqa-strength-pergate";
         configs.push_back(std::move(c));
     }
     {
@@ -269,6 +325,7 @@ makeVqaVqmMapper(int mah)
         c.costKind = CostKind::Reliability;
         c.routerOptions.mah = mah;
         c.routerOptions.strategy = RouteStrategy::LayerAstar;
+        c.label = "vqa-induced-astar";
         configs.push_back(std::move(c));
     }
     // Qubit-aware variant: readout/coherence quality feeds the
@@ -281,6 +338,7 @@ makeVqaVqmMapper(int mah)
         c.costKind = CostKind::Reliability;
         c.routerOptions.mah = mah;
         c.routerOptions.strategy = RouteStrategy::PerGate;
+        c.label = "vqa-qubit-aware";
         configs.push_back(std::move(c));
     }
     {
@@ -290,6 +348,7 @@ makeVqaVqmMapper(int mah)
         c.costKind = CostKind::Reliability;
         c.routerOptions.mah = mah;
         c.routerOptions.strategy = RouteStrategy::PerGate;
+        c.label = "vqa-rel-locality";
         configs.push_back(std::move(c));
     }
     for (PolicyConfig &c : vqmConfigs(mah))
@@ -300,6 +359,93 @@ makeVqaVqmMapper(int mah)
             ? "vqa+vqm"
             : "vqa+vqm-mah" + std::to_string(mah);
     return Mapper(name, std::move(configs));
+}
+
+using PolicyBuilder = Mapper (*)(const PolicySpec &);
+
+/** Canonical name -> builder. Aliases resolve before lookup. */
+const std::map<std::string, PolicyBuilder> &
+policyRegistry()
+{
+    static const std::map<std::string, PolicyBuilder> registry = {
+        {"baseline", &buildBaseline}, {"vqm", &buildVqm},
+        {"vqa", &buildVqa},           {"vqa+vqm", &buildVqaVqm},
+        {"random", &buildRandomized},
+    };
+    return registry;
+}
+
+std::string
+canonicalPolicyName(const std::string &name)
+{
+    if (name == "ibm-native" || name == "native")
+        return "random";
+    return name;
+}
+
+} // namespace
+
+Mapper
+makeMapper(const PolicySpec &spec)
+{
+    const auto &registry = policyRegistry();
+    const auto it = registry.find(canonicalPolicyName(spec.name));
+    if (it == registry.end()) {
+        std::ostringstream message;
+        message << "unknown policy '" << spec.name
+                << "' (known policies:";
+        for (const auto &[name, builder] : registry)
+            message << " " << name;
+        message << ")";
+        throw VaqError(message.str());
+    }
+    return it->second(spec);
+}
+
+std::vector<std::string>
+policyNames()
+{
+    std::vector<std::string> names;
+    for (const auto &[name, builder] : policyRegistry())
+        names.push_back(name);
+    return names;
+}
+
+Mapper
+makeRandomizedMapper(std::uint64_t seed)
+{
+    return makeMapper({.name = "random", .seed = seed});
+}
+
+Mapper
+makeBaselineMapper(RouteStrategy strategy)
+{
+    if (strategy == RouteStrategy::LayerAstar)
+        return makeMapper({.name = "baseline"});
+    // Non-default strategies have no registry spelling; build the
+    // single configuration directly.
+    RouterOptions options;
+    options.strategy = strategy;
+    return Mapper("baseline", std::make_unique<LocalityAllocator>(),
+                  CostKind::SwapCount, options);
+}
+
+Mapper
+makeVqmMapper(int mah)
+{
+    return makeMapper({.name = "vqm", .mah = mah});
+}
+
+Mapper
+makeVqaMapper()
+{
+    return makeMapper({.name = "vqa"});
+}
+
+Mapper
+makeVqaVqmMapper(int mah)
+{
+    return makeMapper({.name = "vqa+vqm", .mah = mah});
 }
 
 } // namespace vaq::core

@@ -15,17 +15,21 @@
  * exploited, the baseline configuration wins the portfolio and VQM
  * degenerates to it.
  *
- * Ready-made policies:
+ * Ready-made policies, all reachable through the PolicySpec
+ * registry (makeMapper({.name = ...})):
  *
- * | factory               | allocation        | movement cost  |
- * |-----------------------|-------------------|----------------|
- * | makeRandomizedMapper  | random (IBM-like) | swap count     |
- * | makeBaselineMapper    | locality          | swap count     |
- * | makeVqmMapper         | strength-locality | reliability(*) |
- * | makeVqaMapper         | VQA strength      | swap count     |
- * | makeVqaVqmMapper      | VQA strength      | reliability(*) |
+ * | name        | allocation        | movement cost  |
+ * |-------------|-------------------|----------------|
+ * | "random"    | random (IBM-like) | swap count     |
+ * | "baseline"  | locality          | swap count     |
+ * | "vqm"       | strength-locality | reliability(*) |
+ * | "vqa"       | VQA strength      | swap count     |
+ * | "vqa+vqm"   | VQA strength      | reliability(*) |
  *
  * (*) portfolio over routing strategies with a baseline fallback.
+ *
+ * The legacy make*Mapper free functions survive as one-line
+ * wrappers over the registry.
  */
 #ifndef VAQ_CORE_MAPPER_HPP
 #define VAQ_CORE_MAPPER_HPP
@@ -37,6 +41,7 @@
 #include "calibration/snapshot.hpp"
 #include "circuit/circuit.hpp"
 #include "core/allocator.hpp"
+#include "core/compile_options.hpp"
 #include "core/cost_model.hpp"
 #include "core/mapped_circuit.hpp"
 #include "core/router.hpp"
@@ -50,6 +55,8 @@ struct PolicyConfig
     std::unique_ptr<Allocator> allocator;
     CostKind costKind = CostKind::SwapCount;
     RouterOptions routerOptions;
+    /** Short tag for telemetry (portfolio-winner counters). */
+    std::string label;
 };
 
 /** Complete compilation policy (possibly a portfolio). */
@@ -75,7 +82,17 @@ class Mapper
      * the highest analytic PST under the compile-time error model
      * is returned. The result's physical circuit is executable:
      * every two-qubit gate acts on a coupled pair.
+     *
+     * `options` scopes the shared path caches and telemetry to this
+     * one compile (a PathCacheScope makes the deeper layers that
+     * read pathCacheEnabled() honor options.cacheEnabled).
      */
+    MappedCircuit compile(const circuit::Circuit &logical,
+                          const topology::CouplingGraph &graph,
+                          const calibration::Snapshot &snapshot,
+                          const CompileOptions &options = {}) const;
+
+    /** compile() with default options (snapshots the globals). */
     MappedCircuit map(const circuit::Circuit &logical,
                       const topology::CouplingGraph &graph,
                       const calibration::Snapshot &snapshot) const;
@@ -96,17 +113,45 @@ class Mapper
     MappedCircuit mapWithConfig(
         const PolicyConfig &config, const circuit::Circuit &logical,
         const topology::CouplingGraph &graph,
-        const calibration::Snapshot &snapshot) const;
+        const calibration::Snapshot &snapshot,
+        bool telemetry) const;
 
     std::string _name;
     std::vector<PolicyConfig> _configs;
 };
 
-/** Random allocation + fewest-SWAPs routing (IBM-native stand-in). */
+/**
+ * Declarative policy selection: the single front door to every
+ * ready-made mapper. Names: "baseline", "vqm", "vqa", "vqa+vqm",
+ * "random" (alias "ibm-native"/"native"). `mah` applies to the
+ * reliability-routing policies ("vqm", "vqa+vqm"); `seed` applies
+ * to "random".
+ */
+struct PolicySpec
+{
+    std::string name = "vqa+vqm";
+    int mah = kUnlimitedHops;
+    std::uint64_t seed = 0;
+};
+
+/**
+ * Build a mapper from a spec via the by-name registry. Throws
+ * VaqError for unknown names, listing the valid ones.
+ */
+Mapper makeMapper(const PolicySpec &spec);
+
+/** Canonical policy names makeMapper accepts (without aliases). */
+std::vector<std::string> policyNames();
+
+/** @deprecated Use makeMapper({.name = "random", .seed = seed}). */
 Mapper makeRandomizedMapper(std::uint64_t seed);
 
-/** Locality allocation + fewest-SWAPs routing (Zulehner-style
- *  baseline, Section 4.5). */
+/**
+ * Locality allocation + fewest-SWAPs routing (Zulehner-style
+ * baseline, Section 4.5). The non-default strategy overload has no
+ * registry equivalent and stays the direct constructor for tests.
+ * @deprecated Use makeMapper({.name = "baseline"}).
+ */
 Mapper makeBaselineMapper(RouteStrategy strategy =
                               RouteStrategy::LayerAstar);
 
@@ -115,15 +160,18 @@ Mapper makeBaselineMapper(RouteStrategy strategy =
  * allocation/strategy combinations, with the baseline configuration
  * as the no-variation fallback. mah = kUnlimitedHops gives
  * unconstrained VQM; mah = 4 gives the paper's hop-limited variant.
+ * @deprecated Use makeMapper({.name = "vqm", .mah = mah}).
  */
 Mapper makeVqmMapper(int mah = kUnlimitedHops);
 
 /** VQA allocation with fewest-SWAPs routing (allocation-only
- *  ablation), with baseline fallback. */
+ *  ablation), with baseline fallback.
+ *  @deprecated Use makeMapper({.name = "vqa"}). */
 Mapper makeVqaMapper();
 
 /** VQA + VQM combined (the paper's headline policy, Section 6):
- *  the VQM portfolio extended with strongest-subgraph allocation. */
+ *  the VQM portfolio extended with strongest-subgraph allocation.
+ *  @deprecated Use makeMapper({.name = "vqa+vqm", .mah = mah}). */
 Mapper makeVqaVqmMapper(int mah = kUnlimitedHops);
 
 } // namespace vaq::core

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "graph/shortest_path.hpp"
+#include "obs/metrics.hpp"
 
 namespace vaq::graph
 {
@@ -125,13 +126,15 @@ ReliabilityMatrixCache::obtain(std::uint64_t key,
     const auto it = _entries.find(key);
     if (it != _entries.end()) {
         if (it->second.epoch == _epoch) {
-            ++_hits;
+            _hits.fetch_add(1, std::memory_order_relaxed);
+            obs::count("cache.matrix.hits");
             it->second.lastUsed = _clock;
             return it->second.matrix;
         }
         _entries.erase(it); // stale epoch: rebuild below
     }
-    ++_misses;
+    _misses.fetch_add(1, std::memory_order_relaxed);
+    obs::count("cache.matrix.misses");
     Entry entry;
     entry.matrix = build();
     require(entry.matrix != nullptr,
@@ -146,6 +149,8 @@ ReliabilityMatrixCache::obtain(std::uint64_t key,
                 victim = e;
         }
         _entries.erase(victim);
+        _evictions.fetch_add(1, std::memory_order_relaxed);
+        obs::count("cache.matrix.evictions");
     }
     auto matrix = entry.matrix;
     _entries.emplace(key, std::move(entry));
@@ -158,6 +163,17 @@ ReliabilityMatrixCache::invalidate()
     std::lock_guard<std::mutex> lock(_mutex);
     ++_epoch;
     _entries.clear();
+    _invalidations.fetch_add(1, std::memory_order_relaxed);
+    obs::count("cache.matrix.invalidations");
+}
+
+void
+ReliabilityMatrixCache::resetCounters()
+{
+    _hits.store(0, std::memory_order_relaxed);
+    _misses.store(0, std::memory_order_relaxed);
+    _evictions.store(0, std::memory_order_relaxed);
+    _invalidations.store(0, std::memory_order_relaxed);
 }
 
 std::uint64_t
@@ -172,20 +188,6 @@ ReliabilityMatrixCache::size() const
 {
     std::lock_guard<std::mutex> lock(_mutex);
     return _entries.size();
-}
-
-std::size_t
-ReliabilityMatrixCache::hits() const
-{
-    std::lock_guard<std::mutex> lock(_mutex);
-    return _hits;
-}
-
-std::size_t
-ReliabilityMatrixCache::misses() const
-{
-    std::lock_guard<std::mutex> lock(_mutex);
-    return _misses;
 }
 
 } // namespace vaq::graph

@@ -22,6 +22,7 @@
 #ifndef VAQ_GRAPH_RELIABILITY_MATRIX_HPP
 #define VAQ_GRAPH_RELIABILITY_MATRIX_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -128,10 +129,33 @@ class ReliabilityMatrixCache
     /** Number of live entries. */
     std::size_t size() const;
 
-    /** Lookup counters since construction (not reset by
-     *  invalidate()). */
-    std::size_t hits() const;
-    std::size_t misses() const;
+    /**
+     * Lookup counters since construction or the last
+     * resetCounters() (not reset by invalidate()). Atomic, so
+     * readable without taking the cache lock; the obs registry
+     * mirrors them as cache.matrix.* when telemetry is on.
+     */
+    std::size_t hits() const
+    {
+        return _hits.load(std::memory_order_relaxed);
+    }
+    std::size_t misses() const
+    {
+        return _misses.load(std::memory_order_relaxed);
+    }
+    /** Capacity-pressure evictions (not epoch drops). */
+    std::size_t evictions() const
+    {
+        return _evictions.load(std::memory_order_relaxed);
+    }
+    /** invalidate() calls observed. */
+    std::size_t invalidations() const
+    {
+        return _invalidations.load(std::memory_order_relaxed);
+    }
+
+    /** Zero all four lookup counters (epoch is untouched). */
+    void resetCounters();
 
   private:
     struct Entry
@@ -146,8 +170,10 @@ class ReliabilityMatrixCache
     std::size_t _capacity;
     std::uint64_t _epoch = 0;
     std::uint64_t _clock = 0;
-    std::size_t _hits = 0;
-    std::size_t _misses = 0;
+    std::atomic<std::size_t> _hits{0};
+    std::atomic<std::size_t> _misses{0};
+    std::atomic<std::size_t> _evictions{0};
+    std::atomic<std::size_t> _invalidations{0};
 };
 
 } // namespace vaq::graph

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Exporters for metrics snapshots and span traces.
+ *
+ * Three formats cover the operator workflows the ROADMAP's compiler
+ * service needs: JSON for ad-hoc inspection and the evaluation
+ * scripts, CSV (via common/table) for spreadsheet-style plotting,
+ * and Prometheus text exposition for scraping. All three are pure
+ * functions of a snapshot, so outputs are deterministic and
+ * golden-testable.
+ *
+ * Metric names keep any Prometheus-style label block inline (e.g.
+ * `mapper.portfolio.winner{config="vqm"}`); the Prometheus exporter
+ * splits it off and attaches it natively, the others keep the full
+ * name as the row key.
+ */
+#ifndef VAQ_OBS_EXPORT_HPP
+#define VAQ_OBS_EXPORT_HPP
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace vaq::obs
+{
+
+/** JSON document with "counters", "gauges" and "histograms" maps. */
+std::string exportJson(const MetricsSnapshot &snapshot);
+
+/** CSV rows (kind,name,field,value); histograms expand into one
+ *  row per summary stat and per bucket. */
+std::string exportCsv(const MetricsSnapshot &snapshot);
+
+/**
+ * Prometheus text exposition format. Names are prefixed with
+ * `vaq_`, dots become underscores, and histogram buckets are
+ * emitted cumulatively with the standard `_bucket{le=...}` /
+ * `_sum` / `_count` series.
+ */
+std::string exportPrometheus(const MetricsSnapshot &snapshot);
+
+/** JSON array of finished spans (times in ns from trace epoch). */
+std::string exportTraceJson(const std::vector<SpanRecord> &spans);
+
+} // namespace vaq::obs
+
+#endif // VAQ_OBS_EXPORT_HPP

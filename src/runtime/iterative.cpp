@@ -2,6 +2,8 @@
 
 #include "common/error.hpp"
 #include "core/batch_compiler.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace vaq::runtime
 {
@@ -89,15 +91,19 @@ IterativeRunner::run(const circuit::Circuit &logical,
 {
     require(trials > 0, "need at least one trial");
 
+    obs::Span jobSpan("runtime.job");
     JobResult result(logical.numQubits(), _graph.numQubits());
     result.mapped = mapper.map(logical, _graph, calibration);
 
-    const sim::ShotCounts counts =
-        _machine(result.mapped.physical, trials);
+    const sim::ShotCounts counts = [&] {
+        obs::Span executeSpan("runtime.execute");
+        return _machine(result.mapped.physical, trials);
+    }();
     require(counts.shots == trials,
             "machine returned a different trial count");
 
     result.log = translateLog(logical, result.mapped, counts);
+    obs::count("runtime.jobs");
     return result;
 }
 
@@ -106,28 +112,37 @@ IterativeRunner::runBatch(
     const std::vector<circuit::Circuit> &logicals,
     const core::Mapper &mapper,
     const calibration::Snapshot &calibration, std::size_t trials,
-    std::size_t threads) const
+    core::CompileOptions options) const
 {
     require(trials > 0, "need at least one trial");
 
-    core::BatchOptions options;
-    options.threads = threads;
-    options.scoreResults = false;
-    core::BatchCompiler compiler(mapper, _graph, options);
+    const bool telemetry =
+        options.telemetryEnabled && obs::enabled();
+    obs::Span batchSpan("runtime.batch", telemetry);
+
+    core::BatchOptions batchOptions;
+    batchOptions.compile = options;
+    batchOptions.scoreResults = false;
+    core::BatchCompiler compiler(mapper, _graph, batchOptions);
     std::vector<core::BatchResult> compiled = compiler.compileAll(
         logicals, std::vector<calibration::Snapshot>{calibration});
 
     std::vector<JobResult> results;
     results.reserve(logicals.size());
     for (core::BatchResult &entry : compiled) {
+        obs::Span jobSpan("runtime.job", telemetry);
         const circuit::Circuit &logical = logicals[entry.circuit];
         JobResult result(logical.numQubits(), _graph.numQubits());
         result.mapped = std::move(entry.mapped);
-        const sim::ShotCounts counts =
-            _machine(result.mapped.physical, trials);
+        const sim::ShotCounts counts = [&] {
+            obs::Span executeSpan("runtime.execute", telemetry);
+            return _machine(result.mapped.physical, trials);
+        }();
         require(counts.shots == trials,
                 "machine returned a different trial count");
         result.log = translateLog(logical, result.mapped, counts);
+        if (telemetry)
+            obs::count("runtime.jobs");
         results.push_back(std::move(result));
     }
     return results;

@@ -91,17 +91,18 @@ class IterativeRunner
     /**
      * Run a whole queue of programs against one calibration cycle —
      * the recompile-everything burst of Section 3.3. Compilation
-     * fans out across `threads` workers through the batch compiler
-     * (core/batch_compiler.hpp), sharing one reliability matrix and
-     * plan table per snapshot; execution then proceeds serially in
-     * queue order, because the machine callback is not required to
-     * be thread-safe. Results are in queue order.
+     * fans out across `options.threads` workers through the batch
+     * compiler (core/batch_compiler.hpp), sharing one reliability
+     * matrix and plan table per snapshot; execution then proceeds
+     * serially in queue order, because the machine callback is not
+     * required to be thread-safe. Results are in queue order.
      */
     std::vector<JobResult>
     runBatch(const std::vector<circuit::Circuit> &logicals,
              const core::Mapper &mapper,
              const calibration::Snapshot &calibration,
-             std::size_t trials, std::size_t threads = 0) const;
+             std::size_t trials,
+             core::CompileOptions options = {}) const;
 
   private:
     const topology::CouplingGraph &_graph;

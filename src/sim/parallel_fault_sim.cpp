@@ -1,9 +1,12 @@
 #include "sim/parallel_fault_sim.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace vaq::sim
 {
@@ -38,6 +41,10 @@ ParallelFaultSim::run(const Circuit &physical, const NoiseModel &model,
             "targetStderr must be non-negative");
     checkExecutable(physical, model);
 
+    const bool telemetry = obs::enabled();
+    obs::Span runSpan("sim.run", telemetry);
+    const auto runStart = std::chrono::steady_clock::now();
+
     const std::vector<double> probs =
         detail::collectErrorProbs(physical, model);
 
@@ -68,6 +75,8 @@ ParallelFaultSim::run(const Circuit &physical, const NoiseModel &model,
 
         tallies.assign(count, detail::TrialTally{});
         _pool.parallelFor(count, [&](std::size_t i) {
+            obs::ScopedTimer chunkTimer("sim.chunk.seconds",
+                                        telemetry);
             const std::size_t begin =
                 (first + i) * options.chunkTrials;
             const std::size_t n = std::min(
@@ -88,6 +97,17 @@ ParallelFaultSim::run(const Circuit &physical, const NoiseModel &model,
         }
     }
 
+    if (telemetry) {
+        obs::count("sim.trials.total", total.trials);
+        const double seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - runStart)
+                .count();
+        if (seconds > 0.0)
+            obs::gaugeSet("sim.trials_per_sec",
+                          static_cast<double>(total.trials) /
+                              seconds);
+    }
     return detail::resultFromTally(
         total, detail::productSuccessProb(probs));
 }

@@ -160,7 +160,7 @@ TEST(U3, MapperRoutesU3Programs)
     logical.u3(0, 1.0, 0.5, 0.25).cx(0, 2).u2(2, 0.1, 0.2)
         .cx(1, 2).measureAll();
     const auto mapped =
-        core::makeVqaVqmMapper().map(logical, q5, snap);
+        core::makeMapper({.name = "vqa+vqm"}).map(logical, q5, snap);
     const auto report =
         core::verifyMapping(mapped, logical, q5);
     EXPECT_TRUE(report.ok()) << report.failure;

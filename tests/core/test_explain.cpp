@@ -20,7 +20,7 @@ class ExplainTest : public ::testing::Test
     ExplainTest()
         : graph(topology::ibmQ5Tenerife()), rng(71),
           snap(test::randomSnapshot(graph, rng)),
-          mapped(makeVqaVqmMapper().map(
+          mapped(makeMapper({.name = "vqa+vqm"}).map(
               workloads::bernsteinVazirani(4), graph, snap))
     {}
 
@@ -86,7 +86,7 @@ TEST_F(ExplainTest, EmptyTwoQubitUsageHandled)
     circuit::Circuit trivial(2);
     trivial.h(0).measure(0);
     const auto tiny =
-        makeBaselineMapper().map(trivial, graph, snap);
+        makeMapper({.name = "baseline"}).map(trivial, graph, snap);
     const std::string report = explainMapping(tiny, graph, snap);
     EXPECT_NE(report.find("PST estimate"), std::string::npos);
     const PstBreakdown breakdown =

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "common/error.hpp"
@@ -33,13 +34,16 @@ class MapperTest : public ::testing::Test
     calibration::Snapshot snap;
 };
 
-TEST_F(MapperTest, AllFactoriesProduceExecutableCircuits)
+TEST_F(MapperTest, AllRegistryPoliciesProduceExecutableCircuits)
 {
     const auto bv = workloads::bernsteinVazirani(10);
     for (const Mapper &mapper :
-         {makeRandomizedMapper(3), makeBaselineMapper(),
-          makeVqmMapper(), makeVqmMapper(4), makeVqaMapper(),
-          makeVqaVqmMapper()}) {
+         {makeMapper({.name = "random", .seed = 3}),
+          makeMapper({.name = "baseline"}),
+          makeMapper({.name = "vqm"}),
+          makeMapper({.name = "vqm", .mah = 4}),
+          makeMapper({.name = "vqa"}),
+          makeMapper({.name = "vqa+vqm"})}) {
         const MappedCircuit mapped =
             mapper.map(bv, graph, snap);
         const sim::NoiseModel model(graph, snap);
@@ -53,19 +57,87 @@ TEST_F(MapperTest, AllFactoriesProduceExecutableCircuits)
 
 TEST_F(MapperTest, PolicyNamesAreStable)
 {
-    EXPECT_EQ(makeBaselineMapper().name(), "baseline");
-    EXPECT_EQ(makeVqmMapper().name(), "vqm");
-    EXPECT_EQ(makeVqmMapper(4).name(), "vqm-mah4");
-    EXPECT_EQ(makeVqaVqmMapper().name(), "vqa+vqm");
-    EXPECT_EQ(makeRandomizedMapper(1).name(), "ibm-native");
+    EXPECT_EQ(makeMapper({.name = "baseline"}).name(), "baseline");
+    EXPECT_EQ(makeMapper({.name = "vqm"}).name(), "vqm");
+    EXPECT_EQ(makeMapper({.name = "vqm", .mah = 4}).name(),
+              "vqm-mah4");
+    EXPECT_EQ(makeMapper({.name = "vqa+vqm"}).name(), "vqa+vqm");
+    EXPECT_EQ(makeMapper({.name = "random", .seed = 1}).name(),
+              "ibm-native");
+}
+
+TEST_F(MapperTest, RegistryRejectsUnknownNames)
+{
+    try {
+        makeMapper({.name = "no-such-policy"});
+        FAIL() << "expected VaqError";
+    } catch (const VaqError &error) {
+        // The message must list every valid name so the vaqc
+        // --policy error is self-explanatory.
+        const std::string what = error.what();
+        EXPECT_NE(what.find("no-such-policy"), std::string::npos);
+        for (const std::string &name : policyNames())
+            EXPECT_NE(what.find(name), std::string::npos) << name;
+    }
+}
+
+TEST_F(MapperTest, PolicyNamesListsCanonicalPolicies)
+{
+    const std::vector<std::string> names = policyNames();
+    EXPECT_EQ(names.size(), 5u);
+    for (const char *expected :
+         {"baseline", "random", "vqa", "vqa+vqm", "vqm"}) {
+        EXPECT_NE(std::find(names.begin(), names.end(), expected),
+                  names.end())
+            << expected;
+    }
+}
+
+TEST_F(MapperTest, NativeAliasesResolveToRandom)
+{
+    EXPECT_EQ(makeMapper({.name = "ibm-native"}).name(),
+              "ibm-native");
+    EXPECT_EQ(makeMapper({.name = "native"}).name(), "ibm-native");
+}
+
+TEST_F(MapperTest, DeprecatedFactoriesMatchRegistry)
+{
+    // The legacy make*Mapper wrappers must stay source-compatible
+    // and agree with their registry spellings.
+    const auto ghz = workloads::ghz(5);
+    const std::vector<std::pair<Mapper, Mapper>> pairs = []() {
+        std::vector<std::pair<Mapper, Mapper>> p;
+        p.emplace_back(makeRandomizedMapper(3),
+                       makeMapper({.name = "random", .seed = 3}));
+        p.emplace_back(makeBaselineMapper(),
+                       makeMapper({.name = "baseline"}));
+        p.emplace_back(makeVqmMapper(4),
+                       makeMapper({.name = "vqm", .mah = 4}));
+        p.emplace_back(makeVqaMapper(),
+                       makeMapper({.name = "vqa"}));
+        p.emplace_back(makeVqaVqmMapper(),
+                       makeMapper({.name = "vqa+vqm"}));
+        return p;
+    }();
+    for (const auto &[legacy, registry] : pairs) {
+        EXPECT_EQ(legacy.name(), registry.name());
+        EXPECT_EQ(legacy.configCount(), registry.configCount());
+        const auto a = legacy.map(ghz, graph, snap);
+        const auto b = registry.map(ghz, graph, snap);
+        EXPECT_EQ(a.initial.progToPhys(), b.initial.progToPhys())
+            << legacy.name();
+        EXPECT_EQ(a.physical.gates().size(),
+                  b.physical.gates().size())
+            << legacy.name();
+    }
 }
 
 TEST_F(MapperTest, PortfolioSizes)
 {
-    EXPECT_EQ(makeBaselineMapper().configCount(), 1u);
-    EXPECT_GE(makeVqmMapper().configCount(), 3u);
-    EXPECT_GT(makeVqaVqmMapper().configCount(),
-              makeVqmMapper().configCount());
+    EXPECT_EQ(makeMapper({.name = "baseline"}).configCount(), 1u);
+    EXPECT_GE(makeMapper({.name = "vqm"}).configCount(), 3u);
+    EXPECT_GT(makeMapper({.name = "vqa+vqm"}).configCount(),
+              makeMapper({.name = "vqm"}).configCount());
 }
 
 TEST_F(MapperTest, VqmAtLeastAsReliableAsBaseline)
@@ -75,11 +147,14 @@ TEST_F(MapperTest, VqmAtLeastAsReliableAsBaseline)
     const sim::NoiseModel model(graph, snap);
     for (const auto &w : workloads::standardSuite(graph)) {
         const double base = sim::analyticPst(
-            makeBaselineMapper().map(w.circuit, graph, snap)
+            makeMapper({.name = "baseline"})
+                .map(w.circuit, graph, snap)
                 .physical,
             model);
         const double vqm = sim::analyticPst(
-            makeVqmMapper().map(w.circuit, graph, snap).physical,
+            makeMapper({.name = "vqm"})
+                .map(w.circuit, graph, snap)
+                .physical,
             model);
         EXPECT_GE(vqm, base - 1e-12) << w.name;
     }
@@ -90,10 +165,13 @@ TEST_F(MapperTest, VqaVqmAtLeastAsReliableAsVqm)
     const sim::NoiseModel model(graph, snap);
     for (const auto &w : workloads::standardSuite(graph)) {
         const double vqm = sim::analyticPst(
-            makeVqmMapper().map(w.circuit, graph, snap).physical,
+            makeMapper({.name = "vqm"})
+                .map(w.circuit, graph, snap)
+                .physical,
             model);
         const double both = sim::analyticPst(
-            makeVqaVqmMapper().map(w.circuit, graph, snap)
+            makeMapper({.name = "vqa+vqm"})
+                .map(w.circuit, graph, snap)
                 .physical,
             model);
         EXPECT_GE(both, vqm - 1e-12) << w.name;
@@ -108,10 +186,13 @@ TEST_F(MapperTest, UniformErrorsMakeVqmMatchBaseline)
     const sim::NoiseModel model(graph, uniform);
     const auto bv = workloads::bernsteinVazirani(12);
     const double base = sim::analyticPst(
-        makeBaselineMapper().map(bv, graph, uniform).physical,
+        makeMapper({.name = "baseline"})
+            .map(bv, graph, uniform)
+            .physical,
         model);
     const double vqm = sim::analyticPst(
-        makeVqmMapper().map(bv, graph, uniform).physical, model);
+        makeMapper({.name = "vqm"}).map(bv, graph, uniform).physical,
+        model);
     // Identical or better (another uniform-cost config may find
     // marginally fewer swaps) — never worse.
     EXPECT_GE(vqm, base - 1e-12);
@@ -121,7 +202,7 @@ TEST_F(MapperTest, MappedMeasuresLandOnFinalPositions)
 {
     const auto ghz = workloads::ghz(5);
     const MappedCircuit mapped =
-        makeVqaVqmMapper().map(ghz, graph, snap);
+        makeMapper({.name = "vqa+vqm"}).map(ghz, graph, snap);
     std::set<int> measured;
     for (const Gate &g : mapped.physical.gates()) {
         if (g.kind == GateKind::MEASURE)
@@ -135,7 +216,7 @@ TEST_F(MapperTest, LogicalOutcomeTranslation)
 {
     const auto ghz = workloads::ghz(4);
     const MappedCircuit mapped =
-        makeBaselineMapper().map(ghz, graph, snap);
+        makeMapper({.name = "baseline"}).map(ghz, graph, snap);
     // All-ones on the final physical positions reads back as
     // logical all-ones.
     std::uint64_t phys = 0;
@@ -149,7 +230,7 @@ TEST_F(MapperTest, PhysicalMeasureMaskMatchesMeasures)
 {
     const auto bv = workloads::bernsteinVazirani(6);
     const MappedCircuit mapped =
-        makeVqmMapper().map(bv, graph, snap);
+        makeMapper({.name = "vqm"}).map(bv, graph, snap);
     std::uint64_t expected = 0;
     for (const Gate &g : mapped.physical.gates()) {
         if (g.kind == GateKind::MEASURE)
@@ -162,8 +243,9 @@ TEST_F(MapperTest, TooWideProgramRejected)
 {
     Circuit wide(21);
     wide.h(0);
-    EXPECT_THROW(makeBaselineMapper().map(wide, graph, snap),
-                 VaqError);
+    EXPECT_THROW(
+        makeMapper({.name = "baseline"}).map(wide, graph, snap),
+        VaqError);
 }
 
 TEST_F(MapperTest, MapInRegionStaysInside)
@@ -172,7 +254,8 @@ TEST_F(MapperTest, MapInRegionStaysInside)
                                                   16, 17};
     const auto ghz = workloads::ghz(4);
     const MappedCircuit mapped =
-        makeVqaVqmMapper().mapInRegion(ghz, graph, snap, region);
+        makeMapper({.name = "vqa+vqm"})
+            .mapInRegion(ghz, graph, snap, region);
     const std::set<int> allowed(region.begin(), region.end());
     for (const Gate &g : mapped.physical.gates()) {
         if (g.kind == GateKind::BARRIER)
@@ -194,7 +277,8 @@ TEST_F(MapperTest, MapInRegionExecutable)
                                                   7};
     const auto bv = workloads::bernsteinVazirani(5);
     const MappedCircuit mapped =
-        makeBaselineMapper().mapInRegion(bv, graph, snap, region);
+        makeMapper({.name = "baseline"})
+            .mapInRegion(bv, graph, snap, region);
     const sim::NoiseModel model(graph, snap);
     EXPECT_NO_THROW(sim::checkExecutable(mapped.physical, model));
 }
@@ -202,21 +286,21 @@ TEST_F(MapperTest, MapInRegionExecutable)
 TEST_F(MapperTest, MapInRegionValidation)
 {
     const auto ghz = workloads::ghz(4);
-    EXPECT_THROW(makeBaselineMapper().mapInRegion(
-                     ghz, graph, snap, {0, 1}),
+    EXPECT_THROW(makeMapper({.name = "baseline"})
+                     .mapInRegion(ghz, graph, snap, {0, 1}),
                  VaqError); // too small
-    EXPECT_THROW(makeBaselineMapper().mapInRegion(
-                     ghz, graph, snap, {0, 1, 4, 9}),
+    EXPECT_THROW(makeMapper({.name = "baseline"})
+                     .mapInRegion(ghz, graph, snap, {0, 1, 4, 9}),
                  VaqError); // disconnected region
 }
 
 TEST_F(MapperTest, RandomizedMapperVariesWithSeed)
 {
     const auto ghz = workloads::ghz(5);
-    const auto a =
-        makeRandomizedMapper(1).map(ghz, graph, snap);
-    const auto b =
-        makeRandomizedMapper(2).map(ghz, graph, snap);
+    const auto a = makeMapper({.name = "random", .seed = 1})
+                       .map(ghz, graph, snap);
+    const auto b = makeMapper({.name = "random", .seed = 2})
+                       .map(ghz, graph, snap);
     EXPECT_NE(a.initial.progToPhys(), b.initial.progToPhys());
 }
 

@@ -10,7 +10,6 @@
  */
 #include <gtest/gtest.h>
 
-#include <memory>
 #include <vector>
 
 #include "calibration/snapshot.hpp"
@@ -18,6 +17,7 @@
 #include "common/rng.hpp"
 #include "core/batch_compiler.hpp"
 #include "core/compile_cache.hpp"
+#include "core/compile_options.hpp"
 #include "core/mapper.hpp"
 #include "graph/reliability_matrix.hpp"
 #include "graph/shortest_path.hpp"
@@ -30,21 +30,6 @@ namespace
 {
 
 using namespace vaq;
-
-/** Scoped override of the global path-cache toggle. */
-class PathCacheGuard
-{
-  public:
-    explicit PathCacheGuard(bool enabled)
-        : _saved(core::pathCacheEnabled())
-    {
-        core::setPathCacheEnabled(enabled);
-    }
-    ~PathCacheGuard() { core::setPathCacheEnabled(_saved); }
-
-  private:
-    bool _saved;
-};
 
 double
 scoreOf(const core::MappedCircuit &mapped,
@@ -67,25 +52,19 @@ expectIdenticalCompile(const core::Mapper &mapper,
                        const topology::CouplingGraph &graph,
                        const calibration::Snapshot &snapshot)
 {
-    std::unique_ptr<core::MappedCircuit> seed;
-    {
-        const PathCacheGuard off(false);
-        seed = std::make_unique<core::MappedCircuit>(
-            mapper.map(logical, graph, snapshot));
-    }
-    std::unique_ptr<core::MappedCircuit> cached;
-    {
-        const PathCacheGuard on(true);
-        cached = std::make_unique<core::MappedCircuit>(
-            mapper.map(logical, graph, snapshot));
-    }
+    const core::MappedCircuit seed = mapper.compile(
+        logical, graph, snapshot,
+        core::CompileOptions{.cacheEnabled = false});
+    const core::MappedCircuit cached = mapper.compile(
+        logical, graph, snapshot,
+        core::CompileOptions{.cacheEnabled = true});
 
-    EXPECT_EQ(seed->physical, cached->physical);
-    EXPECT_EQ(seed->initial, cached->initial);
-    EXPECT_EQ(seed->final, cached->final);
-    EXPECT_EQ(seed->insertedSwaps, cached->insertedSwaps);
-    EXPECT_EQ(scoreOf(*seed, graph, snapshot),
-              scoreOf(*cached, graph, snapshot));
+    EXPECT_EQ(seed.physical, cached.physical);
+    EXPECT_EQ(seed.initial, cached.initial);
+    EXPECT_EQ(seed.final, cached.final);
+    EXPECT_EQ(seed.insertedSwaps, cached.insertedSwaps);
+    EXPECT_EQ(scoreOf(seed, graph, snapshot),
+              scoreOf(cached, graph, snapshot));
 }
 
 /**
@@ -125,7 +104,7 @@ TEST(RouterDifferential, VqmMatchesSeedOn50RandomCircuits)
 {
     const topology::CouplingGraph machine =
         topology::ibmQ20Tokyo();
-    const core::Mapper mapper = core::makeVqmMapper();
+    const core::Mapper mapper = core::makeMapper({.name = "vqm"});
     Rng rng(23);
     for (int trial = 0; trial < 50; ++trial) {
         const calibration::Snapshot snapshot =
@@ -147,9 +126,9 @@ TEST(RouterDifferential, FullPortfoliosMatchSeed)
     // Every allocator/cost/strategy combination the portfolios
     // exercise: baseline (uniform costs), VQA+VQM (strength
     // allocation + reliability routing), MAH-bounded VQM.
-    const core::Mapper baseline = core::makeBaselineMapper();
-    const core::Mapper vqaVqm = core::makeVqaVqmMapper();
-    const core::Mapper vqmMah = core::makeVqmMapper(4);
+    const core::Mapper baseline = core::makeMapper({.name = "baseline"});
+    const core::Mapper vqaVqm = core::makeMapper({.name = "vqa+vqm"});
+    const core::Mapper vqmMah = core::makeMapper({.name = "vqm", .mah = 4});
     Rng rng(31);
     for (int trial = 0; trial < 8; ++trial) {
         const calibration::Snapshot snapshot =
@@ -172,7 +151,7 @@ TEST(RouterDifferential, UniformCalibrationTiesResolveIdentically)
         topology::ibmQ20Tokyo();
     const calibration::Snapshot snapshot =
         test::uniformSnapshot(machine);
-    const core::Mapper mapper = core::makeVqmMapper();
+    const core::Mapper mapper = core::makeMapper({.name = "vqm"});
     Rng rng(47);
     for (int trial = 0; trial < 10; ++trial) {
         const circuit::Circuit logical =
@@ -185,7 +164,7 @@ TEST(RouterDifferential, BatchAgreesAcrossThreadCounts)
 {
     const topology::CouplingGraph machine =
         topology::ibmQ20Tokyo();
-    const core::Mapper mapper = core::makeVqmMapper();
+    const core::Mapper mapper = core::makeMapper({.name = "vqm"});
     Rng rng(59);
 
     std::vector<circuit::Circuit> circuits;
@@ -197,20 +176,18 @@ TEST(RouterDifferential, BatchAgreesAcrossThreadCounts)
 
     // Sequential seed reference, caches off.
     std::vector<core::MappedCircuit> reference;
-    {
-        const PathCacheGuard off(false);
-        for (const auto &snapshot : snapshots) {
-            for (const auto &circuit : circuits) {
-                reference.push_back(
-                    mapper.map(circuit, machine, snapshot));
-            }
+    for (const auto &snapshot : snapshots) {
+        for (const auto &circuit : circuits) {
+            reference.push_back(mapper.compile(
+                circuit, machine, snapshot,
+                core::CompileOptions{.cacheEnabled = false}));
         }
     }
 
-    const PathCacheGuard on(true);
     for (const std::size_t threads : {1u, 4u, 8u}) {
         core::BatchOptions options;
-        options.threads = threads;
+        options.compile.cacheEnabled = true;
+        options.compile.threads = threads;
         core::BatchCompiler compiler(mapper, machine, options);
         const std::vector<core::BatchResult> results =
             compiler.compileAll(circuits, snapshots);
@@ -239,7 +216,9 @@ TEST(RouterDifferential, SharedMatrixIsReusedAndInvalidated)
     const calibration::Snapshot snapshot =
         test::randomSnapshot(machine, rng);
 
-    const PathCacheGuard on(true);
+    // The thread-local override Mapper::compile uses internally,
+    // exercised directly against the shared-cache entry points.
+    const core::PathCacheScope on(true);
     const auto first =
         core::sharedReliabilityMatrix(machine, snapshot);
     const auto second =

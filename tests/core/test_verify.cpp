@@ -38,8 +38,8 @@ TEST_F(VerifyTest, AcceptsEveryMapperOutput)
                            workloads::grover(3, 5)};
     for (const Circuit &logical : programs) {
         for (const Mapper &mapper :
-             {makeRandomizedMapper(9), makeBaselineMapper(),
-              makeVqmMapper(), makeVqaVqmMapper()}) {
+             {makeMapper({.name = "random", .seed = 9}), makeMapper({.name = "baseline"}),
+              makeMapper({.name = "vqm"}), makeMapper({.name = "vqa+vqm"})}) {
             const auto mapped =
                 mapper.map(logical, graph, snap);
             const auto report =
@@ -71,7 +71,7 @@ TEST_F(VerifyTest, DetectsDroppedGate)
 {
     const auto ghz = workloads::ghz(3);
     const auto mapped =
-        makeBaselineMapper().map(ghz, graph, snap);
+        makeMapper({.name = "baseline"}).map(ghz, graph, snap);
     MappedCircuit truncated = mapped;
     // Rebuild the physical circuit without its last gate.
     Circuit shorter(mapped.physical.numQubits());
@@ -104,7 +104,7 @@ TEST_F(VerifyTest, DetectsWrongFinalLayout)
 {
     const auto ghz = workloads::ghz(3);
     MappedCircuit mapped =
-        makeBaselineMapper().map(ghz, graph, snap);
+        makeMapper({.name = "baseline"}).map(ghz, graph, snap);
     // Corrupt the recorded final layout.
     Layout wrong(3, 5);
     wrong.assign(0, 4);
@@ -140,7 +140,7 @@ TEST_F(VerifyTest, ProgramSwapsAreNotConfusedWithRouting)
     // them against logical gates, not treat them as routing.
     const auto tri = workloads::triSwap();
     const auto mapped =
-        makeVqaVqmMapper().map(tri, graph, snap);
+        makeMapper({.name = "vqa+vqm"}).map(tri, graph, snap);
     const auto report = verifyMapping(mapped, tri, graph);
     EXPECT_TRUE(report.ok()) << report.failure;
 }
@@ -152,7 +152,7 @@ TEST_F(VerifyTest, WideMachineSkipsSemantics)
     const auto snap20 = test::randomSnapshot(q20, rng2);
     const auto bv = workloads::bernsteinVazirani(10);
     const auto mapped =
-        makeBaselineMapper().map(bv, q20, snap20);
+        makeMapper({.name = "baseline"}).map(bv, q20, snap20);
     const auto report = verifyMapping(mapped, bv, q20, 16);
     EXPECT_TRUE(report.ok()) << report.failure;
     EXPECT_FALSE(report.semanticsChecked);

@@ -45,7 +45,7 @@ TEST(VerifyProperty, BatchOutputsAllVerifyAndMutantsAllFail)
 {
     const topology::CouplingGraph machine =
         topology::ibmQ5Tenerife();
-    const core::Mapper mapper = core::makeVqmMapper();
+    const core::Mapper mapper = core::makeMapper({.name = "vqm"});
     Rng rng(83);
 
     std::vector<circuit::Circuit> circuits;
@@ -56,7 +56,7 @@ TEST(VerifyProperty, BatchOutputsAllVerifyAndMutantsAllFail)
         snapshots.push_back(test::randomSnapshot(machine, rng));
 
     core::BatchOptions options;
-    options.threads = 4;
+    options.compile.threads = 4;
     core::BatchCompiler compiler(mapper, machine, options);
     const std::vector<core::BatchResult> results =
         compiler.compileAll(circuits, snapshots);

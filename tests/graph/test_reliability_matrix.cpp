@@ -147,6 +147,36 @@ TEST(ReliabilityMatrixCache, EvictsLeastRecentlyUsedAtCapacity)
     EXPECT_EQ(builds, 3);
     cache.obtain(2, builder); // was evicted: rebuild
     EXPECT_EQ(builds, 4);
+    EXPECT_EQ(cache.evictions(), 2u); // keys 2 and 3 each evicted
+}
+
+TEST(ReliabilityMatrixCache, CountersAccumulateAndReset)
+{
+    ReliabilityMatrixCache cache(1);
+    const auto builder = [] {
+        return std::make_shared<const ReliabilityMatrix>(
+            lineWithShortcut());
+    };
+    cache.obtain(1, builder); // miss
+    cache.obtain(1, builder); // hit
+    cache.obtain(2, builder); // miss + evicts key 1
+    cache.invalidate();
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_EQ(cache.invalidations(), 1u);
+
+    // resetCounters zeroes the lookup counters but not the epoch.
+    cache.resetCounters();
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+    EXPECT_EQ(cache.evictions(), 0u);
+    EXPECT_EQ(cache.invalidations(), 0u);
+    EXPECT_EQ(cache.epoch(), 1u);
+
+    // And the counters keep working after a reset.
+    cache.obtain(2, builder); // invalidated above: counts a miss
+    EXPECT_EQ(cache.misses(), 1u);
 }
 
 } // namespace

@@ -31,7 +31,7 @@ TEST(EndToEnd, SimulatedQ20Flow)
 
     const auto bv = workloads::bernsteinVazirani(10);
     const auto mapped =
-        core::makeVqaVqmMapper().map(bv, q20, snap);
+        core::makeMapper({.name = "vqa+vqm"}).map(bv, q20, snap);
 
     const sim::NoiseModel model(q20, snap);
     sim::FaultSimOptions options;
@@ -56,9 +56,9 @@ TEST(EndToEnd, Q5HardwareSurrogateFlow)
 
     const auto logical = workloads::bernsteinVazirani(4);
     const auto baseline =
-        core::makeBaselineMapper().map(logical, q5, snap);
+        core::makeMapper({.name = "baseline"}).map(logical, q5, snap);
     const auto aware =
-        core::makeVqaVqmMapper().map(logical, q5, snap);
+        core::makeMapper({.name = "vqa+vqm"}).map(logical, q5, snap);
 
     const sim::NoiseModel model(q5, snap);
     sim::TrajectoryOptions options;
@@ -100,8 +100,8 @@ TEST(EndToEnd, CalibrationPersistenceRoundTrip)
         calibration::fromCsv(calibration::toCsv(snap, q20), q20);
 
     const auto qft = workloads::qft(8);
-    const auto a = core::makeVqmMapper().map(qft, q20, snap);
-    const auto b = core::makeVqmMapper().map(qft, q20, reloaded);
+    const auto a = core::makeMapper({.name = "vqm"}).map(qft, q20, snap);
+    const auto b = core::makeMapper({.name = "vqm"}).map(qft, q20, reloaded);
     EXPECT_EQ(a.physical, b.physical);
     EXPECT_EQ(a.initial.progToPhys(), b.initial.progToPhys());
 }
@@ -111,7 +111,7 @@ TEST(EndToEnd, PartitioningFlow)
     const auto q20 = topology::ibmQ20Tokyo();
     calibration::SyntheticSource source(q20);
     const auto snap = source.series(5).averaged();
-    const auto mapper = core::makeVqaVqmMapper();
+    const auto mapper = core::makeMapper({.name = "vqa+vqm"});
 
     partition::PartitionOptions options;
     options.candidateRegions = 6;
@@ -138,7 +138,7 @@ TEST(EndToEnd, RecompilationTracksDailyCalibration)
     calibration::SyntheticSource source(q20);
     const auto series = source.series(6);
     const auto bv = workloads::bernsteinVazirani(10);
-    const auto mapper = core::makeVqaVqmMapper();
+    const auto mapper = core::makeMapper({.name = "vqa+vqm"});
 
     std::set<std::vector<int>> layouts;
     for (const auto &snap : series.snapshots()) {

@@ -31,16 +31,16 @@ Mapper
 mapperByName(const std::string &name)
 {
     if (name == "ibm-native")
-        return core::makeRandomizedMapper(11);
+        return core::makeMapper({.name = "random", .seed = 11});
     if (name == "baseline")
-        return core::makeBaselineMapper();
+        return core::makeMapper({.name = "baseline"});
     if (name == "vqm")
-        return core::makeVqmMapper();
+        return core::makeMapper({.name = "vqm"});
     if (name == "vqm-mah4")
-        return core::makeVqmMapper(4);
+        return core::makeMapper({.name = "vqm", .mah = 4});
     if (name == "vqa")
-        return core::makeVqaMapper();
-    return core::makeVqaVqmMapper();
+        return core::makeMapper({.name = "vqa"});
+    return core::makeMapper({.name = "vqa+vqm"});
 }
 
 topology::CouplingGraph
@@ -122,7 +122,7 @@ TEST(MappingEquivalenceQ20, PaperWorkloadsPreserveSemantics)
         workloads::adder(2, 0b11, 0b01, false),
         workloads::triSwap(),
     };
-    const core::Mapper mapper = core::makeVqaVqmMapper();
+    const core::Mapper mapper = core::makeMapper({.name = "vqa+vqm"});
     for (const auto &logical : programs) {
         const auto mapped = mapper.map(logical, q20, snap);
         EXPECT_LT(test::distributionDistance(

@@ -51,10 +51,13 @@ TEST_P(PipelineFuzz, EveryCompilationVerifies)
     logical.measureAll();
 
     for (const core::Mapper &mapper :
-         {core::makeRandomizedMapper(
-              static_cast<std::uint64_t>(seed)),
-          core::makeBaselineMapper(), core::makeVqmMapper(),
-          core::makeVqmMapper(2), core::makeVqaVqmMapper()}) {
+         {core::makeMapper(
+              {.name = "random",
+               .seed = static_cast<std::uint64_t>(seed)}),
+          core::makeMapper({.name = "baseline"}),
+          core::makeMapper({.name = "vqm"}),
+          core::makeMapper({.name = "vqm", .mah = 2}),
+          core::makeMapper({.name = "vqa+vqm"})}) {
         const auto mapped = mapper.map(logical, graph, snap);
         const auto report =
             core::verifyMapping(mapped, logical, graph, 12);
@@ -80,7 +83,7 @@ TEST_P(PipelineFuzz, OptimizerComposesWithMapping)
 
     const circuit::Circuit slim = circuit::optimize(logical);
     const auto mapped =
-        core::makeVqaVqmMapper().map(slim, graph, snap);
+        core::makeMapper({.name = "vqa+vqm"}).map(slim, graph, snap);
     const auto report =
         core::verifyMapping(mapped, slim, graph);
     EXPECT_TRUE(report.ok()) << report.failure;

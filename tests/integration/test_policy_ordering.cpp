@@ -52,11 +52,11 @@ TEST_P(PolicyOrdering, VariationAwareHierarchyHolds)
 
     const auto bv = workloads::bernsteinVazirani(12);
     const double base =
-        pstOf(core::makeBaselineMapper(), bv, graph, snap);
+        pstOf(core::makeMapper({.name = "baseline"}), bv, graph, snap);
     const double vqm =
-        pstOf(core::makeVqmMapper(), bv, graph, snap);
+        pstOf(core::makeMapper({.name = "vqm"}), bv, graph, snap);
     const double both =
-        pstOf(core::makeVqaVqmMapper(), bv, graph, snap);
+        pstOf(core::makeMapper({.name = "vqa+vqm"}), bv, graph, snap);
 
     EXPECT_GE(vqm, base - 1e-12);
     EXPECT_GE(both, vqm - 1e-12);
@@ -72,10 +72,10 @@ TEST(PolicyOrderingSuite, HierarchyHoldsAcrossBenchmarks)
     const auto avg = source.series(20).averaged();
     for (const auto &w : workloads::standardSuite(q20)) {
         const double base =
-            pstOf(core::makeBaselineMapper(), w.circuit, q20, avg);
+            pstOf(core::makeMapper({.name = "baseline"}), w.circuit, q20, avg);
         const double vqm =
-            pstOf(core::makeVqmMapper(), w.circuit, q20, avg);
-        const double both = pstOf(core::makeVqaVqmMapper(),
+            pstOf(core::makeMapper({.name = "vqm"}), w.circuit, q20, avg);
+        const double both = pstOf(core::makeMapper({.name = "vqa+vqm"}),
                                   w.circuit, q20, avg);
         EXPECT_GE(vqm, base - 1e-12) << w.name;
         EXPECT_GE(both, vqm - 1e-12) << w.name;
@@ -93,10 +93,10 @@ TEST(PolicyOrderingSuite, BaselineBeatsRandomizedOnAverage)
     const auto bv = workloads::bernsteinVazirani(12);
 
     const double base =
-        pstOf(core::makeBaselineMapper(), bv, q20, avg);
+        pstOf(core::makeMapper({.name = "baseline"}), bv, q20, avg);
     std::vector<double> native;
     for (std::uint64_t seed = 1; seed <= 8; ++seed) {
-        native.push_back(pstOf(core::makeRandomizedMapper(seed),
+        native.push_back(pstOf(core::makeMapper({.name = "random", .seed = seed}),
                                bv, q20, avg));
     }
     EXPECT_GT(base, 1.5 * mean(native));
@@ -110,9 +110,9 @@ TEST(PolicyOrderingSuite, HopLimitedVqmClose)
     const auto avg = source.series(20).averaged();
     const auto bv = workloads::bernsteinVazirani(16);
     const double unconstrained =
-        pstOf(core::makeVqmMapper(), bv, q20, avg);
+        pstOf(core::makeMapper({.name = "vqm"}), bv, q20, avg);
     const double limited =
-        pstOf(core::makeVqmMapper(4), bv, q20, avg);
+        pstOf(core::makeMapper({.name = "vqm", .mah = 4}), bv, q20, avg);
     EXPECT_GT(limited, 0.7 * unconstrained);
 }
 
@@ -126,8 +126,8 @@ TEST(PolicyOrderingSuite, BenefitGrowsWithRelativeVariation)
     const auto bv = workloads::bernsteinVazirani(16);
 
     auto relativeBenefit = [&](const calibration::Snapshot &s) {
-        return pstOf(core::makeVqaVqmMapper(), bv, q20, s) /
-               pstOf(core::makeBaselineMapper(), bv, q20, s);
+        return pstOf(core::makeMapper({.name = "vqa+vqm"}), bv, q20, s) /
+               pstOf(core::makeMapper({.name = "baseline"}), bv, q20, s);
     };
 
     const double sameCov =
@@ -152,9 +152,9 @@ TEST(PolicyOrderingSuite, NoVariationMeansNoBenefit)
     const auto uniform = test::uniformSnapshot(q20);
     const auto ghz = workloads::ghz(8);
     const double base =
-        pstOf(core::makeBaselineMapper(), ghz, q20, uniform);
+        pstOf(core::makeMapper({.name = "baseline"}), ghz, q20, uniform);
     const double both =
-        pstOf(core::makeVqaVqmMapper(), ghz, q20, uniform);
+        pstOf(core::makeMapper({.name = "vqa+vqm"}), ghz, q20, uniform);
     EXPECT_GE(both, base - 1e-12);
     EXPECT_LT(both, base * 1.2 + 1e-12);
 }

@@ -21,7 +21,7 @@ class PartitionTest : public ::testing::Test
     PartitionTest()
         : graph(topology::ibmQ20Tokyo()), rng(23),
           snap(test::randomSnapshot(graph, rng)),
-          mapper(core::makeVqaVqmMapper())
+          mapper(core::makeMapper({.name = "vqa+vqm"}))
     {}
 
     PartitionOptions
@@ -140,7 +140,7 @@ TEST(Partition, WorksOnSmallMachines)
     const auto g = topology::grid(2, 3);
     const auto snap = test::uniformSnapshot(g);
     const auto ghz = workloads::ghz(3);
-    const auto mapper = core::makeBaselineMapper();
+    const auto mapper = core::makeMapper({.name = "baseline"});
     const PartitionReport report =
         comparePartitioning(ghz, g, snap, mapper);
     EXPECT_EQ(report.dual.size(), 2u);

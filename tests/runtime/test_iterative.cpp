@@ -66,7 +66,7 @@ TEST_F(IterativeTest, BvSecretInferredDespiteNoise)
     const IterativeRunner runner(graph, machine());
     const auto job = runner.run(
         workloads::bernsteinVazirani(4),
-        core::makeVqaVqmMapper(), truth, 4096);
+        core::makeMapper({.name = "vqa+vqm"}), truth, 4096);
     EXPECT_EQ(job.log.inferredOutcome(), 0b111u);
     EXPECT_GT(job.log.confidence(), 0.3);
     EXPECT_LT(job.log.confidence(), 1.0);
@@ -77,7 +77,7 @@ TEST_F(IterativeTest, GhzLogIsBimodal)
 {
     const IterativeRunner runner(graph, machine());
     const auto job =
-        runner.run(workloads::ghz(3), core::makeBaselineMapper(),
+        runner.run(workloads::ghz(3), core::makeMapper({.name = "baseline"}),
                    truth, 4096);
     // The two legitimate outcomes dominate the log.
     const double good = job.log.frequencyOf(0b000) +
@@ -105,10 +105,10 @@ TEST_F(IterativeTest, AwareCompilationRaisesConfidence)
     const IterativeRunner runner(graph, machineSkewed);
     const auto base =
         runner.run(workloads::triSwap(),
-                   core::makeBaselineMapper(), skewed, 4096);
+                   core::makeMapper({.name = "baseline"}), skewed, 4096);
     const auto aware =
         runner.run(workloads::triSwap(),
-                   core::makeVqaVqmMapper(), skewed, 4096);
+                   core::makeMapper({.name = "vqa+vqm"}), skewed, 4096);
     EXPECT_EQ(aware.log.inferredOutcome(), 0b100u);
     EXPECT_GE(aware.log.confidence(),
               base.log.confidence() - 0.02);
@@ -119,7 +119,7 @@ TEST_F(IterativeTest, Validation)
     EXPECT_THROW(IterativeRunner(graph, Machine{}), VaqError);
     const IterativeRunner runner(graph, machine());
     EXPECT_THROW(runner.run(workloads::ghz(3),
-                            core::makeBaselineMapper(), truth,
+                            core::makeMapper({.name = "baseline"}), truth,
                             0),
                  VaqError);
 }

@@ -153,7 +153,7 @@ TEST_F(CharacterizeTest, EstimatedDataDrivesGoodCompilation)
     // compiling with perfect knowledge achieves.
     const auto estimate =
         characterizeMachine(graph, machine());
-    const auto mapper = core::makeVqaVqmMapper();
+    const auto mapper = core::makeMapper({.name = "vqa+vqm"});
     const auto bv = workloads::bernsteinVazirani(3);
 
     const NoiseModel truthModel(graph, truth);

@@ -80,7 +80,7 @@ TEST(DensityMatrix, NoisyEvolutionPreservesTrace)
     const auto q5 = topology::ibmQ5Tenerife();
     const auto snap = test::uniformSnapshot(q5, 0.08, 0.01, 0.1);
     const NoiseModel model(q5, snap);
-    const auto mapped = core::makeBaselineMapper().map(
+    const auto mapped = core::makeMapper({.name = "baseline"}).map(
         workloads::bernsteinVazirani(4), q5, snap);
     DensityMatrix rho(5);
     rho.runNoisy(mapped.physical, model);
@@ -112,7 +112,7 @@ TEST(DensityMatrix, TrajectorySamplerMatchesExactChannel)
 
     for (const auto &w : workloads::q5Suite()) {
         // Route for the machine first (bv-4 needs it).
-        const auto mapped = core::makeBaselineMapper().map(
+        const auto mapped = core::makeMapper({.name = "baseline"}).map(
             w.circuit, q5, snap);
 
         DensityMatrix rho(5);

@@ -291,7 +291,7 @@ TEST(FaultSim, GateErrorsDominateCoherenceOnBv20)
     // more likely to fail a trial than coherence errors.
     const auto q20 = topology::ibmQ20Tokyo();
     const auto snap = test::uniformSnapshot(q20, 0.043);
-    const auto bv = core::makeBaselineMapper()
+    const auto bv = core::makeMapper({.name = "baseline"})
                         .map(workloads::bernsteinVazirani(20),
                              q20, snap)
                         .physical;

@@ -14,6 +14,8 @@
  *        --synthetic-seed N] [--mah K] [--optimize]
  *        [--out mapped.qasm] [--trials N] [--threads N]
  *        [--target-stderr X] [--no-path-cache]
+ *        [--metrics-out FILE] [--trace-out FILE]
+ *        [--metrics-format json|csv|prom]
  *
  * Batch mode compiles every --qasm program (the flag repeats)
  * against several consecutive calibration cycles concurrently:
@@ -45,6 +47,9 @@
 #include "core/mapper.hpp"
 #include "core/explain.hpp"
 #include "core/verify.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/parallel_fault_sim.hpp"
 #include "topology/layouts.hpp"
 
@@ -60,6 +65,9 @@ struct Options
     std::string policy = "vqa+vqm";
     std::string calibrationPath;
     std::string outPath;
+    std::string metricsOut;
+    std::string traceOut;
+    std::string metricsFormat = "json";
     std::uint64_t syntheticSeed = 7;
     int mah = core::kUnlimitedHops;
     std::size_t trials = 100000;
@@ -119,6 +127,14 @@ printUsage()
         "                       standard error drops to X "
         "(default 0 = run all trials)\n"
         "  --out FILE           write the mapped program as QASM\n"
+        "  --metrics-out FILE   write pipeline metrics (cache "
+        "hit ratios, stage\n"
+        "                       latencies, portfolio winners) "
+        "after the run\n"
+        "  --metrics-format F   metrics file format: json "
+        "(default) | csv | prom\n"
+        "  --trace-out FILE     write the span trace (nested "
+        "stage timings) as JSON\n"
         "  --help               this text\n";
 }
 
@@ -171,6 +187,12 @@ parseArgs(int argc, char **argv)
             options.verify = true;
         else if (arg == "--out")
             options.outPath = next("--out");
+        else if (arg == "--metrics-out")
+            options.metricsOut = next("--metrics-out");
+        else if (arg == "--trace-out")
+            options.traceOut = next("--trace-out");
+        else if (arg == "--metrics-format")
+            options.metricsFormat = next("--metrics-format");
         else if (arg == "--help" || arg == "-h")
             options.help = true;
         else
@@ -207,19 +229,54 @@ machineByName(const std::string &name)
 core::Mapper
 policyByName(const std::string &name, int mah)
 {
-    if (name == "baseline")
-        return core::makeBaselineMapper();
-    if (name == "vqm")
-        return core::makeVqmMapper(mah);
+    // "vqm4" is CLI shorthand for the paper's hop-limited VQM;
+    // everything else goes to the registry as-is ("native" maps to
+    // the registry's "random" alias with the historical seed).
     if (name == "vqm4")
-        return core::makeVqmMapper(4);
-    if (name == "vqa")
-        return core::makeVqaMapper();
-    if (name == "vqa+vqm")
-        return core::makeVqaVqmMapper(mah);
+        return core::makeMapper({.name = "vqm", .mah = 4});
     if (name == "native")
-        return core::makeRandomizedMapper(1);
-    throw VaqError("unknown policy: " + name);
+        return core::makeMapper({.name = "random", .seed = 1});
+    return core::makeMapper({.name = name, .mah = mah});
+}
+
+/** Per-compile options derived from the command line. */
+core::CompileOptions
+compileOptionsFor(const Options &options)
+{
+    core::CompileOptions compile;
+    compile.cacheEnabled = !options.noPathCache;
+    compile.telemetryEnabled = obs::enabled();
+    compile.threads = options.threads;
+    return compile;
+}
+
+/** Write --metrics-out / --trace-out files once the run is done. */
+void
+exportTelemetry(const Options &options)
+{
+    if (!options.metricsOut.empty()) {
+        const obs::MetricsSnapshot snap =
+            obs::Registry::global().snapshot();
+        std::string text;
+        if (options.metricsFormat == "json")
+            text = obs::exportJson(snap);
+        else if (options.metricsFormat == "csv")
+            text = obs::exportCsv(snap);
+        else if (options.metricsFormat == "prom")
+            text = obs::exportPrometheus(snap);
+        else
+            throw VaqError("unknown --metrics-format: " +
+                           options.metricsFormat +
+                           " (json | csv | prom)");
+        writeFile(options.metricsOut, text);
+        std::cout << "metrics   : " << options.metricsOut << " ("
+                  << options.metricsFormat << ")\n";
+    }
+    if (!options.traceOut.empty()) {
+        writeFile(options.traceOut,
+                  obs::exportTraceJson(obs::drainTrace()));
+        std::cout << "trace     : " << options.traceOut << "\n";
+    }
 }
 
 circuit::Circuit
@@ -266,7 +323,7 @@ runBatch(const Options &options)
     const core::Mapper mapper =
         policyByName(options.policy, options.mah);
     core::BatchOptions batchOptions;
-    batchOptions.threads = options.threads;
+    batchOptions.compile = compileOptionsFor(options);
     core::BatchCompiler compiler(mapper, machine, batchOptions);
 
     const auto t0 = std::chrono::steady_clock::now();
@@ -305,7 +362,7 @@ runBatch(const Options &options)
               << " hits / " << stats.matrixMisses
               << " misses, plans " << stats.planHits
               << " hits / " << stats.planMisses << " misses"
-              << (core::pathCacheEnabled() ? "" : " (disabled)")
+              << (options.noPathCache ? " (disabled)" : "")
               << "\n";
     return 0;
 }
@@ -337,8 +394,8 @@ run(const Options &options)
     // Compile.
     const core::Mapper mapper =
         policyByName(options.policy, options.mah);
-    core::MappedCircuit mapped =
-        mapper.map(logical, machine, snapshot);
+    core::MappedCircuit mapped = mapper.compile(
+        logical, machine, snapshot, compileOptionsFor(options));
 
     if (options.verify) {
         const core::VerificationReport report =
@@ -429,14 +486,19 @@ main(int argc, char **argv)
             printUsage();
             return 0;
         }
-        if (options.noPathCache)
-            core::setPathCacheEnabled(false);
+        if (!options.metricsOut.empty() ||
+            !options.traceOut.empty())
+            obs::setEnabled(true);
+        int code = 0;
         if (options.batch) {
             require(!options.qasmPaths.empty(),
                     "--batch needs at least one --qasm program");
-            return runBatch(options);
+            code = runBatch(options);
+        } else {
+            code = run(options);
         }
-        return run(options);
+        exportTelemetry(options);
+        return code;
     } catch (const VaqError &e) {
         std::cerr << "vaqc: error: " << e.what() << "\n";
         return 1;
