@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# CI entry point: the default (tier-1) build-and-test leg, followed
+# by an optional ThreadSanitizer leg over the thread-crossing suites.
+#
+#   scripts/ci.sh          # tier-1: full build + full ctest
+#   scripts/ci.sh --tsan   # also run the -DVAQ_SANITIZE=thread leg
+#
+# The default ctest run includes every label (robustness, parallel,
+# router, obs, ...). The TSan leg rebuilds into build-tsan/ and runs
+# only `-L parallel` — the tests that exercise the thread pool, the
+# shared path caches, and the batch fault paths — because the full
+# suite under TSan is too slow for a gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+RUN_TSAN=0
+for arg in "$@"; do
+    case "$arg" in
+    --tsan) RUN_TSAN=1 ;;
+    *)
+        echo "usage: scripts/ci.sh [--tsan]" >&2
+        exit 2
+        ;;
+    esac
+done
+
+echo "== tier-1: configure + build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+
+echo "== tier-1: full test suite (all labels) =="
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== tier-1: robustness label smoke (must select tests) =="
+ctest --test-dir build -L robustness --output-on-failure -j "$JOBS"
+
+if [ "$RUN_TSAN" -eq 1 ]; then
+    echo "== tsan leg: -DVAQ_SANITIZE=thread, ctest -L parallel =="
+    cmake -B build-tsan -S . -DVAQ_SANITIZE=thread >/dev/null
+    cmake --build build-tsan -j "$JOBS"
+    ctest --test-dir build-tsan -L parallel --output-on-failure \
+        -j "$JOBS"
+fi
+
+echo "ci: all legs passed"

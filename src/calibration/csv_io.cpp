@@ -37,9 +37,27 @@ toCsv(const Snapshot &snapshot,
     return oss.str();
 }
 
+namespace
+{
+
+/** "source:line: message" — every malformed-row complaint points
+ *  back into the file the operator has to fix. Lines are 1-based,
+ *  counting every physical line (headers and comments included). */
+CalibrationError
+rowError(const std::string &source, int line_no,
+         const std::string &message)
+{
+    return CalibrationError(source + ":" +
+                            std::to_string(line_no) + ": " +
+                            message);
+}
+
+} // namespace
+
 Snapshot
 fromCsv(const std::string &text,
-        const topology::CouplingGraph &graph)
+        const topology::CouplingGraph &graph,
+        const std::string &source)
 {
     Snapshot snap(graph);
     std::vector<bool> qubitSeen(
@@ -57,44 +75,67 @@ fromCsv(const std::string &text,
             continue;
         }
         const auto fields = split(line, ',');
-        require(fields.size() == 9,
-                "calibration CSV line " + std::to_string(lineNo) +
-                    " has wrong field count");
-        const std::string &section = fields[0];
-        if (section == "qubit") {
-            const auto q = parseSize(fields[1]);
-            require(q < static_cast<std::size_t>(graph.numQubits()),
-                    "qubit id out of range in CSV");
-            require(!qubitSeen[q], "duplicate qubit row in CSV");
-            qubitSeen[q] = true;
-            QubitCalibration &cal =
-                snap.qubit(static_cast<int>(q));
-            cal.t1Us = parseDouble(fields[4]);
-            cal.t2Us = parseDouble(fields[5]);
-            cal.error1q = parseDouble(fields[6]);
-            cal.readoutError = parseDouble(fields[7]);
-        } else if (section == "link") {
-            const auto a = static_cast<int>(parseSize(fields[2]));
-            const auto b = static_cast<int>(parseSize(fields[3]));
-            const std::size_t idx = graph.linkIndex(a, b);
-            require(!linkSeen[idx], "duplicate link row in CSV");
-            linkSeen[idx] = true;
-            snap.setLinkError(idx, parseDouble(fields[8]));
-        } else {
-            throw VaqError("unknown CSV section '" + section +
-                           "' on line " + std::to_string(lineNo));
+        if (fields.size() != 9) {
+            throw rowError(source, lineNo,
+                           "wrong field count (expected 9, got " +
+                               std::to_string(fields.size()) + ")");
+        }
+        // Field-level failures (non-numeric values, unknown links,
+        // duplicates) surface from the helpers below as VaqError;
+        // re-label them all with the file and line they came from.
+        try {
+            const std::string &section = fields[0];
+            if (section == "qubit") {
+                const auto q = parseSize(fields[1]);
+                require(q < static_cast<std::size_t>(
+                                graph.numQubits()),
+                        "qubit id out of range");
+                require(!qubitSeen[q], "duplicate qubit row");
+                qubitSeen[q] = true;
+                QubitCalibration &cal =
+                    snap.qubit(static_cast<int>(q));
+                cal.t1Us = parseDouble(fields[4]);
+                cal.t2Us = parseDouble(fields[5]);
+                cal.error1q = parseDouble(fields[6]);
+                cal.readoutError = parseDouble(fields[7]);
+            } else if (section == "link") {
+                const auto a =
+                    static_cast<int>(parseSize(fields[2]));
+                const auto b =
+                    static_cast<int>(parseSize(fields[3]));
+                const std::size_t idx = graph.linkIndex(a, b);
+                require(!linkSeen[idx], "duplicate link row");
+                linkSeen[idx] = true;
+                snap.setLinkError(idx, parseDouble(fields[8]));
+            } else {
+                throw VaqError("unknown CSV section '" + section +
+                               "'");
+            }
+        } catch (const VaqError &e) {
+            throw rowError(source, lineNo, e.message());
         }
     }
 
     for (std::size_t q = 0; q < qubitSeen.size(); ++q) {
-        require(qubitSeen[q],
-                "missing qubit row " + std::to_string(q));
+        if (!qubitSeen[q]) {
+            throw CalibrationError(source + ": missing qubit row " +
+                                       std::to_string(q),
+                                   static_cast<int>(q));
+        }
     }
     for (std::size_t l = 0; l < linkSeen.size(); ++l) {
-        require(linkSeen[l],
-                "missing link row " + std::to_string(l));
+        if (!linkSeen[l]) {
+            throw CalibrationError(source + ": missing link row " +
+                                       std::to_string(l),
+                                   -1, static_cast<long>(l));
+        }
     }
-    snap.validate();
+    try {
+        snap.validate();
+    } catch (CalibrationError &e) {
+        e.addContext(source);
+        throw;
+    }
     return snap;
 }
 
@@ -117,7 +158,7 @@ loadCsv(const std::string &path,
     require(static_cast<bool>(in), "cannot open for read: " + path);
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    return fromCsv(buffer.str(), graph);
+    return fromCsv(buffer.str(), graph, path);
 }
 
 std::string
@@ -147,7 +188,8 @@ toCsvSeries(const CalibrationSeries &series,
 
 CalibrationSeries
 fromCsvSeries(const std::string &text,
-              const topology::CouplingGraph &graph)
+              const topology::CouplingGraph &graph,
+              const std::string &source)
 {
     // Split rows per cycle, then reuse the snapshot parser.
     std::vector<std::string> perCycle;
@@ -162,23 +204,34 @@ fromCsvSeries(const std::string &text,
             continue;
         }
         const auto comma = trimmed.find(',');
-        require(comma != std::string::npos,
-                "malformed series row on line " +
-                    std::to_string(lineNo));
-        const std::size_t cycle =
-            parseSize(trimmed.substr(0, comma));
-        if (cycle >= perCycle.size()) {
-            require(cycle == perCycle.size(),
-                    "series cycles must be dense");
-            perCycle.emplace_back();
+        if (comma == std::string::npos)
+            throw rowError(source, lineNo, "malformed series row");
+        try {
+            const std::size_t cycle =
+                parseSize(trimmed.substr(0, comma));
+            if (cycle >= perCycle.size()) {
+                require(cycle == perCycle.size(),
+                        "series cycles must be dense");
+                perCycle.emplace_back();
+            }
+            perCycle[cycle] += trimmed.substr(comma + 1) + "\n";
+        } catch (const CalibrationError &) {
+            throw;
+        } catch (const VaqError &e) {
+            throw rowError(source, lineNo, e.message());
         }
-        perCycle[cycle] += trimmed.substr(comma + 1) + "\n";
     }
-    require(!perCycle.empty(), "series CSV has no rows");
+    if (perCycle.empty())
+        throw CalibrationError(source + ": series CSV has no rows");
 
     CalibrationSeries series;
-    for (const std::string &body : perCycle)
-        series.add(fromCsv(body, graph));
+    for (std::size_t cycle = 0; cycle < perCycle.size(); ++cycle) {
+        // Line numbers inside a cycle body count that cycle's rows,
+        // so label the source with the cycle they belong to.
+        series.add(fromCsv(perCycle[cycle], graph,
+                           source + " cycle " +
+                               std::to_string(cycle)));
+    }
     return series;
 }
 
@@ -202,7 +255,7 @@ loadCsvSeries(const std::string &path,
     require(static_cast<bool>(in), "cannot open for read: " + path);
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    return fromCsvSeries(buffer.str(), graph);
+    return fromCsvSeries(buffer.str(), graph, path);
 }
 
 } // namespace vaq::calibration

@@ -30,11 +30,14 @@ std::string toCsv(const Snapshot &snapshot,
 /**
  * Parse a snapshot from CSV text. Link rows are matched to the
  * graph's links by their (a, b) endpoints, so row order is free.
- * @throws VaqError on malformed rows, unknown links, or missing
- *         entries.
+ * @param source Label prepended as "source:line:" to every
+ *        malformed-row error (loadCsv passes the file path).
+ * @throws CalibrationError on malformed rows, unknown links, or
+ *         missing entries.
  */
 Snapshot fromCsv(const std::string &text,
-                 const topology::CouplingGraph &graph);
+                 const topology::CouplingGraph &graph,
+                 const std::string &source = "<csv>");
 
 /** Write a snapshot to a CSV file. */
 void saveCsv(const std::string &path, const Snapshot &snapshot,
@@ -52,9 +55,11 @@ std::string toCsvSeries(const CalibrationSeries &series,
                         const topology::CouplingGraph &graph);
 
 /** Parse a series written by toCsvSeries. Cycles must be dense,
- *  starting at 0, each complete. */
+ *  starting at 0, each complete. `source` labels errors as in
+ *  fromCsv. */
 CalibrationSeries fromCsvSeries(
-    const std::string &text, const topology::CouplingGraph &graph);
+    const std::string &text, const topology::CouplingGraph &graph,
+    const std::string &source = "<csv>");
 
 /** Write a series to a CSV file. */
 void saveCsvSeries(const std::string &path,

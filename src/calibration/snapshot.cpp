@@ -136,25 +136,61 @@ Snapshot::scaledErrors(double err_scale, double cov_mult,
     return out;
 }
 
+namespace
+{
+
+/** Positive AND finite: `inf > 0.0` is true, so a bare `> 0.0`
+ *  check waves Inf coherence times and durations through. */
+bool
+finitePositive(double v)
+{
+    return std::isfinite(v) && v > 0.0;
+}
+
+/** A probability must also be finite: NaN fails both comparisons,
+ *  but only via the combined condition reading as intended. */
+bool
+finiteProbability(double v)
+{
+    return std::isfinite(v) && v >= 0.0 && v <= 1.0;
+}
+
+void
+requireCalibration(bool cond, const std::string &msg,
+                   int qubit = -1, long link = -1)
+{
+    if (!cond)
+        throw CalibrationError(msg, qubit, link);
+}
+
+} // namespace
+
 void
 Snapshot::validate() const
 {
-    for (const QubitCalibration &q : _qubits) {
-        require(q.t1Us > 0.0 && q.t2Us > 0.0,
-                "coherence times must be positive");
-        require(q.error1q >= 0.0 && q.error1q <= 1.0,
-                "1q error must be a probability");
-        require(q.readoutError >= 0.0 && q.readoutError <= 1.0,
-                "readout error must be a probability");
+    for (int q = 0; q < numQubits(); ++q) {
+        const QubitCalibration &cal =
+            _qubits[static_cast<std::size_t>(q)];
+        requireCalibration(finitePositive(cal.t1Us) &&
+                               finitePositive(cal.t2Us),
+                           "coherence times must be positive and "
+                           "finite",
+                           q);
+        requireCalibration(finiteProbability(cal.error1q),
+                           "1q error must be a probability", q);
+        requireCalibration(finiteProbability(cal.readoutError),
+                           "readout error must be a probability",
+                           q);
     }
-    for (double e : _linkError2q) {
-        require(e >= 0.0 && e <= 1.0,
-                "2q error must be a probability");
+    for (std::size_t l = 0; l < _linkError2q.size(); ++l) {
+        requireCalibration(finiteProbability(_linkError2q[l]),
+                           "2q error must be a probability", -1,
+                           static_cast<long>(l));
     }
-    require(durations.oneQubitNs > 0.0 &&
-                durations.twoQubitNs > 0.0 &&
-                durations.measureNs > 0.0,
-            "gate durations must be positive");
+    requireCalibration(finitePositive(durations.oneQubitNs) &&
+                           finitePositive(durations.twoQubitNs) &&
+                           finitePositive(durations.measureNs),
+                       "gate durations must be positive and finite");
 }
 
 std::uint64_t

@@ -1,0 +1,57 @@
+#include "common/cancellation.hpp"
+
+#include <sstream>
+
+namespace vaq
+{
+
+namespace
+{
+/** The installing scope owns the token; workers only read it. */
+thread_local const CancellationToken *t_active = nullptr;
+} // namespace
+
+CancellationToken
+CancellationToken::withDeadline(double budget_ms)
+{
+    require(budget_ms > 0.0, "deadline budget must be positive");
+    CancellationToken token;
+    token._deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(budget_ms));
+    token._budgetMs = budget_ms;
+    token._active = true;
+    return token;
+}
+
+void
+CancellationToken::checkpoint(const char *where) const
+{
+    if (!expired())
+        return;
+    std::ostringstream oss;
+    oss << "deadline of " << _budgetMs << " ms exceeded in "
+        << where;
+    throw TimeoutError(oss.str(), _budgetMs);
+}
+
+CancellationScope::CancellationScope(const CancellationToken &token)
+    : _previous(t_active)
+{
+    t_active = token.active() ? &token : nullptr;
+}
+
+CancellationScope::~CancellationScope()
+{
+    t_active = _previous;
+}
+
+const CancellationToken *
+activeCancellation()
+{
+    return t_active;
+}
+
+} // namespace vaq

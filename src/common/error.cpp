@@ -2,7 +2,90 @@
 
 #include <sstream>
 
-namespace vaq::detail
+namespace vaq
+{
+
+const char *
+errorCategoryName(ErrorCategory category)
+{
+    switch (category) {
+      case ErrorCategory::Usage: return "usage";
+      case ErrorCategory::Calibration: return "calibration";
+      case ErrorCategory::Routing: return "routing";
+      case ErrorCategory::Compile: return "compile";
+      case ErrorCategory::Timeout: return "timeout";
+      case ErrorCategory::Internal: return "internal";
+    }
+    return "unknown";
+}
+
+VaqError &
+VaqError::addContext(const std::string &frame)
+{
+    _context.push_back(frame);
+    // Compose eagerly so what() stays noexcept.
+    std::ostringstream oss;
+    oss << _message << " [";
+    for (std::size_t i = 0; i < _context.size(); ++i)
+        oss << (i ? "; " : "") << _context[i];
+    oss << "]";
+    _composed = oss.str();
+    return *this;
+}
+
+const char *
+VaqError::what() const noexcept
+{
+    return _context.empty() ? _message.c_str() : _composed.c_str();
+}
+
+namespace
+{
+
+std::string
+withQubitLink(const std::string &message, const char *noun_a,
+              long a, const char *noun_b, long b)
+{
+    if (a < 0 && b < 0)
+        return message;
+    std::ostringstream oss;
+    oss << message << " (";
+    if (a >= 0)
+        oss << noun_a << " " << a;
+    if (b >= 0)
+        oss << (a >= 0 ? ", " : "") << noun_b << " " << b;
+    oss << ")";
+    return oss.str();
+}
+
+} // namespace
+
+CalibrationError::CalibrationError(const std::string &what_arg,
+                                   int qubit, long link)
+    : VaqError(withQubitLink(what_arg, "qubit", qubit, "link", link),
+               ErrorCategory::Calibration),
+      _qubit(qubit),
+      _link(link)
+{
+}
+
+RoutingError::RoutingError(const std::string &what_arg, int a, int b)
+    : VaqError(withQubitLink(what_arg, "qubit", a, "qubit", b),
+               ErrorCategory::Routing),
+      _a(a),
+      _b(b)
+{
+}
+
+ErrorCategory
+categorize(const std::exception &error)
+{
+    if (const auto *vaq = dynamic_cast<const VaqError *>(&error))
+        return vaq->category();
+    return ErrorCategory::Internal;
+}
+
+namespace detail
 {
 
 void
@@ -17,4 +100,6 @@ assertFailed(const char *expr, const char *file, int line,
     throw VaqInternalError(oss.str());
 }
 
-} // namespace vaq::detail
+} // namespace detail
+
+} // namespace vaq

@@ -57,31 +57,43 @@ ThreadPool::parallelFor(
     std::size_t count,
     const std::function<void(std::size_t)> &body)
 {
+    const std::vector<std::exception_ptr> errors =
+        parallelForAll(count, body);
+    for (const std::exception_ptr &error : errors) {
+        if (error)
+            std::rethrow_exception(error);
+    }
+}
+
+std::vector<std::exception_ptr>
+ThreadPool::parallelForAll(
+    std::size_t count,
+    const std::function<void(std::size_t)> &body)
+{
+    std::vector<std::exception_ptr> errors(count);
     if (count == 0)
-        return;
+        return errors;
 
     // Per-call completion state, shared with the queued tasks. The
     // caller outlives every task (it blocks on `done` below), so
-    // reference capture is safe.
+    // reference capture is safe. Error slots are per-index, so the
+    // tasks write them without the burst lock.
     struct Burst
     {
         std::mutex mutex;
         std::condition_variable done;
         std::size_t remaining;
-        std::exception_ptr error;
     } burst;
     burst.remaining = count;
 
     {
         std::lock_guard<std::mutex> lock(_mutex);
         for (std::size_t i = 0; i < count; ++i) {
-            _tasks.emplace_back([&burst, &body, i] {
+            _tasks.emplace_back([&burst, &body, &errors, i] {
                 try {
                     body(i);
                 } catch (...) {
-                    std::lock_guard<std::mutex> inner(burst.mutex);
-                    if (!burst.error)
-                        burst.error = std::current_exception();
+                    errors[i] = std::current_exception();
                 }
                 std::lock_guard<std::mutex> inner(burst.mutex);
                 if (--burst.remaining == 0)
@@ -93,8 +105,7 @@ ThreadPool::parallelFor(
 
     std::unique_lock<std::mutex> lock(burst.mutex);
     burst.done.wait(lock, [&burst] { return burst.remaining == 0; });
-    if (burst.error)
-        std::rethrow_exception(burst.error);
+    return errors;
 }
 
 } // namespace vaq

@@ -14,6 +14,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -49,14 +50,26 @@ class ThreadPool
 
     /**
      * Run body(0) .. body(count-1) across the pool and block until
-     * all calls have returned. The first exception thrown by any
-     * body is rethrown on the calling thread (the remaining indices
-     * still run). Which worker executes which index is unspecified;
+     * all calls have returned. The lowest-index exception is
+     * rethrown on the calling thread (the remaining indices still
+     * run). Which worker executes which index is unspecified;
      * callers needing determinism must make the bodies independent
      * and index their outputs.
      */
     void parallelFor(std::size_t count,
                      const std::function<void(std::size_t)> &body);
+
+    /**
+     * Fault-isolating variant: every index runs to completion and
+     * nothing is rethrown. Returns one slot per index, null where
+     * the body returned normally and the captured exception where
+     * it threw, so the caller can attribute each failure to its
+     * index instead of losing all but the first error. The batch
+     * compiler builds its per-job failure containment on this.
+     */
+    std::vector<std::exception_ptr>
+    parallelForAll(std::size_t count,
+                   const std::function<void(std::size_t)> &body);
 
     /** Worker count used for `threads == 0`. */
     static std::size_t defaultThreadCount();

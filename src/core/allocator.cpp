@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "circuit/layering.hpp"
+#include "common/cancellation.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "core/compile_cache.hpp"
@@ -146,6 +147,7 @@ greedyEmbed(const Circuit &logical,
             static_cast<int>(r);
 
     for (int step = 0; step < logical.numQubits(); ++step) {
+        checkCancellation("allocator.place");
         Qubit q = -1;
         double bestAnchor = -1.0;
         for (Qubit cand = 0; cand < logical.numQubits(); ++cand) {

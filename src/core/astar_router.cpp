@@ -5,6 +5,7 @@
 #include <queue>
 #include <unordered_map>
 
+#include "common/cancellation.hpp"
 #include "common/error.hpp"
 
 namespace vaq::core
@@ -157,6 +158,11 @@ planLayerSwaps(const topology::CouplingGraph &graph,
 
     std::size_t expanded = 0;
     while (!open.empty()) {
+        // Deadline checkpoint every 512 expansions: cheap relative
+        // to the expansion itself, frequent enough that a runaway
+        // search honors a per-job budget within milliseconds.
+        if ((expanded & 511u) == 0)
+            checkCancellation("router.astar");
         auto [f, g, state] = open.top();
         open.pop();
         const auto it = visited.find(state);

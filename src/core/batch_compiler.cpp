@@ -1,10 +1,12 @@
 #include "core/batch_compiler.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <optional>
 #include <set>
 #include <utility>
 
+#include "common/cancellation.hpp"
 #include "common/error.hpp"
 #include "core/compile_cache.hpp"
 #include "obs/metrics.hpp"
@@ -14,6 +16,80 @@
 
 namespace vaq::core
 {
+
+const char *
+jobStatusName(JobStatus status)
+{
+    switch (status) {
+    case JobStatus::Ok:
+        return "ok";
+    case JobStatus::Degraded:
+        return "degraded";
+    case JobStatus::Failed:
+        return "failed";
+    case JobStatus::TimedOut:
+        return "timed-out";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+/** What a distinct snapshot turned out to be once inspected. */
+struct SnapshotState
+{
+    enum class Kind
+    {
+        Clean,    ///< passed validate(), use as-is
+        Degraded, ///< quarantined but usable (compile into region)
+        Rejected, ///< unusable; every job against it fails
+    };
+
+    Kind kind = Kind::Clean;
+    /** Present iff kind == Degraded. */
+    std::optional<calibration::SanitizedCalibration> sanitized;
+    /** Quarantine summary or rejection reason. */
+    std::string note;
+};
+
+/** Failure classes worth walking the fallback ladder for. Usage and
+ *  calibration errors are deterministic: the same input fails the
+ *  same way under every policy, so retrying just burns time. */
+bool
+retryable(ErrorCategory category)
+{
+    return category == ErrorCategory::Routing ||
+           category == ErrorCategory::Compile ||
+           category == ErrorCategory::Timeout ||
+           category == ErrorCategory::Internal;
+}
+
+/** MappedCircuit has no empty state (circuits need >= 1 qubit), so
+ *  failed jobs carry the smallest constructible stub. */
+MappedCircuit
+placeholderMapped()
+{
+    return MappedCircuit(1, 1);
+}
+
+} // namespace
+
+std::vector<std::string>
+BatchCompiler::fallbackLadder(const std::string &policy_name)
+{
+    // Each step drops the most expensive variability-aware
+    // ingredient first: vqa+vqm -> vqm (keep reliability routing,
+    // drop strongest-subgraph allocation) -> baseline (locality +
+    // fewest SWAPs, the policy that cannot fail for policy reasons).
+    if (policy_name.rfind("vqa", 0) == 0)
+        return {"vqm", "baseline"};
+    if (policy_name.rfind("vqm", 0) == 0)
+        return {"baseline"};
+    if (policy_name == "baseline")
+        return {};
+    return {"baseline"};
+}
 
 BatchCompiler::BatchCompiler(const Mapper &mapper,
                              const topology::CouplingGraph &graph,
@@ -45,47 +121,274 @@ BatchCompiler::compile(
         obs::gaugeSet("batch.queue.depth",
                       static_cast<double>(jobs.size()));
 
-    if (_options.compile.cacheEnabled) {
-        // Build each snapshot's matrix once up front; without this
-        // the first wave of workers would serialize on the cache
-        // mutex while one of them builds it.
-        const PathCacheScope cacheScope(true);
-        std::set<std::size_t> distinct;
-        for (const BatchJob &job : jobs)
-            distinct.insert(job.snapshot);
-        for (std::size_t s : distinct)
-            sharedReliabilityMatrix(_graph, snapshots[s]);
+    std::set<std::size_t> distinct;
+    for (const BatchJob &job : jobs)
+        distinct.insert(job.snapshot);
+
+    // Inspect each distinct snapshot once, serially, before the
+    // burst: a snapshot that fails validate() is either rescued by
+    // the quarantine (jobs compile into the healthy region, marked
+    // Degraded) or rejected (jobs fail with the report attached).
+    std::vector<std::optional<SnapshotState>> states(
+        snapshots.size());
+    for (std::size_t s : distinct) {
+        SnapshotState state;
+        try {
+            snapshots[s].validate();
+        } catch (const VaqError &e) {
+            if (!_options.sanitizeCalibration || _options.failFast) {
+                state.kind = SnapshotState::Kind::Rejected;
+                state.note = e.message();
+            } else {
+                obs::Span sanitizeSpan("batch.sanitize", telemetry);
+                calibration::SanitizedCalibration sanitized =
+                    calibration::sanitize(snapshots[s], _graph,
+                                          _options.sanitize);
+                state.note = sanitized.report.summary();
+                if (telemetry) {
+                    obs::count("calibration.quarantine.snapshots");
+                    obs::count("calibration.quarantine.qubits",
+                               sanitized.report.qubits.size());
+                    obs::count("calibration.quarantine.links",
+                               sanitized.report.links.size());
+                }
+                if (sanitized.usable) {
+                    state.kind = SnapshotState::Kind::Degraded;
+                    state.sanitized = std::move(sanitized);
+                } else {
+                    state.kind = SnapshotState::Kind::Rejected;
+                    state.note +=
+                        "; healthy region too small to compile for";
+                    if (telemetry)
+                        obs::count(
+                            "calibration.quarantine.rejected");
+                }
+            }
+        }
+        states[s] = std::move(state);
     }
 
+    if (_options.compile.cacheEnabled) {
+        // Build each healthy snapshot's matrix once up front;
+        // without this the first wave of workers would serialize on
+        // the cache mutex while one of them builds it. (Degraded
+        // snapshots compile on an induced subgraph with its own
+        // small tables, so there is nothing to pre-warm.)
+        const PathCacheScope cacheScope(true);
+        for (std::size_t s : distinct) {
+            if (states[s]->kind == SnapshotState::Kind::Clean)
+                sharedReliabilityMatrix(_graph, snapshots[s]);
+        }
+    }
+
+    // Build the fallback mappers once, outside the parallel section:
+    // makeMapper is cheap but not worth repeating per job, and doing
+    // it here keeps the workers allocation-light.
+    std::vector<Mapper> fallbacks;
+    if (!_options.failFast && _options.maxRetries > 0) {
+        const std::vector<std::string> ladder =
+            fallbackLadder(_mapper.name());
+        const std::size_t steps = std::min(
+            ladder.size(),
+            static_cast<std::size_t>(_options.maxRetries));
+        fallbacks.reserve(steps);
+        for (std::size_t i = 0; i < steps; ++i) {
+            PolicySpec spec;
+            spec.name = ladder[i];
+            fallbacks.push_back(makeMapper(spec));
+        }
+    }
+
+    // One compile attempt: clean snapshots map on the full machine,
+    // quarantined ones into the healthy region of the cleaned copy.
+    const auto compileAttempt =
+        [&](const Mapper &mapper, const BatchJob &job,
+            const SnapshotState &state) -> MappedCircuit {
+        const circuit::Circuit &logical = circuits[job.circuit];
+        if (state.kind == SnapshotState::Kind::Clean) {
+            return mapper.compile(logical, _graph,
+                                  snapshots[job.snapshot],
+                                  _options.compile);
+        }
+        const calibration::SanitizedCalibration &sanitized =
+            *state.sanitized;
+        if (sanitized.healthyRegion.size() <
+            static_cast<std::size_t>(logical.numQubits())) {
+            throw CalibrationError(
+                "healthy region (" +
+                std::to_string(sanitized.healthyRegion.size()) +
+                " qubits) smaller than the program (" +
+                std::to_string(logical.numQubits()) + ")");
+        }
+        return mapper.mapInRegion(logical, _graph,
+                                  sanitized.snapshot,
+                                  sanitized.healthyRegion);
+    };
+
+    const auto scoreAttempt = [&](const MappedCircuit &mapped,
+                                  const BatchJob &job,
+                                  const SnapshotState &state) {
+        if (!_options.scoreResults)
+            return 0.0;
+        const calibration::Snapshot &snapshot =
+            state.kind == SnapshotState::Kind::Degraded
+                ? state.sanitized->snapshot
+                : snapshots[job.snapshot];
+        const sim::NoiseModel model(_graph, snapshot,
+                                    sim::CoherenceMode::PerOp);
+        return sim::analyticPst(mapped.physical, model);
+    };
+
     // Per-job result slots: workers never touch shared state, so
-    // the output is a pure function of the job list.
+    // the output is a pure function of the job list — including the
+    // failure/retry path, which is why results stay bit-identical
+    // across thread counts even with faulty jobs in the mix.
     std::vector<std::optional<BatchResult>> slots(jobs.size());
     std::atomic<std::size_t> remaining{jobs.size()};
-    _pool.parallelFor(jobs.size(), [&](std::size_t i) {
-        obs::ScopedTimer jobTimer("batch.job.seconds", telemetry);
-        const BatchJob &job = jobs[i];
-        const calibration::Snapshot &snapshot =
-            snapshots[job.snapshot];
-        MappedCircuit mapped = _mapper.compile(
-            circuits[job.circuit], _graph, snapshot,
-            _options.compile);
-        double pst = 0.0;
-        if (_options.scoreResults) {
-            const sim::NoiseModel model(_graph, snapshot,
-                                        sim::CoherenceMode::PerOp);
-            pst = sim::analyticPst(mapped.physical, model);
-        }
-        slots[i].emplace(job.circuit, job.snapshot,
-                         std::move(mapped), pst);
+
+    const auto finish = [&](std::size_t i, BatchResult result) {
         if (telemetry) {
-            const std::size_t left = remaining.fetch_sub(
-                                         1, std::memory_order_relaxed) -
-                                     1;
+            switch (result.status) {
+            case JobStatus::Ok:
+                obs::count("batch.jobs.completed");
+                break;
+            case JobStatus::Degraded:
+                obs::count("batch.jobs.completed");
+                obs::count("batch.jobs.degraded");
+                break;
+            case JobStatus::Failed:
+                obs::count("batch.jobs.failed");
+                break;
+            case JobStatus::TimedOut:
+                obs::count("batch.jobs.timeout");
+                break;
+            }
+            const std::size_t left =
+                remaining.fetch_sub(1, std::memory_order_relaxed) -
+                1;
             obs::gaugeSet("batch.queue.depth",
                           static_cast<double>(left));
-            obs::count("batch.jobs.completed");
         }
-    });
+        slots[i].emplace(std::move(result));
+    };
+
+    const std::vector<std::exception_ptr> errors =
+        _pool.parallelForAll(jobs.size(), [&](std::size_t i) {
+            obs::ScopedTimer jobTimer("batch.job.seconds",
+                                      telemetry);
+            const BatchJob &job = jobs[i];
+            const SnapshotState &state = *states[job.snapshot];
+
+            if (state.kind == SnapshotState::Kind::Rejected) {
+                if (_options.failFast) {
+                    throw CalibrationError(
+                        "snapshot " +
+                        std::to_string(job.snapshot) +
+                        " rejected: " + state.note);
+                }
+                BatchResult result(job.circuit, job.snapshot,
+                                   placeholderMapped(), 0.0);
+                result.status = JobStatus::Failed;
+                result.errorCategory = ErrorCategory::Calibration;
+                result.error = state.note;
+                result.attempts = 0;
+                finish(i, std::move(result));
+                return;
+            }
+
+            BatchResult result(job.circuit, job.snapshot,
+                               placeholderMapped(), 0.0);
+            const std::size_t totalAttempts =
+                _options.failFast ? 1 : 1 + fallbacks.size();
+            for (std::size_t attempt = 0; attempt < totalAttempts;
+                 ++attempt) {
+                const Mapper &mapper =
+                    attempt == 0 ? _mapper : fallbacks[attempt - 1];
+                if (telemetry && attempt > 0)
+                    obs::count("batch.retries");
+                try {
+                    const CancellationToken token =
+                        _options.jobDeadlineMs > 0.0
+                            ? CancellationToken::withDeadline(
+                                  _options.jobDeadlineMs)
+                            : CancellationToken();
+                    const CancellationScope deadline(token);
+                    MappedCircuit mapped =
+                        compileAttempt(mapper, job, state);
+                    result.analyticPst =
+                        scoreAttempt(mapped, job, state);
+                    result.mapped = std::move(mapped);
+                    result.attempts =
+                        static_cast<int>(attempt) + 1;
+                    result.policyUsed = mapper.name();
+                    if (state.kind ==
+                            SnapshotState::Kind::Degraded ||
+                        attempt > 0) {
+                        result.status = JobStatus::Degraded;
+                        std::string note;
+                        if (attempt > 0)
+                            note = "fell back to policy '" +
+                                   mapper.name() + "'";
+                        if (state.kind ==
+                            SnapshotState::Kind::Degraded) {
+                            if (!note.empty())
+                                note += "; ";
+                            note += state.note;
+                        }
+                        result.note = std::move(note);
+                    } else {
+                        result.status = JobStatus::Ok;
+                    }
+                    result.error.clear();
+                    break;
+                } catch (const std::exception &e) {
+                    if (_options.failFast)
+                        throw;
+                    const ErrorCategory category = categorize(e);
+                    result.status =
+                        category == ErrorCategory::Timeout
+                            ? JobStatus::TimedOut
+                            : JobStatus::Failed;
+                    result.errorCategory = category;
+                    result.error = e.what();
+                    result.attempts =
+                        static_cast<int>(attempt) + 1;
+                    if (!retryable(category))
+                        break;
+                }
+            }
+            finish(i, std::move(result));
+        });
+
+    if (_options.failFast) {
+        // Legacy semantics: surface the lowest-index failure. Every
+        // job still ran to completion (the pool is not poisoned).
+        for (const std::exception_ptr &error : errors) {
+            if (error)
+                std::rethrow_exception(error);
+        }
+    }
+
+    // Backstop for exceptions that escaped the per-attempt handler
+    // (non-std exceptions, failures in the bookkeeping itself):
+    // convert them into Failed results instead of losing the slot.
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        if (slots[i].has_value() || !errors[i])
+            continue;
+        BatchResult result(jobs[i].circuit, jobs[i].snapshot,
+                           placeholderMapped(), 0.0);
+        result.status = JobStatus::Failed;
+        try {
+            std::rethrow_exception(errors[i]);
+        } catch (const std::exception &e) {
+            result.errorCategory = categorize(e);
+            result.error = e.what();
+        } catch (...) {
+            result.errorCategory = ErrorCategory::Internal;
+            result.error = "unknown exception";
+        }
+        slots[i].emplace(std::move(result));
+    }
 
     std::vector<BatchResult> results;
     results.reserve(jobs.size());

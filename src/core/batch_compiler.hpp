@@ -1,7 +1,7 @@
 /**
  * @file
  * Batch compilation: map many (circuit, snapshot) pairs through one
- * mapper concurrently.
+ * mapper concurrently, with per-job fault isolation.
  *
  * The paper's setting recompiles every queued program whenever a
  * new calibration cycle is published (Section 3.3): a compile burst
@@ -12,15 +12,41 @@
  * instead of once per circuit. Jobs run on a reusable ThreadPool
  * and write results into per-job slots, so the output is identical
  * for any thread count (the differential tests check 1/4/8).
+ *
+ * Failure containment (the robustness layer):
+ *
+ *  - A job that throws no longer poisons the batch: its BatchResult
+ *    records status/category/message and every other job completes
+ *    normally (ThreadPool::parallelForAll).
+ *  - Transient failure classes (routing, compile, timeout, internal)
+ *    are retried down a policy-degradation ladder derived from the
+ *    primary policy (vqa+vqm -> vqm -> baseline), bounded by
+ *    BatchOptions::maxRetries. Deterministic classes (usage,
+ *    calibration) fail immediately.
+ *  - Each attempt runs under an optional cooperative deadline
+ *    (BatchOptions::jobDeadlineMs, see common/cancellation.hpp), so
+ *    one pathological job cannot stall the batch.
+ *  - Snapshots that fail Snapshot::validate() are routed through the
+ *    calibration quarantine (calibration/sanitize.hpp): jobs against
+ *    a partially-dead machine compile into the healthy region and
+ *    come back Degraded instead of Failed; jobs against an unusable
+ *    snapshot fail with the quarantine report as the reason.
+ *
+ * BatchOptions::failFast disables all of the above and restores the
+ * legacy semantics: no retries, no quarantine rescue, the
+ * lowest-index job error is rethrown after the burst.
  */
 #ifndef VAQ_CORE_BATCH_COMPILER_HPP
 #define VAQ_CORE_BATCH_COMPILER_HPP
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
+#include "calibration/sanitize.hpp"
 #include "calibration/snapshot.hpp"
 #include "circuit/circuit.hpp"
+#include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "core/mapped_circuit.hpp"
 #include "core/mapper.hpp"
@@ -44,16 +70,56 @@ struct BatchOptions
     CompileOptions compile;
     /** Fill BatchResult::analyticPst (skip to save scoring time). */
     bool scoreResults = true;
+    /** Legacy semantics: no retries, no quarantine rescue, the
+     *  lowest-index job exception is rethrown after the burst. */
+    bool failFast = false;
+    /** Fallback attempts after the primary policy (ladder length is
+     *  also capped by how far the policy can degrade). */
+    int maxRetries = 2;
+    /** Per-attempt cooperative deadline in milliseconds (0 = none).
+     *  An expired attempt throws TimeoutError and, if the ladder is
+     *  exhausted, the job reports JobStatus::TimedOut. */
+    double jobDeadlineMs = 0.0;
+    /** Route invalid snapshots through the calibration quarantine
+     *  instead of failing every job that references them. */
+    bool sanitizeCalibration = true;
+    /** Quarantine thresholds (see calibration/sanitize.hpp). */
+    calibration::SanitizeOptions sanitize;
 };
+
+/** Terminal state of one batch job. */
+enum class JobStatus
+{
+    Ok,       ///< primary policy, full machine
+    Degraded, ///< fallback policy and/or quarantined-machine region
+    Failed,   ///< no attempt produced a mapping
+    TimedOut, ///< every viable attempt hit the per-job deadline
+};
+
+/** Stable lowercase name ("ok", "degraded", "failed", "timed-out"). */
+const char *jobStatusName(JobStatus status);
 
 /** One compiled job. */
 struct BatchResult
 {
     std::size_t circuit;
     std::size_t snapshot;
+    /** Meaningful only when ok(); failed jobs hold a 1x1 stub. */
     MappedCircuit mapped;
     /** Compile-time PST estimate; 0 when scoring is disabled. */
     double analyticPst;
+    JobStatus status = JobStatus::Ok;
+    /** Category of the final failure; meaningful when !ok(). */
+    ErrorCategory errorCategory = ErrorCategory::Usage;
+    /** Final failure message; empty when ok(). */
+    std::string error;
+    /** Why a Degraded result is degraded (fallback policy and/or
+     *  quarantine summary); empty otherwise. */
+    std::string note;
+    /** Compile attempts consumed (>= 1 unless rejected up front). */
+    int attempts = 1;
+    /** Name of the policy that produced `mapped`; empty on failure. */
+    std::string policyUsed;
 
     BatchResult(std::size_t circuit_index,
                 std::size_t snapshot_index, MappedCircuit mapped_in,
@@ -63,6 +129,13 @@ struct BatchResult
           mapped(std::move(mapped_in)),
           analyticPst(pst)
     {}
+
+    /** True when `mapped` is executable (Ok or Degraded). */
+    bool ok() const
+    {
+        return status == JobStatus::Ok ||
+               status == JobStatus::Degraded;
+    }
 };
 
 /** Concurrent (circuit, snapshot) compiler over one mapper. */
@@ -78,6 +151,12 @@ class BatchCompiler
     BatchCompiler(const Mapper &mapper,
                   const topology::CouplingGraph &graph,
                   BatchOptions options = {});
+    /** The compiler stores references; temporaries would dangle
+     *  before the first compile() call. */
+    BatchCompiler(Mapper &&, const topology::CouplingGraph &,
+                  BatchOptions = {}) = delete;
+    BatchCompiler(const Mapper &, topology::CouplingGraph &&,
+                  BatchOptions = {}) = delete;
 
     /** Worker threads serving this compiler. */
     std::size_t threadCount() const { return _pool.threadCount(); }
@@ -85,7 +164,9 @@ class BatchCompiler
     /**
      * Compile every job and return results in job order. Shared
      * matrices are pre-built per distinct snapshot so workers start
-     * from warm caches. The first job exception is rethrown.
+     * from warm caches. Faults are contained per job (see the file
+     * comment); only usage errors in the job list itself — and any
+     * job error under failFast — throw.
      */
     std::vector<BatchResult>
     compile(const std::vector<circuit::Circuit> &circuits,
@@ -99,6 +180,15 @@ class BatchCompiler
     std::vector<BatchResult>
     compileAll(const std::vector<circuit::Circuit> &circuits,
                const std::vector<calibration::Snapshot> &snapshots);
+
+    /**
+     * The policy-degradation ladder for a primary policy name:
+     * vqa* -> {vqm, baseline}, vqm* -> {baseline}, baseline -> {},
+     * anything else -> {baseline}. Exposed for tests and for the
+     * vaqc summary.
+     */
+    static std::vector<std::string>
+    fallbackLadder(const std::string &policy_name);
 
   private:
     const Mapper &_mapper;

@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 
+#include "common/cancellation.hpp"
 #include "common/error.hpp"
 #include "core/compile_cache.hpp"
 #include "obs/metrics.hpp"
@@ -111,6 +112,7 @@ Mapper::compile(const Circuit &logical,
     double bestScore = -1.0;
     const PolicyConfig *winner = nullptr;
     for (const PolicyConfig &config : _configs) {
+        checkCancellation("mapper.portfolio");
         MappedCircuit candidate = mapWithConfig(
             config, logical, graph, snapshot, telemetry);
         double score = 0.0;

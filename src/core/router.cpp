@@ -1,6 +1,7 @@
 #include "core/router.hpp"
 
 #include "circuit/layering.hpp"
+#include "common/cancellation.hpp"
 #include "common/error.hpp"
 #include "core/astar_router.hpp"
 
@@ -60,6 +61,7 @@ Router::routePerGate(const Circuit &logical, RouteResult &result,
                      Layout &layout) const
 {
     for (const Gate &gate : logical.gates()) {
+        checkCancellation("router.per-gate");
         if (gate.isTwoQubit()) {
             const topology::PhysQubit pa = layout.phys(gate.q0);
             const topology::PhysQubit pb = layout.phys(gate.q1);
@@ -90,6 +92,7 @@ Router::routeLayerAstar(const Circuit &logical, RouteResult &result,
     const auto &gates = logical.gates();
 
     for (const circuit::Layer &layer : layers) {
+        checkCancellation("router.layer");
         // Collect the layer's two-qubit gates that actually need
         // connectivity work.
         std::vector<ProgPair> pairs;

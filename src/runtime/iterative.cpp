@@ -1,5 +1,6 @@
 #include "runtime/iterative.hpp"
 
+#include "calibration/sanitize.hpp"
 #include "common/error.hpp"
 #include "core/batch_compiler.hpp"
 #include "obs/metrics.hpp"
@@ -114,14 +115,26 @@ IterativeRunner::runBatch(
     const calibration::Snapshot &calibration, std::size_t trials,
     core::CompileOptions options) const
 {
+    core::BatchOptions batchOptions;
+    batchOptions.compile = options;
+    return runBatch(logicals, mapper, calibration, trials,
+                    batchOptions);
+}
+
+std::vector<JobResult>
+IterativeRunner::runBatch(
+    const std::vector<circuit::Circuit> &logicals,
+    const core::Mapper &mapper,
+    const calibration::Snapshot &calibration, std::size_t trials,
+    const core::BatchOptions &options) const
+{
     require(trials > 0, "need at least one trial");
 
     const bool telemetry =
-        options.telemetryEnabled && obs::enabled();
+        options.compile.telemetryEnabled && obs::enabled();
     obs::Span batchSpan("runtime.batch", telemetry);
 
-    core::BatchOptions batchOptions;
-    batchOptions.compile = options;
+    core::BatchOptions batchOptions = options;
     batchOptions.scoreResults = false;
     core::BatchCompiler compiler(mapper, _graph, batchOptions);
     std::vector<core::BatchResult> compiled = compiler.compileAll(
@@ -133,6 +146,17 @@ IterativeRunner::runBatch(
         obs::Span jobSpan("runtime.job", telemetry);
         const circuit::Circuit &logical = logicals[entry.circuit];
         JobResult result(logical.numQubits(), _graph.numQubits());
+        result.status = entry.status;
+        if (!entry.ok()) {
+            // Compile failed: keep the job's slot (queue order is
+            // part of the contract) but skip execution.
+            result.note = entry.error;
+            if (telemetry)
+                obs::count("runtime.jobs.skipped");
+            results.push_back(std::move(result));
+            continue;
+        }
+        result.note = entry.note;
         result.mapped = std::move(entry.mapped);
         const sim::ShotCounts counts = [&] {
             obs::Span executeSpan("runtime.execute", telemetry);
@@ -146,6 +170,62 @@ IterativeRunner::runBatch(
         results.push_back(std::move(result));
     }
     return results;
+}
+
+std::vector<SeriesCycleResult>
+IterativeRunner::runBatchSeries(
+    const std::vector<circuit::Circuit> &logicals,
+    const core::Mapper &mapper,
+    const calibration::CalibrationSeries &series,
+    std::size_t trials, const core::BatchOptions &options) const
+{
+    require(!series.empty(), "series replay needs cycles");
+
+    const bool telemetry =
+        options.compile.telemetryEnabled && obs::enabled();
+    obs::Span seriesSpan("runtime.series", telemetry);
+
+    std::vector<SeriesCycleResult> cycles;
+    cycles.reserve(series.size());
+    for (std::size_t c = 0; c < series.size(); ++c) {
+        SeriesCycleResult cycleResult;
+        cycleResult.cycle = c;
+
+        // A stale cycle must not abort the replay: a snapshot that
+        // fails validation and cannot be rescued by the quarantine
+        // is skipped with the report as the reason.
+        const calibration::Snapshot &snapshot = series.at(c);
+        bool usable = true;
+        try {
+            snapshot.validate();
+        } catch (const VaqError &e) {
+            if (!options.sanitizeCalibration) {
+                usable = false;
+                cycleResult.skipReason = e.message();
+            } else {
+                const calibration::SanitizedCalibration sanitized =
+                    calibration::sanitize(snapshot, _graph,
+                                          options.sanitize);
+                if (!sanitized.usable) {
+                    usable = false;
+                    cycleResult.skipReason =
+                        sanitized.report.summary();
+                }
+            }
+        }
+        if (!usable) {
+            cycleResult.skipped = true;
+            if (telemetry)
+                obs::count("runtime.cycles.skipped");
+            cycles.push_back(std::move(cycleResult));
+            continue;
+        }
+
+        cycleResult.jobs = runBatch(logicals, mapper, snapshot,
+                                    trials, options);
+        cycles.push_back(std::move(cycleResult));
+    }
+    return cycles;
 }
 
 } // namespace vaq::runtime

@@ -23,8 +23,11 @@
 #include <map>
 #include <vector>
 
+#include <string>
+
 #include "calibration/snapshot.hpp"
 #include "circuit/circuit.hpp"
+#include "core/batch_compiler.hpp"
 #include "core/mapper.hpp"
 #include "sim/characterize.hpp"
 
@@ -53,10 +56,34 @@ struct JobResult
 {
     core::MappedCircuit mapped;
     TrialLog log;
+    /** Compile outcome for this job; Failed/TimedOut jobs were not
+     *  executed and carry an empty log. */
+    core::JobStatus status = core::JobStatus::Ok;
+    /** Degrade reason or failure message; empty when status is Ok. */
+    std::string note;
 
     JobResult(int num_prog, int num_phys)
         : mapped(num_prog, num_phys)
     {}
+
+    /** True when the job compiled and ran (Ok or Degraded). */
+    bool executed() const
+    {
+        return status == core::JobStatus::Ok ||
+               status == core::JobStatus::Degraded;
+    }
+};
+
+/** One calibration cycle of a series replay (runBatchSeries). */
+struct SeriesCycleResult
+{
+    std::size_t cycle = 0;
+    /** The cycle's snapshot was unusable; no jobs ran. */
+    bool skipped = false;
+    /** Why the cycle was skipped (quarantine summary). */
+    std::string skipReason;
+    /** Per-job results, queue order; empty when skipped. */
+    std::vector<JobResult> jobs;
 };
 
 /** A machine accepting (circuit, shots) jobs. */
@@ -96,6 +123,10 @@ class IterativeRunner
      * matrix and plan table per snapshot; execution then proceeds
      * serially in queue order, because the machine callback is not
      * required to be thread-safe. Results are in queue order.
+     *
+     * Faults are contained per job: a job whose compile failed (or
+     * timed out) comes back with its status and an empty log, and
+     * the other jobs execute normally.
      */
     std::vector<JobResult>
     runBatch(const std::vector<circuit::Circuit> &logicals,
@@ -103,6 +134,30 @@ class IterativeRunner
              const calibration::Snapshot &calibration,
              std::size_t trials,
              core::CompileOptions options = {}) const;
+
+    /** runBatch with full control over the failure-containment
+     *  knobs (retries, deadlines, quarantine thresholds). */
+    std::vector<JobResult>
+    runBatch(const std::vector<circuit::Circuit> &logicals,
+             const core::Mapper &mapper,
+             const calibration::Snapshot &calibration,
+             std::size_t trials,
+             const core::BatchOptions &options) const;
+
+    /**
+     * Replay the queue against every cycle of a calibration series
+     * (the paper's 52-day archive). A cycle whose snapshot is
+     * invalid and cannot be rescued by the quarantine
+     * (calibration/sanitize.hpp) is skipped with a reason instead
+     * of aborting the replay; usable-but-dirty cycles run with
+     * degraded jobs. Results are in cycle order.
+     */
+    std::vector<SeriesCycleResult>
+    runBatchSeries(const std::vector<circuit::Circuit> &logicals,
+                   const core::Mapper &mapper,
+                   const calibration::CalibrationSeries &series,
+                   std::size_t trials,
+                   const core::BatchOptions &options = {}) const;
 
   private:
     const topology::CouplingGraph &_graph;

@@ -93,6 +93,122 @@ TEST(CsvIo, DuplicateRowsRejected)
                  VaqError);
 }
 
+/** Grab the full what() of the CalibrationError a parse raises. */
+std::string
+parseFailure(const std::string &text,
+             const topology::CouplingGraph &graph,
+             const std::string &source)
+{
+    try {
+        fromCsv(text, graph, source);
+    } catch (const CalibrationError &e) {
+        return e.what();
+    }
+    ADD_FAILURE() << "expected CalibrationError";
+    return {};
+}
+
+TEST(CsvIo, MalformedRowsReportFileAndLine)
+{
+    const auto q5 = topology::ibmQ5Tenerife();
+    const std::string header =
+        "section,id,a,b,t1_us,t2_us,error_1q,readout_error,"
+        "error_2q\n";
+
+    // Truncated row (wrong field count) on line 3.
+    {
+        const std::string msg = parseFailure(
+            header + "qubit,0,,,80,42,0.003,0.03,\n" +
+                "qubit,1,1,2\n",
+            q5, "cal.csv");
+        EXPECT_NE(msg.find("cal.csv:3:"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("wrong field count"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("got 4"), std::string::npos) << msg;
+    }
+
+    // Unknown section on line 2.
+    {
+        const std::string msg = parseFailure(
+            header + "bogus,0,,,1,2,3,4,\n", q5, "cal.csv");
+        EXPECT_NE(msg.find("cal.csv:2:"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("unknown CSV section"),
+                  std::string::npos)
+            << msg;
+    }
+
+    // Non-numeric field on line 2.
+    {
+        const std::string msg = parseFailure(
+            header + "qubit,0,,,eighty,42,0.003,0.03,\n", q5,
+            "cal.csv");
+        EXPECT_NE(msg.find("cal.csv:2:"), std::string::npos)
+            << msg;
+    }
+
+    // Duplicate link row: the second copy is the offender.
+    {
+        const std::string csv =
+            toCsv(test::uniformSnapshot(q5), q5);
+        const std::string msg = parseFailure(
+            csv + "link,0,0,1,,,,,0.5\n", q5, "cal.csv");
+        // Header + 5 qubit rows + 6 link rows, duplicate is 13.
+        EXPECT_NE(msg.find("cal.csv:13:"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("duplicate link row"),
+                  std::string::npos)
+            << msg;
+    }
+
+    // Comment and blank lines still count toward line numbers.
+    {
+        const std::string msg = parseFailure(
+            "# exported 2026-08-05\n\n" + header +
+                "bogus,0,,,1,2,3,4,\n",
+            q5, "cal.csv");
+        EXPECT_NE(msg.find("cal.csv:4:"), std::string::npos)
+            << msg;
+    }
+}
+
+TEST(CsvIo, MissingRowsNameTheSource)
+{
+    const auto q5 = topology::ibmQ5Tenerife();
+    const std::string csv =
+        toCsv(test::uniformSnapshot(q5), q5);
+    const auto cut = csv.rfind("link,5");
+    try {
+        fromCsv(csv.substr(0, cut), q5, "partial.csv");
+        FAIL() << "expected CalibrationError";
+    } catch (const CalibrationError &e) {
+        EXPECT_NE(std::string(e.what()).find("partial.csv"),
+                  std::string::npos);
+        EXPECT_EQ(e.link(), 5);
+    }
+}
+
+TEST(CsvIo, SeriesErrorsNameSourceAndCycle)
+{
+    const auto q5 = topology::ibmQ5Tenerife();
+    SyntheticSource src(q5, SyntheticParams{}, 80);
+    std::string text = toCsvSeries(src.series(2), q5);
+    // Corrupt one cycle-1 row: make its t1 non-numeric.
+    const auto pos = text.rfind("1,qubit,4");
+    ASSERT_NE(pos, std::string::npos);
+    const auto comma = text.find(",,,", pos) + 3;
+    text.replace(comma, 2, "xx");
+    try {
+        fromCsvSeries(text, q5, "archive.csv");
+        FAIL() << "expected CalibrationError";
+    } catch (const CalibrationError &e) {
+        EXPECT_NE(std::string(e.what()).find("archive.csv cycle 1"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
 TEST(CsvIo, SeriesRoundTrip)
 {
     const auto q5 = topology::ibmQ5Tenerife();

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/error.hpp"
 #include "common/statistics.hpp"
 #include "test_support.hpp"
@@ -68,6 +70,42 @@ TEST(Snapshot, ValidationCatchesBadFields)
     bad = good;
     bad.durations.twoQubitNs = 0.0;
     EXPECT_THROW(bad.validate(), VaqError);
+}
+
+TEST(Snapshot, ValidationRejectsNonFiniteValues)
+{
+    const auto q5 = topology::ibmQ5Tenerife();
+    const Snapshot good = test::uniformSnapshot(q5);
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+
+    // NaN compares false against every bound, so a naive range
+    // check would wave these through; validate() must not.
+    Snapshot bad = good;
+    bad.qubit(1).t1Us = nan;
+    EXPECT_THROW(bad.validate(), CalibrationError);
+
+    bad = good;
+    bad.qubit(0).t2Us = inf; // inf > 0 is true; still invalid
+    EXPECT_THROW(bad.validate(), CalibrationError);
+
+    bad = good;
+    bad.qubit(3).readoutError = nan;
+    EXPECT_THROW(bad.validate(), CalibrationError);
+
+    bad = good;
+    bad.durations.measureNs = nan;
+    EXPECT_THROW(bad.validate(), CalibrationError);
+
+    // The error names the offending qubit.
+    bad = good;
+    bad.qubit(2).error1q = nan;
+    try {
+        bad.validate();
+        FAIL() << "expected CalibrationError";
+    } catch (const CalibrationError &e) {
+        EXPECT_EQ(e.qubit(), 2);
+    }
 }
 
 TEST(Snapshot, ScaledErrorsShiftMeanAndCov)

@@ -53,5 +53,85 @@ TEST(Error, ErrorTypesAreDistinct)
     EXPECT_THROW(throw VaqInternalError("y"), std::logic_error);
 }
 
+TEST(Error, TaxonomyCarriesCategories)
+{
+    EXPECT_EQ(VaqError("x").category(), ErrorCategory::Usage);
+    EXPECT_EQ(CalibrationError("x").category(),
+              ErrorCategory::Calibration);
+    EXPECT_EQ(RoutingError("x").category(),
+              ErrorCategory::Routing);
+    EXPECT_EQ(CompileError("x").category(),
+              ErrorCategory::Compile);
+    EXPECT_EQ(TimeoutError("x").category(),
+              ErrorCategory::Timeout);
+
+    // Taxonomy errors still flow through existing VaqError sites.
+    EXPECT_THROW(throw CalibrationError("x"), VaqError);
+    EXPECT_THROW(throw TimeoutError("x"), VaqError);
+}
+
+TEST(Error, CategoryNamesAreStable)
+{
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::Usage), "usage");
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::Calibration),
+                 "calibration");
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::Routing),
+                 "routing");
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::Compile),
+                 "compile");
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::Timeout),
+                 "timeout");
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::Internal),
+                 "internal");
+}
+
+TEST(Error, ContextChainComposesInnermostFirst)
+{
+    VaqError e("matrix is singular");
+    e.addContext("compiling batch job 17");
+    e.addContext("cycle 3 of series");
+    EXPECT_EQ(e.message(), "matrix is singular");
+    ASSERT_EQ(e.contextChain().size(), 2u);
+    EXPECT_EQ(e.contextChain()[0], "compiling batch job 17");
+    EXPECT_EQ(e.contextChain()[1], "cycle 3 of series");
+    EXPECT_EQ(std::string(e.what()),
+              "matrix is singular [compiling batch job 17; "
+              "cycle 3 of series]");
+}
+
+TEST(Error, StructuredFieldsSurviveTheMessage)
+{
+    const CalibrationError cal("dead readout", 3);
+    EXPECT_EQ(cal.qubit(), 3);
+    EXPECT_EQ(cal.link(), -1);
+    EXPECT_NE(std::string(cal.what()).find("qubit 3"),
+              std::string::npos);
+
+    const CalibrationError link("dead link", -1, 5);
+    EXPECT_EQ(link.link(), 5);
+    EXPECT_NE(std::string(link.what()).find("link 5"),
+              std::string::npos);
+
+    const RoutingError route("no path", 1, 4);
+    EXPECT_EQ(route.qubitA(), 1);
+    EXPECT_EQ(route.qubitB(), 4);
+
+    const TimeoutError timeout("deadline of 20 ms exceeded", 20.0);
+    EXPECT_EQ(timeout.budgetMs(), 20.0);
+}
+
+TEST(Error, CategorizeClassifiesArbitraryExceptions)
+{
+    EXPECT_EQ(categorize(CalibrationError("x")),
+              ErrorCategory::Calibration);
+    EXPECT_EQ(categorize(TimeoutError("x")),
+              ErrorCategory::Timeout);
+    EXPECT_EQ(categorize(VaqError("x")), ErrorCategory::Usage);
+    EXPECT_EQ(categorize(VaqInternalError("x")),
+              ErrorCategory::Internal);
+    EXPECT_EQ(categorize(std::runtime_error("x")),
+              ErrorCategory::Internal);
+}
+
 } // namespace
 } // namespace vaq

@@ -81,6 +81,65 @@ TEST(ThreadPool, ExceptionPropagatesToCaller)
     EXPECT_EQ(again.load(), 4);
 }
 
+TEST(ThreadPool, ParallelForAllCollectsPerIndexErrors)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    const auto errors =
+        pool.parallelForAll(32, [&](std::size_t i) {
+            ++ran;
+            if (i == 3)
+                throw VaqError("three");
+            if (i == 17)
+                throw VaqInternalError("seventeen");
+        });
+    EXPECT_EQ(ran.load(), 32);
+    ASSERT_EQ(errors.size(), 32u);
+    for (std::size_t i = 0; i < errors.size(); ++i) {
+        if (i == 3 || i == 17)
+            EXPECT_TRUE(errors[i]) << "index " << i;
+        else
+            EXPECT_FALSE(errors[i]) << "index " << i;
+    }
+    // Each slot carries the exception its own index threw.
+    try {
+        std::rethrow_exception(errors[3]);
+    } catch (const VaqError &e) {
+        EXPECT_EQ(e.message(), "three");
+    }
+    EXPECT_THROW(std::rethrow_exception(errors[17]),
+                 VaqInternalError);
+}
+
+TEST(ThreadPool, ParallelForAllCleanRunHasNoErrors)
+{
+    ThreadPool pool(2);
+    const auto errors =
+        pool.parallelForAll(10, [](std::size_t) {});
+    ASSERT_EQ(errors.size(), 10u);
+    for (const auto &e : errors)
+        EXPECT_FALSE(e);
+    EXPECT_TRUE(pool.parallelForAll(0, [](std::size_t) {}).empty());
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestIndexError)
+{
+    ThreadPool pool(4);
+    // Both 2 and 9 throw; the caller must see index 2's error so
+    // the failure is deterministic across schedules.
+    try {
+        pool.parallelFor(16, [](std::size_t i) {
+            if (i == 9)
+                throw VaqError("nine");
+            if (i == 2)
+                throw VaqError("two");
+        });
+        FAIL() << "expected VaqError";
+    } catch (const VaqError &e) {
+        EXPECT_EQ(e.message(), "two");
+    }
+}
+
 TEST(ThreadPool, SingleWorkerStillCompletesAllTasks)
 {
     ThreadPool pool(1);

@@ -20,7 +20,13 @@
  * Batch mode compiles every --qasm program (the flag repeats)
  * against several consecutive calibration cycles concurrently:
  *   vaqc --batch --qasm a.qasm --qasm b.qasm [--batch-cycles N]
- *        [--threads N] ...
+ *        [--threads N] [--fail-fast] [--max-retries N]
+ *        [--job-deadline-ms X] ...
+ *
+ * Exit codes map to the error taxonomy (common/error.hpp):
+ *   0 success, 2 usage, 3 calibration, 4 compile/routing,
+ *   5 timeout, 6 internal. A batch with contained job failures
+ *   exits with the first failed job's code.
  *
  * Example:
  *   vaqc --qasm bell.qasm --machine q5 --policy vqa+vqm \
@@ -39,6 +45,7 @@
 #include "circuit/lower.hpp"
 #include "circuit/optimizer.hpp"
 #include "circuit/qasm.hpp"
+#include "common/cancellation.hpp"
 #include "common/error.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
@@ -74,6 +81,9 @@ struct Options
     std::size_t threads = 0;
     double targetStderr = 0.0;
     std::size_t batchCycles = 4;
+    int maxRetries = 2;
+    double jobDeadlineMs = 0.0;
+    bool failFast = false;
     bool batch = false;
     bool noPathCache = false;
     bool optimize = false;
@@ -97,6 +107,16 @@ printUsage()
         "batch report\n"
         "  --batch-cycles N     calibration cycles in the batch "
         "(default 4; synthetic only)\n"
+        "  --fail-fast          abort the batch on the first job "
+        "failure (legacy\n"
+        "                       behavior: no retries, no "
+        "calibration quarantine)\n"
+        "  --max-retries N      policy-degradation retries per "
+        "failed job (default 2:\n"
+        "                       vqa+vqm -> vqm -> baseline)\n"
+        "  --job-deadline-ms X  per-attempt compile deadline in "
+        "milliseconds\n"
+        "                       (default 0 = unbounded)\n"
         "  --no-path-cache      disable the shared reliability-"
         "path caches and recompute\n"
         "                       all routes per compile\n"
@@ -156,6 +176,14 @@ parseArgs(int argc, char **argv)
         else if (arg == "--batch-cycles")
             options.batchCycles =
                 parseSize(next("--batch-cycles"));
+        else if (arg == "--fail-fast")
+            options.failFast = true;
+        else if (arg == "--max-retries")
+            options.maxRetries = static_cast<int>(
+                parseSize(next("--max-retries")));
+        else if (arg == "--job-deadline-ms")
+            options.jobDeadlineMs =
+                parseDouble(next("--job-deadline-ms"));
         else if (arg == "--no-path-cache")
             options.noPathCache = true;
         else if (arg == "--machine")
@@ -237,6 +265,26 @@ policyByName(const std::string &name, int mah)
     if (name == "native")
         return core::makeMapper({.name = "random", .seed = 1});
     return core::makeMapper({.name = name, .mah = mah});
+}
+
+/** The documented exit-code map over the error taxonomy. */
+int
+exitCodeFor(ErrorCategory category)
+{
+    switch (category) {
+    case ErrorCategory::Usage:
+        return 2;
+    case ErrorCategory::Calibration:
+        return 3;
+    case ErrorCategory::Routing:
+    case ErrorCategory::Compile:
+        return 4;
+    case ErrorCategory::Timeout:
+        return 5;
+    case ErrorCategory::Internal:
+        return 6;
+    }
+    return 6;
 }
 
 /** Per-compile options derived from the command line. */
@@ -324,6 +372,9 @@ runBatch(const Options &options)
         policyByName(options.policy, options.mah);
     core::BatchOptions batchOptions;
     batchOptions.compile = compileOptionsFor(options);
+    batchOptions.failFast = options.failFast;
+    batchOptions.maxRetries = options.maxRetries;
+    batchOptions.jobDeadlineMs = options.jobDeadlineMs;
     core::BatchCompiler compiler(mapper, machine, batchOptions);
 
     const auto t0 = std::chrono::steady_clock::now();
@@ -343,14 +394,60 @@ runBatch(const Options &options)
               << " cycles = " << results.size() << " jobs on "
               << compiler.threadCount() << " threads\n\n";
 
-    TextTable table({"program", "cycle", "swaps", "analytic-pst"});
+    TextTable table({"program", "cycle", "status", "policy",
+                     "swaps", "analytic-pst"});
+    std::size_t okJobs = 0, degradedJobs = 0, failedJobs = 0,
+                timedOutJobs = 0;
+    std::optional<ErrorCategory> firstFailure;
     for (const core::BatchResult &r : results) {
+        const bool usable = r.ok();
         table.addRow(
-            {options.qasmPaths[r.circuit], std::to_string(r.snapshot),
-             std::to_string(r.mapped.insertedSwaps),
-             formatDouble(r.analyticPst, 5)});
+            {options.qasmPaths[r.circuit],
+             std::to_string(r.snapshot),
+             core::jobStatusName(r.status),
+             usable ? r.policyUsed : std::string("-"),
+             usable ? std::to_string(r.mapped.insertedSwaps)
+                    : std::string("-"),
+             usable ? formatDouble(r.analyticPst, 5)
+                    : std::string("-")});
+        switch (r.status) {
+        case core::JobStatus::Ok:
+            ++okJobs;
+            break;
+        case core::JobStatus::Degraded:
+            ++degradedJobs;
+            break;
+        case core::JobStatus::Failed:
+            ++failedJobs;
+            break;
+        case core::JobStatus::TimedOut:
+            ++timedOutJobs;
+            break;
+        }
+        if (!usable && !firstFailure.has_value())
+            firstFailure = r.errorCategory;
     }
     std::cout << table.render() << "\n";
+
+    std::cout << "jobs      : " << okJobs << " ok, "
+              << degradedJobs << " degraded, " << failedJobs
+              << " failed, " << timedOutJobs << " timed-out\n";
+    for (const core::BatchResult &r : results) {
+        if (r.status == core::JobStatus::Failed ||
+            r.status == core::JobStatus::TimedOut) {
+            std::cout << "  " << core::jobStatusName(r.status)
+                      << "  " << options.qasmPaths[r.circuit]
+                      << " x cycle " << r.snapshot << " ("
+                      << errorCategoryName(r.errorCategory)
+                      << "): " << r.error << "\n";
+        } else if (r.status == core::JobStatus::Degraded &&
+                   !r.note.empty()) {
+            std::cout << "  degraded  "
+                      << options.qasmPaths[r.circuit]
+                      << " x cycle " << r.snapshot << ": "
+                      << r.note << "\n";
+        }
+    }
 
     std::cout << "elapsed   : " << formatDouble(seconds, 3)
               << " s (" << formatDouble(
@@ -364,7 +461,9 @@ runBatch(const Options &options)
               << " hits / " << stats.planMisses << " misses"
               << (options.noPathCache ? " (disabled)" : "")
               << "\n";
-    return 0;
+    // Contained job failures still signal through the exit code.
+    return firstFailure.has_value() ? exitCodeFor(*firstFailure)
+                                    : 0;
 }
 
 int
@@ -394,6 +493,14 @@ run(const Options &options)
     // Compile.
     const core::Mapper mapper =
         policyByName(options.policy, options.mah);
+    // --job-deadline-ms also bounds the single-program compile; an
+    // expired deadline surfaces as a TimeoutError (exit code 5).
+    // The scope holds a pointer, so the token must outlive it.
+    const CancellationToken deadlineToken =
+        options.jobDeadlineMs > 0.0
+            ? CancellationToken::withDeadline(options.jobDeadlineMs)
+            : CancellationToken();
+    const CancellationScope deadline(deadlineToken);
     core::MappedCircuit mapped = mapper.compile(
         logical, machine, snapshot, compileOptionsFor(options));
 
@@ -403,7 +510,7 @@ run(const Options &options)
         if (!report.ok()) {
             std::cerr << "vaqc: VERIFICATION FAILED: "
                       << report.failure << "\n";
-            return 3;
+            return exitCodeFor(ErrorCategory::Compile);
         }
         std::cout << "verified  : executable, layout-consistent, "
                   << (report.semanticsChecked
@@ -500,11 +607,18 @@ main(int argc, char **argv)
         exportTelemetry(options);
         return code;
     } catch (const VaqError &e) {
-        std::cerr << "vaqc: error: " << e.what() << "\n";
-        return 1;
+        // One line, category-tagged, exit code from the taxonomy.
+        std::cerr << "vaqc: "
+                  << errorCategoryName(e.category())
+                  << " error: " << e.what() << "\n";
+        return exitCodeFor(e.category());
     } catch (const VaqInternalError &e) {
         std::cerr << "vaqc: internal error (please report): "
                   << e.what() << "\n";
-        return 2;
+        return exitCodeFor(ErrorCategory::Internal);
+    } catch (const std::exception &e) {
+        std::cerr << "vaqc: unexpected error: " << e.what()
+                  << "\n";
+        return exitCodeFor(ErrorCategory::Internal);
     }
 }
