@@ -4,22 +4,27 @@
 #
 #   scripts/ci.sh          # tier-1: full build + full ctest
 #   scripts/ci.sh --tsan   # also run the -DVAQ_SANITIZE=thread leg
+#   scripts/ci.sh --asan   # also run the address+UB sanitizer leg
 #
 # The default ctest run includes every label (robustness, parallel,
-# router, obs, ...). The TSan leg rebuilds into build-tsan/ and runs
-# only `-L parallel` — the tests that exercise the thread pool, the
-# shared path caches, and the batch fault paths — because the full
-# suite under TSan is too slow for a gate.
+# analysis, router, obs, ...). The TSan leg rebuilds into build-tsan/
+# and runs only `-L "parallel|analysis"` — the tests that exercise
+# the thread pool, the shared path caches, the batch fault paths and
+# the lint determinism checks — because the full suite under TSan is
+# too slow for a gate. The ASan leg rebuilds into build-asan/ with
+# -DVAQ_SANITIZE=address,undefined and runs the full suite.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 RUN_TSAN=0
+RUN_ASAN=0
 for arg in "$@"; do
     case "$arg" in
     --tsan) RUN_TSAN=1 ;;
+    --asan) RUN_ASAN=1 ;;
     *)
-        echo "usage: scripts/ci.sh [--tsan]" >&2
+        echo "usage: scripts/ci.sh [--tsan] [--asan]" >&2
         exit 2
         ;;
     esac
@@ -36,11 +41,22 @@ echo "== tier-1: robustness label smoke (must select tests) =="
 ctest --test-dir build -L robustness --output-on-failure -j "$JOBS"
 
 if [ "$RUN_TSAN" -eq 1 ]; then
-    echo "== tsan leg: -DVAQ_SANITIZE=thread, ctest -L parallel =="
+    echo "== tsan leg: -DVAQ_SANITIZE=thread, ctest -L parallel|analysis =="
     cmake -B build-tsan -S . -DVAQ_SANITIZE=thread >/dev/null
     cmake --build build-tsan -j "$JOBS"
-    ctest --test-dir build-tsan -L parallel --output-on-failure \
-        -j "$JOBS"
+    ctest --test-dir build-tsan -L "parallel|analysis" \
+        --output-on-failure -j "$JOBS"
+fi
+
+if [ "$RUN_ASAN" -eq 1 ]; then
+    echo "== asan leg: -DVAQ_SANITIZE=address,undefined, full ctest =="
+    cmake -B build-asan -S . -DVAQ_SANITIZE=address,undefined \
+        >/dev/null
+    cmake --build build-asan -j "$JOBS"
+    # halt_on_error promotes UBSan findings to failures so the leg
+    # cannot pass while printing runtime-error lines.
+    UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+        ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 fi
 
 echo "ci: all legs passed"

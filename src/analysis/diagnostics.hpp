@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Diagnostics engine: the lint report container and its renderers.
+ *
+ * Three output formats, all deterministic (same diagnostics in, the
+ * same bytes out, independent of thread count or locale):
+ *
+ *  - renderText: one human-readable line per finding, compiler
+ *    style — `file:line: severity: [VL005] message (gate 12)`.
+ *  - renderJson: a stable machine-readable dump for scripting.
+ *  - renderSarif: SARIF 2.1.0 for CI annotation (GitHub code
+ *    scanning et al.). Rule metadata goes to tool.driver.rules;
+ *    findings become results with physical (file/line) and logical
+ *    (gate index) locations.
+ */
+#ifndef VAQ_ANALYSIS_DIAGNOSTICS_HPP
+#define VAQ_ANALYSIS_DIAGNOSTICS_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/rule.hpp"
+
+namespace vaq::analysis
+{
+
+/** Threshold for turning findings into a failing exit status. */
+enum class FailOn
+{
+    Never,   ///< findings never fail the run
+    Error,   ///< fail when any error-severity finding exists
+    Warning, ///< fail when any warning- or error-severity finding
+};
+
+/** Parse "never" / "error" / "warning"; throws VaqError else. */
+FailOn failOnFromName(const std::string &name);
+
+/** Metadata of one rule, for report headers and SARIF. */
+struct RuleInfo
+{
+    std::string id;
+    std::string name;
+    Severity severity = Severity::Warning;
+    RuleCategory category = RuleCategory::Correctness;
+    std::string description;
+};
+
+/** Outcome of one lint run. */
+struct LintReport
+{
+    /** Findings sorted by (gateIndex, ruleId, qubit). */
+    std::vector<Diagnostic> diagnostics;
+    /** Every rule that ran (fired or not), sorted by id — the
+     *  SARIF tool.driver.rules block. */
+    std::vector<RuleInfo> rules;
+    /** Artifact the circuit came from ("bell.qasm", "<mapped>"). */
+    std::string artifact = "<circuit>";
+
+    std::size_t countOf(Severity severity) const;
+    std::size_t errorCount() const
+    {
+        return countOf(Severity::Error);
+    }
+    std::size_t warningCount() const
+    {
+        return countOf(Severity::Warning);
+    }
+
+    /** True when the findings meet or exceed `fail_on`. */
+    bool shouldFail(FailOn fail_on) const;
+
+    /** "2 errors, 1 warning" (always mentions both classes). */
+    std::string summary() const;
+};
+
+/** Compiler-style text rendering, one line per finding. */
+std::string renderText(const LintReport &report);
+
+/** Deterministic JSON object with rules, findings and counts. */
+std::string renderJson(const LintReport &report);
+
+/** SARIF 2.1.0 log with one run. */
+std::string renderSarif(const LintReport &report);
+
+} // namespace vaq::analysis
+
+#endif // VAQ_ANALYSIS_DIAGNOSTICS_HPP

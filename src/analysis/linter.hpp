@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Linter facade: run the registered rule set over a circuit and
+ * collect a LintReport.
+ *
+ * One Linter instantiates its rules once (from RuleRegistry::global
+ * unless told otherwise) and may be reused across circuits; run()
+ * is const and allocation-light, so batch compilation lints every
+ * job with a single shared Linter.
+ */
+#ifndef VAQ_ANALYSIS_LINTER_HPP
+#define VAQ_ANALYSIS_LINTER_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/rule.hpp"
+
+namespace vaq::analysis
+{
+
+/** Per-run linter configuration. */
+struct LintOptions
+{
+    /** Rule ids/names to skip ("VL003" or "dead-gate"). */
+    std::vector<std::string> disabled;
+    /** When non-empty, run only these rule ids/names. */
+    std::vector<std::string> enabledOnly;
+    /** Failure threshold for shouldFail / exit codes. */
+    FailOn failOn = FailOn::Error;
+    /** Knobs forwarded to individual rules. */
+    RuleParams params;
+};
+
+/** What to lint, plus the optional machine-side facts. */
+struct LintInput
+{
+    const circuit::Circuit *circuit = nullptr;
+    /** True for post-mapping circuits (operands are physical). */
+    bool physical = false;
+    const topology::CouplingGraph *graph = nullptr;
+    const calibration::Snapshot *snapshot = nullptr;
+    /** Per-gate source lines (circuit::parseQasm), optional. */
+    const std::vector<int> *gateLines = nullptr;
+    /** Artifact name for reports ("bell.qasm", "<mapped>"). */
+    std::string artifact = "<circuit>";
+};
+
+/** Rule-set runner. */
+class Linter
+{
+  public:
+    /** Rules come from RuleRegistry::global(), filtered by
+     *  `options`. Throws VaqError when an enable/disable entry
+     *  names no registered rule. */
+    explicit Linter(LintOptions options = {});
+
+    /** The options this linter runs with. */
+    const LintOptions &options() const { return _options; }
+
+    /** Ids of the rules this linter will run. */
+    std::vector<std::string> ruleIds() const;
+
+    /**
+     * Run every active rule. Deterministic: diagnostics are sorted
+     * by (gateIndex, ruleId, qubit). Bumps the
+     * `analysis.diagnostics.*` counters when telemetry is on.
+     */
+    LintReport run(const LintInput &input) const;
+
+    /** Convenience: lint a logical circuit (optionally against a
+     *  machine and snapshot). */
+    LintReport
+    lint(const circuit::Circuit &logical,
+         const topology::CouplingGraph *graph = nullptr,
+         const calibration::Snapshot *snapshot = nullptr) const;
+
+    /** Convenience: lint a physical (post-mapping) circuit. */
+    LintReport
+    lintPhysical(const circuit::Circuit &physical,
+                 const topology::CouplingGraph &graph,
+                 const calibration::Snapshot *snapshot) const;
+
+  private:
+    LintOptions _options;
+    std::vector<std::unique_ptr<AnalysisRule>> _rules;
+};
+
+} // namespace vaq::analysis
+
+#endif // VAQ_ANALYSIS_LINTER_HPP

@@ -1,0 +1,590 @@
+/**
+ * @file
+ * The shipped lint rules (VL001..VL010).
+ *
+ * Every rule reads the precomputed DataflowAnalysis facts; none
+ * re-walks the gate list except where the fact itself is per-gate
+ * (coupling checks, ESP accumulation). Machine-dependent rules skip
+ * silently when the LintContext lacks the graph/snapshot they need,
+ * so one rule set serves both logical (pre-compile) and physical
+ * (post-compile) circuits.
+ */
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "analysis/rule.hpp"
+#include "common/strings.hpp"
+
+namespace vaq::analysis
+{
+
+namespace
+{
+
+using circuit::Gate;
+using circuit::GateKind;
+using circuit::Qubit;
+
+/** VL001: a measurement is the first gate to touch its qubit. */
+class MeasureUninitializedRule final : public AnalysisRule
+{
+  public:
+    std::string id() const override { return "VL001"; }
+    std::string name() const override
+    {
+        return "measure-uninitialized";
+    }
+    Severity severity() const override
+    {
+        return Severity::Warning;
+    }
+    RuleCategory category() const override
+    {
+        return RuleCategory::Correctness;
+    }
+    std::string description() const override
+    {
+        return "measurement of a qubit no prior gate touched; the "
+               "outcome is always 0";
+    }
+
+    void run(const LintContext &context,
+             std::vector<Diagnostic> &out) const override
+    {
+        for (Qubit q = 0; q < context.circuit.numQubits(); ++q) {
+            const QubitChain &chain = context.dataflow.chain(q);
+            if (chain.firstMeasure >= 0 &&
+                chain.firstMeasure == chain.firstTouch) {
+                out.push_back(make(
+                    context,
+                    "qubit " + std::to_string(q) +
+                        " is measured without any prior gate; "
+                        "the outcome is always 0",
+                    chain.firstMeasure, q));
+            }
+        }
+    }
+};
+
+/** VL002: a unitary acts on a qubit after it was measured. */
+class MeasureThenReuseRule final : public AnalysisRule
+{
+  public:
+    std::string id() const override { return "VL002"; }
+    std::string name() const override
+    {
+        return "measure-then-reuse";
+    }
+    Severity severity() const override
+    {
+        return Severity::Warning;
+    }
+    RuleCategory category() const override
+    {
+        return RuleCategory::Correctness;
+    }
+    std::string description() const override
+    {
+        return "gate on a qubit after its measurement with no "
+               "reset; later operations act on a collapsed state";
+    }
+
+    void run(const LintContext &context,
+             std::vector<Diagnostic> &out) const override
+    {
+        const auto &gates = context.circuit.gates();
+        for (Qubit q = 0; q < context.circuit.numQubits(); ++q) {
+            const QubitChain &chain = context.dataflow.chain(q);
+            if (chain.firstMeasure < 0)
+                continue;
+            for (const std::size_t idx : chain.touches) {
+                if (static_cast<long>(idx) <= chain.firstMeasure)
+                    continue;
+                if (!gates[idx].isUnitary())
+                    continue;
+                out.push_back(make(
+                    context,
+                    "qubit " + std::to_string(q) + " is reused by "
+                        "gate '" + circuit::gateName(
+                            gates[idx].kind) +
+                        "' after its measurement at gate " +
+                        std::to_string(chain.firstMeasure) +
+                        " without a reset",
+                    static_cast<long>(idx), q));
+                break; // one finding per qubit, at first reuse
+            }
+        }
+    }
+};
+
+/** VL003: a unitary gate can never influence any measurement. */
+class DeadGateRule final : public AnalysisRule
+{
+  public:
+    std::string id() const override { return "VL003"; }
+    std::string name() const override { return "dead-gate"; }
+    Severity severity() const override
+    {
+        return Severity::Warning;
+    }
+    RuleCategory category() const override
+    {
+        return RuleCategory::Structure;
+    }
+    std::string description() const override
+    {
+        return "gate whose effect reaches no measurement (dead "
+               "code under backward reachability)";
+    }
+
+    void run(const LintContext &context,
+             std::vector<Diagnostic> &out) const override
+    {
+        // A circuit with no measurement at all is a building block
+        // (everything would be "dead"); stay silent.
+        if (context.circuit.measureCount() == 0)
+            return;
+        const auto &gates = context.circuit.gates();
+        const std::vector<bool> &live =
+            context.dataflow.liveGate();
+        for (std::size_t i = 0; i < gates.size(); ++i) {
+            if (live[i] || !gates[i].isUnitary())
+                continue;
+            out.push_back(make(
+                context,
+                "gate '" + circuit::gateName(gates[i].kind) +
+                    "' on qubit " + std::to_string(gates[i].q0) +
+                    " cannot influence any measurement",
+                static_cast<long>(i), gates[i].q0,
+                gates[i].isTwoQubit() ? gates[i].q1 : -1));
+        }
+    }
+};
+
+/** VL004: a qubit's classical bit is written twice. */
+class DoubleMeasureRule final : public AnalysisRule
+{
+  public:
+    std::string id() const override { return "VL004"; }
+    std::string name() const override { return "double-measure"; }
+    Severity severity() const override { return Severity::Error; }
+    RuleCategory category() const override
+    {
+        return RuleCategory::Correctness;
+    }
+    std::string description() const override
+    {
+        return "repeated measurement into the same classical bit; "
+               "the later result overwrites the earlier one";
+    }
+
+    void run(const LintContext &context,
+             std::vector<Diagnostic> &out) const override
+    {
+        for (Qubit q = 0; q < context.circuit.numQubits(); ++q) {
+            const QubitChain &chain = context.dataflow.chain(q);
+            for (std::size_t m = 1; m < chain.measures.size();
+                 ++m) {
+                out.push_back(make(
+                    context,
+                    "qubit " + std::to_string(q) +
+                        " is measured again into c[" +
+                        std::to_string(q) +
+                        "], overwriting the result of gate " +
+                        std::to_string(chain.measures[m - 1]),
+                    static_cast<long>(chain.measures[m]), q));
+            }
+        }
+    }
+};
+
+/** VL005: two-qubit gate on an uncoupled physical pair. */
+class UncoupledCxRule final : public AnalysisRule
+{
+  public:
+    std::string id() const override { return "VL005"; }
+    std::string name() const override { return "uncoupled-cx"; }
+    Severity severity() const override { return Severity::Error; }
+    RuleCategory category() const override
+    {
+        return RuleCategory::Correctness;
+    }
+    std::string description() const override
+    {
+        return "two-qubit gate on a pair with no coupling link; "
+               "the circuit is not executable as written";
+    }
+
+    void run(const LintContext &context,
+             std::vector<Diagnostic> &out) const override
+    {
+        if (!context.physical || context.graph == nullptr)
+            return;
+        const auto &gates = context.circuit.gates();
+        for (std::size_t i = 0; i < gates.size(); ++i) {
+            const Gate &g = gates[i];
+            if (!g.isTwoQubit())
+                continue;
+            if (g.q0 >= context.graph->numQubits() ||
+                g.q1 >= context.graph->numQubits())
+                continue; // VL010 reports width problems
+            if (context.graph->coupled(g.q0, g.q1))
+                continue;
+            out.push_back(make(
+                context,
+                "'" + circuit::gateName(g.kind) + "' on qubits " +
+                    std::to_string(g.q0) + " and " +
+                    std::to_string(g.q1) +
+                    ", which share no coupling link on " +
+                    context.graph->name(),
+                static_cast<long>(i), g.q0, g.q1));
+        }
+    }
+};
+
+/** VL006: SWAP the tracked permutation proves removable. */
+class RedundantSwapRule final : public AnalysisRule
+{
+  public:
+    std::string id() const override { return "VL006"; }
+    std::string name() const override { return "redundant-swap"; }
+    Severity severity() const override
+    {
+        return Severity::Warning;
+    }
+    RuleCategory category() const override
+    {
+        return RuleCategory::Structure;
+    }
+    std::string description() const override
+    {
+        return "SWAP that is a no-op under the tracked wire "
+               "permutation (exchanges untouched states or cancels "
+               "the previous SWAP)";
+    }
+
+    void run(const LintContext &context,
+             std::vector<Diagnostic> &out) const override
+    {
+        const auto &gates = context.circuit.gates();
+        for (const SwapFact &fact :
+             context.dataflow.swapFacts()) {
+            if (!fact.noOp())
+                continue;
+            const Gate &g = gates[fact.gateIndex];
+            std::string why =
+                fact.cancelsPrevious
+                    ? "immediately undoes the previous SWAP on "
+                      "the same pair"
+                    : "exchanges two states no gate has touched "
+                      "(|0> with |0>)";
+            out.push_back(make(
+                context,
+                "swap on qubits " + std::to_string(g.q0) + " and " +
+                    std::to_string(g.q1) + " is a no-op: " + why,
+                static_cast<long>(fact.gateIndex), g.q0, g.q1));
+        }
+    }
+};
+
+/** VL007: gate on a dead-calibration qubit or link. */
+class QuarantinedQubitRule final : public AnalysisRule
+{
+  public:
+    std::string id() const override { return "VL007"; }
+    std::string name() const override
+    {
+        return "quarantined-qubit";
+    }
+    Severity severity() const override
+    {
+        return Severity::Warning;
+    }
+    RuleCategory category() const override
+    {
+        return RuleCategory::Reliability;
+    }
+    std::string description() const override
+    {
+        return "gate on a qubit or link whose calibration is dead "
+               "or non-finite (the batch quarantine would prune "
+               "it)";
+    }
+
+    void run(const LintContext &context,
+             std::vector<Diagnostic> &out) const override
+    {
+        if (!context.physical || context.graph == nullptr ||
+            context.snapshot == nullptr)
+            return;
+        const topology::CouplingGraph &graph = *context.graph;
+        const calibration::Snapshot &snap = *context.snapshot;
+        if (snap.numQubits() != graph.numQubits() ||
+            snap.numLinks() != graph.linkCount())
+            return; // shape mismatch is a usage problem, not ours
+        const RuleParams &params = context.params;
+
+        const auto deadQubitReason =
+            [&](int q) -> std::string {
+            const calibration::QubitCalibration &cal =
+                snap.qubit(q);
+            if (!std::isfinite(cal.t1Us) ||
+                !std::isfinite(cal.t2Us) ||
+                !std::isfinite(cal.error1q) ||
+                !std::isfinite(cal.readoutError))
+                return "non-finite calibration";
+            if (cal.error1q >= params.deadErrorThreshold)
+                return "1q error " +
+                       formatDouble(cal.error1q, 3);
+            if (cal.readoutError >= params.deadErrorThreshold)
+                return "readout error " +
+                       formatDouble(cal.readoutError, 3);
+            if (cal.t1Us <= params.minCoherenceUs ||
+                cal.t2Us <= params.minCoherenceUs)
+                return "zero coherence";
+            return "";
+        };
+
+        const auto &gates = context.circuit.gates();
+        std::set<int> reportedQubits;
+        std::set<std::size_t> reportedLinks;
+        for (std::size_t i = 0; i < gates.size(); ++i) {
+            const Gate &g = gates[i];
+            if (g.kind == GateKind::BARRIER)
+                continue;
+            for (const Qubit q : {g.q0, g.q1}) {
+                if (q == circuit::kNoQubit ||
+                    q >= graph.numQubits())
+                    continue;
+                if (reportedQubits.count(q) != 0)
+                    continue;
+                const std::string reason = deadQubitReason(q);
+                if (reason.empty())
+                    continue;
+                reportedQubits.insert(q);
+                out.push_back(make(
+                    context,
+                    "qubit " + std::to_string(q) +
+                        " has dead calibration (" + reason +
+                        ") but the circuit uses it",
+                    static_cast<long>(i), q));
+            }
+            if (g.isTwoQubit() && g.q0 < graph.numQubits() &&
+                g.q1 < graph.numQubits() &&
+                graph.coupled(g.q0, g.q1)) {
+                const std::size_t link =
+                    graph.linkIndex(g.q0, g.q1);
+                if (reportedLinks.count(link) != 0)
+                    continue;
+                const double error = snap.linkError(link);
+                if (std::isfinite(error) &&
+                    error < params.deadErrorThreshold)
+                    continue;
+                reportedLinks.insert(link);
+                out.push_back(make(
+                    context,
+                    "link {" + std::to_string(g.q0) + "," +
+                        std::to_string(g.q1) +
+                        "} has dead calibration (2q error " +
+                        formatDouble(error, 3) +
+                        ") but the circuit routes over it",
+                    static_cast<long>(i), g.q0, g.q1));
+            }
+        }
+    }
+};
+
+/** VL008: static ESP lower bound below the reliability budget. */
+class ReliabilityBudgetRule final : public AnalysisRule
+{
+  public:
+    std::string id() const override { return "VL008"; }
+    std::string name() const override
+    {
+        return "reliability-budget";
+    }
+    Severity severity() const override
+    {
+        return Severity::Warning;
+    }
+    RuleCategory category() const override
+    {
+        return RuleCategory::Reliability;
+    }
+    std::string description() const override
+    {
+        return "static ESP lower bound (product of per-gate "
+               "success probabilities) falls below the configured "
+               "budget";
+    }
+
+    void run(const LintContext &context,
+             std::vector<Diagnostic> &out) const override
+    {
+        if (!context.physical || context.graph == nullptr ||
+            context.snapshot == nullptr)
+            return;
+        const topology::CouplingGraph &graph = *context.graph;
+        const calibration::Snapshot &snap = *context.snapshot;
+        if (snap.numQubits() != graph.numQubits() ||
+            snap.numLinks() != graph.linkCount())
+            return;
+
+        double esp = 1.0;
+        for (const Gate &g : context.circuit.gates()) {
+            if (g.kind == GateKind::BARRIER)
+                continue;
+            if (g.q0 >= graph.numQubits() ||
+                (g.isTwoQubit() && g.q1 >= graph.numQubits()))
+                return; // width problem; VL010 reports it
+            if (g.kind == GateKind::MEASURE) {
+                esp *= 1.0 - snap.qubit(g.q0).readoutError;
+            } else if (g.isTwoQubit()) {
+                if (!graph.coupled(g.q0, g.q1))
+                    return; // not executable; VL005 reports it
+                const double success =
+                    snap.linkSuccess(graph, g.q0, g.q1);
+                esp *= g.kind == GateKind::SWAP
+                           ? success * success * success
+                           : success;
+            } else {
+                esp *= 1.0 - snap.qubit(g.q0).error1q;
+            }
+        }
+        if (esp >= context.params.minEsp)
+            return;
+        out.push_back(make(
+            context,
+            "static ESP lower bound " + formatDouble(esp, 5) +
+                " is below the reliability budget " +
+                formatDouble(context.params.minEsp, 5) +
+                " under this calibration snapshot"));
+    }
+};
+
+/** VL009: idle window long enough to decohere. */
+class IdleWindowRule final : public AnalysisRule
+{
+  public:
+    std::string id() const override { return "VL009"; }
+    std::string name() const override
+    {
+        return "idle-qubit-exceeds-window";
+    }
+    Severity severity() const override
+    {
+        return Severity::Warning;
+    }
+    RuleCategory category() const override
+    {
+        return RuleCategory::Reliability;
+    }
+    std::string description() const override
+    {
+        return "a qubit sits idle longer than the configured "
+               "fraction of its min(T1, T2) between gates";
+    }
+
+    void run(const LintContext &context,
+             std::vector<Diagnostic> &out) const override
+    {
+        if (!context.physical || context.snapshot == nullptr)
+            return;
+        const calibration::Snapshot &snap = *context.snapshot;
+        for (const IdleWindow &window :
+             context.dataflow.idleWindows()) {
+            if (window.qubit >= snap.numQubits())
+                continue;
+            const calibration::QubitCalibration &cal =
+                snap.qubit(window.qubit);
+            const double coherenceNs =
+                std::min(cal.t1Us, cal.t2Us) * 1000.0;
+            if (!std::isfinite(coherenceNs) || coherenceNs <= 0.0)
+                continue; // dead calibration; VL007 reports it
+            const double budgetNs =
+                context.params.idleFraction * coherenceNs;
+            if (window.nanoseconds <= budgetNs)
+                continue;
+            out.push_back(make(
+                context,
+                "qubit " + std::to_string(window.qubit) +
+                    " idles for " +
+                    formatDouble(window.nanoseconds, 0) +
+                    " ns before gate " +
+                    std::to_string(window.toGate) +
+                    ", exceeding " +
+                    formatDouble(context.params.idleFraction *
+                                     100.0, 0) +
+                    "% of its min(T1,T2) = " +
+                    formatDouble(coherenceNs, 0) + " ns",
+                static_cast<long>(window.toGate), window.qubit));
+        }
+    }
+};
+
+/** VL010: the program is wider than the machine. */
+class WidthExceedsMachineRule final : public AnalysisRule
+{
+  public:
+    std::string id() const override { return "VL010"; }
+    std::string name() const override
+    {
+        return "width-exceeds-machine";
+    }
+    Severity severity() const override { return Severity::Error; }
+    RuleCategory category() const override
+    {
+        return RuleCategory::Usage;
+    }
+    std::string description() const override
+    {
+        return "the circuit needs more qubits than the target "
+               "machine has";
+    }
+
+    void run(const LintContext &context,
+             std::vector<Diagnostic> &out) const override
+    {
+        if (context.graph == nullptr)
+            return;
+        const int width = context.circuit.numQubits();
+        const int machine = context.graph->numQubits();
+        if (width <= machine)
+            return;
+        out.push_back(make(
+            context,
+            "circuit needs " + std::to_string(width) +
+                " qubits but " + context.graph->name() +
+                " has only " + std::to_string(machine)));
+    }
+};
+
+} // namespace
+
+void
+registerBuiltinRules(RuleRegistry &registry)
+{
+    registry.add([] {
+        return std::make_unique<MeasureUninitializedRule>();
+    });
+    registry.add(
+        [] { return std::make_unique<MeasureThenReuseRule>(); });
+    registry.add([] { return std::make_unique<DeadGateRule>(); });
+    registry.add(
+        [] { return std::make_unique<DoubleMeasureRule>(); });
+    registry.add(
+        [] { return std::make_unique<UncoupledCxRule>(); });
+    registry.add(
+        [] { return std::make_unique<RedundantSwapRule>(); });
+    registry.add(
+        [] { return std::make_unique<QuarantinedQubitRule>(); });
+    registry.add(
+        [] { return std::make_unique<ReliabilityBudgetRule>(); });
+    registry.add([] { return std::make_unique<IdleWindowRule>(); });
+    registry.add([] {
+        return std::make_unique<WidthExceedsMachineRule>();
+    });
+}
+
+} // namespace vaq::analysis

@@ -20,16 +20,76 @@ operand(Qubit q)
     return "q[" + std::to_string(q) + "]";
 }
 
+/**
+ * Where the parser currently is. Errors compose the CSV-loader
+ * location convention ("source:line:column: message") and append
+ * the offending line with a caret under the blamed token.
+ */
+struct ParseState
+{
+    const std::string &source;
+    int lineNo = 0;
+    std::string raw; ///< current line, untrimmed, comments intact
+
+    /** 1-based column of `token` in the raw line (1 if absent). */
+    std::size_t column(const std::string &token) const
+    {
+        if (!token.empty()) {
+            const auto pos = raw.find(token);
+            if (pos != std::string::npos)
+                return pos + 1;
+        }
+        const auto pos = raw.find_first_not_of(" \t");
+        return pos == std::string::npos ? 1 : pos + 1;
+    }
+
+    [[noreturn]] void fail(const std::string &message,
+                           const std::string &token = "") const
+    {
+        const std::size_t col = column(token);
+        std::string msg = source + ":" + std::to_string(lineNo) +
+                          ":" + std::to_string(col) + ": " +
+                          message;
+        if (!raw.empty()) {
+            // Caret padding mirrors tabs so it lines up however
+            // the excerpt is rendered.
+            std::string pad;
+            for (std::size_t i = 0; i + 1 < col && i < raw.size();
+                 ++i) {
+                pad += raw[i] == '\t' ? '\t' : ' ';
+            }
+            msg += "\n  " + raw + "\n  " + pad + "^";
+        }
+        throw VaqError(msg);
+    }
+
+    void check(bool ok, const std::string &message,
+               const std::string &token = "") const
+    {
+        if (!ok)
+            fail(message, token);
+    }
+};
+
 /** Parse "q[i]" (whitespace-tolerant); returns the index. */
 Qubit
-parseOperand(const std::string &text, const std::string &reg)
+parseOperand(const ParseState &st, const std::string &text,
+             const std::string &reg)
 {
     const std::string t = trim(text);
-    require(startsWith(t, reg + "[") && t.back() == ']',
-            "malformed QASM operand: '" + text + "'");
+    st.check(startsWith(t, reg + "[") && t.size() > reg.size() + 2 &&
+                 t.back() == ']',
+             "malformed operand '" + t + "': expected " + reg +
+                 "[<index>]",
+             t);
     const std::string idx =
         t.substr(reg.size() + 1, t.size() - reg.size() - 2);
-    return static_cast<Qubit>(parseSize(idx));
+    try {
+        return static_cast<Qubit>(parseSize(idx));
+    } catch (const VaqError &e) {
+        st.fail("bad operand index '" + idx + "': " + e.message(),
+                t);
+    }
 }
 
 /**
@@ -37,33 +97,40 @@ parseOperand(const std::string &text, const std::string &reg)
  * a decimal literal, "pi", "-pi", "pi/k", "-pi/k", or "k*pi/m".
  */
 double
-parseAngle(const std::string &raw)
+parseAngle(const ParseState &st, const std::string &raw)
 {
     std::string t = trim(raw);
-    require(!t.empty(), "empty QASM angle");
-    double sign = 1.0;
-    if (t.front() == '-') {
-        sign = -1.0;
-        t = trim(t.substr(1));
-    }
-    if (t.find("pi") == std::string::npos)
-        return sign * parseDouble(t);
+    st.check(!t.empty(), "empty angle expression");
+    try {
+        double sign = 1.0;
+        if (t.front() == '-') {
+            sign = -1.0;
+            t = trim(t.substr(1));
+        }
+        if (t.find("pi") == std::string::npos)
+            return sign * parseDouble(t);
 
-    double numerator = 1.0;
-    double denominator = 1.0;
-    const auto star = t.find('*');
-    if (star != std::string::npos) {
-        numerator = parseDouble(t.substr(0, star));
-        t = trim(t.substr(star + 1));
+        double numerator = 1.0;
+        double denominator = 1.0;
+        const auto star = t.find('*');
+        if (star != std::string::npos) {
+            numerator = parseDouble(t.substr(0, star));
+            t = trim(t.substr(star + 1));
+        }
+        if (!startsWith(t, "pi"))
+            throw VaqError("expected 'pi'");
+        t = trim(t.substr(2));
+        if (!t.empty()) {
+            if (t.front() != '/')
+                throw VaqError("expected '/' after 'pi'");
+            denominator = parseDouble(t.substr(1));
+        }
+        return sign * numerator * M_PI / denominator;
+    } catch (const VaqError &e) {
+        st.fail("malformed angle '" + trim(raw) +
+                    "': " + e.message(),
+                trim(raw));
     }
-    require(startsWith(t, "pi"), "malformed QASM angle: '" + raw + "'");
-    t = trim(t.substr(2));
-    if (!t.empty()) {
-        require(t.front() == '/',
-                "malformed QASM angle: '" + raw + "'");
-        denominator = parseDouble(t.substr(1));
-    }
-    return sign * numerator * M_PI / denominator;
 }
 
 } // namespace
@@ -103,16 +170,22 @@ toQasm(const Circuit &circuit)
     return oss.str();
 }
 
-Circuit
-fromQasm(const std::string &text)
+ParsedQasm
+parseQasm(const std::string &text, const std::string &source)
 {
     std::optional<Circuit> circuit;
+    std::vector<int> gateLines;
     std::istringstream in(text);
     std::string line;
-    int lineNo = 0;
+    ParseState st{source, 0, {}};
+
+    const auto record = [&gateLines, &st] {
+        gateLines.push_back(st.lineNo);
+    };
 
     while (std::getline(in, line)) {
-        ++lineNo;
+        ++st.lineNo;
+        st.raw = line;
         // Strip comments.
         const auto comment = line.find("//");
         if (comment != std::string::npos)
@@ -121,9 +194,8 @@ fromQasm(const std::string &text)
         if (line.empty())
             continue;
 
-        require(line.back() == ';',
-                "QASM line " + std::to_string(lineNo) +
-                " missing ';'");
+        st.check(line.back() == ';',
+                 "missing ';' at end of statement");
         line = trim(line.substr(0, line.size() - 1));
 
         if (startsWith(line, "OPENQASM") ||
@@ -132,35 +204,45 @@ fromQasm(const std::string &text)
             continue;
         }
         if (startsWith(line, "qreg")) {
-            require(!circuit.has_value(),
-                    "multiple qreg declarations unsupported");
+            st.check(!circuit.has_value(),
+                     "multiple qreg declarations unsupported",
+                     "qreg");
             const auto open = line.find('[');
             const auto close = line.find(']');
-            require(open != std::string::npos &&
-                        close != std::string::npos && close > open,
-                    "malformed qreg on line " +
-                        std::to_string(lineNo));
-            const auto n = parseSize(
-                line.substr(open + 1, close - open - 1));
-            circuit.emplace(static_cast<int>(n));
+            st.check(open != std::string::npos &&
+                         close != std::string::npos && close > open,
+                     "malformed qreg: expected qreg q[<size>]");
+            try {
+                const auto n = parseSize(
+                    line.substr(open + 1, close - open - 1));
+                circuit.emplace(static_cast<int>(n));
+            } catch (const VaqError &e) {
+                st.fail("bad qreg size: " + e.message());
+            }
             continue;
         }
 
-        require(circuit.has_value(),
-                "gate before qreg on line " + std::to_string(lineNo));
+        st.check(circuit.has_value(), "gate before qreg");
 
         if (startsWith(line, "barrier")) {
             circuit->barrier();
+            record();
             continue;
         }
         if (startsWith(line, "measure")) {
             const auto arrow = line.find("->");
-            require(arrow != std::string::npos,
-                    "malformed measure on line " +
-                        std::to_string(lineNo));
+            st.check(arrow != std::string::npos,
+                     "malformed measure: expected "
+                     "measure q[i] -> c[i]",
+                     "measure");
             const Qubit q = parseOperand(
-                line.substr(7, arrow - 7), "q");
-            circuit->measure(q);
+                st, line.substr(7, arrow - 7), "q");
+            try {
+                circuit->measure(q);
+            } catch (const VaqError &e) {
+                st.fail(e.message(), "measure");
+            }
+            record();
             continue;
         }
 
@@ -172,56 +254,85 @@ fromQasm(const std::string &text)
             ++nameEnd;
         }
         const std::string name = line.substr(0, nameEnd);
+        st.check(!name.empty(), "expected a gate name");
         std::string rest = trim(line.substr(nameEnd));
 
         std::vector<double> angles;
         if (!rest.empty() && rest.front() == '(') {
             const auto close = rest.find(')');
-            require(close != std::string::npos,
-                    "unterminated angle on line " +
-                        std::to_string(lineNo));
+            st.check(close != std::string::npos,
+                     "unterminated angle list: missing ')'", "(");
             for (const std::string &piece :
                  split(rest.substr(1, close - 1), ',')) {
-                angles.push_back(parseAngle(piece));
+                angles.push_back(parseAngle(st, piece));
             }
             rest = trim(rest.substr(close + 1));
         }
         const double angle = angles.empty() ? 0.0 : angles[0];
 
-        const GateKind kind = gateKindFromName(name);
-        const auto ops = split(rest, ',');
-        if (gateArity(kind) == 2) {
-            require(ops.size() == 2,
-                    "two-qubit gate needs two operands on line " +
-                        std::to_string(lineNo));
-            circuit->append(Gate::twoQubit(
-                kind, parseOperand(ops[0], "q"),
-                parseOperand(ops[1], "q")));
-        } else {
-            require(ops.size() == 1,
-                    "one-qubit gate needs one operand on line " +
-                        std::to_string(lineNo));
-            if (kind == GateKind::U3 || name == "u2") {
-                const bool isU2 = name == "u2";
-                require(angles.size() == (isU2 ? 2u : 3u),
-                        "u2/u3 angle count wrong on line " +
-                            std::to_string(lineNo));
-                const double theta = isU2 ? M_PI / 2.0 : angles[0];
-                const double phi = isU2 ? angles[0] : angles[1];
-                const double lambda =
-                    isU2 ? angles[1] : angles[2];
-                circuit->append(Gate::u3(
-                    parseOperand(ops[0], "q"), theta, phi,
-                    lambda));
-            } else {
-                circuit->append(Gate::oneQubit(
-                    kind, parseOperand(ops[0], "q"), angle));
-            }
+        GateKind kind;
+        try {
+            kind = gateKindFromName(name);
+        } catch (const VaqError &e) {
+            st.fail("unknown gate '" + name + "'", name);
         }
+        const auto ops = split(rest, ',');
+        try {
+            if (gateArity(kind) == 2) {
+                st.check(ops.size() == 2,
+                         "two-qubit gate '" + name +
+                             "' needs two operands",
+                         name);
+                circuit->append(Gate::twoQubit(
+                    kind, parseOperand(st, ops[0], "q"),
+                    parseOperand(st, ops[1], "q")));
+            } else {
+                st.check(ops.size() == 1,
+                         "one-qubit gate '" + name +
+                             "' needs one operand",
+                         name);
+                if (kind == GateKind::U3 || name == "u2") {
+                    const bool isU2 = name == "u2";
+                    st.check(angles.size() == (isU2 ? 2u : 3u),
+                             name + " takes " +
+                                 (isU2 ? std::string("2")
+                                       : std::string("3")) +
+                                 " angles, got " +
+                                 std::to_string(angles.size()),
+                             name);
+                    const double theta =
+                        isU2 ? M_PI / 2.0 : angles[0];
+                    const double phi = isU2 ? angles[0] : angles[1];
+                    const double lambda =
+                        isU2 ? angles[1] : angles[2];
+                    circuit->append(Gate::u3(
+                        parseOperand(st, ops[0], "q"), theta, phi,
+                        lambda));
+                } else {
+                    circuit->append(Gate::oneQubit(
+                        kind, parseOperand(st, ops[0], "q"),
+                        angle));
+                }
+            }
+        } catch (const VaqError &e) {
+            // Located errors pass through; range errors from
+            // Circuit::append gain the line they came from.
+            if (e.message().rfind(source + ":", 0) == 0)
+                throw;
+            st.fail(e.message(), name);
+        }
+        record();
     }
 
-    require(circuit.has_value(), "QASM program has no qreg");
-    return *circuit;
+    st.raw.clear();
+    st.check(circuit.has_value(), "program has no qreg");
+    return ParsedQasm{std::move(*circuit), std::move(gateLines)};
+}
+
+Circuit
+fromQasm(const std::string &text)
+{
+    return parseQasm(text).circuit;
 }
 
 } // namespace vaq::circuit

@@ -14,6 +14,7 @@
 #define VAQ_CIRCUIT_QASM_HPP
 
 #include <string>
+#include <vector>
 
 #include "circuit/circuit.hpp"
 
@@ -22,6 +23,27 @@ namespace vaq::circuit
 
 /** Render a circuit as an OpenQASM 2.0 program. */
 std::string toQasm(const Circuit &circuit);
+
+/** A parsed program plus per-gate source provenance. */
+struct ParsedQasm
+{
+    Circuit circuit;
+    /** 1-based source line of gates()[i]; same length as gates(). */
+    std::vector<int> gateLines;
+};
+
+/**
+ * Parse an OpenQASM 2.0 (subset) program, keeping the source line
+ * of every gate for diagnostics.
+ *
+ * @param source Name used in error messages and gate provenance
+ *        (conventionally the file path; follows the CSV-loader
+ *        "source:line:column: message" convention, with the
+ *        offending line and a caret appended).
+ * @throws VaqError on any construct outside the supported subset.
+ */
+ParsedQasm parseQasm(const std::string &text,
+                     const std::string &source = "<qasm>");
 
 /**
  * Parse an OpenQASM 2.0 (subset) program.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "analysis/dataflow.hpp"
 #include "circuit/layering.hpp"
 #include "common/cancellation.hpp"
 #include "common/error.hpp"
@@ -26,8 +27,11 @@ InteractionSummary::InteractionSummary(const Circuit &logical,
       _weights(static_cast<std::size_t>(_numQubits) *
                    static_cast<std::size_t>(_numQubits),
                0.0),
-      _activity(static_cast<std::size_t>(_numQubits), 0.0)
+      _activity(analysis::activityByQubit(logical, window_layers))
 {
+    // Activity comes from the shared dataflow facts above; this
+    // pass only accumulates the pairwise interaction weights over
+    // the same layer window.
     const auto layers = circuit::layerize(logical);
     const std::size_t limit =
         window_layers == 0 ? layers.size()
@@ -43,8 +47,6 @@ InteractionSummary::InteractionSummary(const Circuit &logical,
             const auto n = static_cast<std::size_t>(_numQubits);
             _weights[a * n + b] += 1.0;
             _weights[b * n + a] += 1.0;
-            _activity[a] += 1.0;
-            _activity[b] += 1.0;
         }
     }
 }

@@ -181,6 +181,13 @@ BatchCompiler::compile(
         }
     }
 
+    // One shared linter for every job (rule objects are stateless
+    // across run() calls); constructing it here surfaces unknown
+    // rule names as a usage error before any work is queued.
+    std::optional<analysis::Linter> linter;
+    if (_options.lint)
+        linter.emplace(_options.lintOptions);
+
     // Build the fallback mappers once, outside the parallel section:
     // makeMapper is cheap but not worth repeating per job, and doing
     // it here keeps the workers allocation-light.
@@ -298,6 +305,45 @@ BatchCompiler::compile(
 
             BatchResult result(job.circuit, job.snapshot,
                                placeholderMapped(), 0.0);
+
+            const calibration::Snapshot &effective =
+                state.kind == SnapshotState::Kind::Degraded
+                    ? state.sanitized->snapshot
+                    : snapshots[job.snapshot];
+            if (linter) {
+                // Pre-compile pass on the logical circuit. Usage
+                // findings are deterministic rejections (the same
+                // circuit fails on this machine under every policy),
+                // so they fail the job before any compile attempt —
+                // same taxonomy bucket the mapper itself would use.
+                const analysis::LintReport pre = linter->lint(
+                    circuits[job.circuit], &_graph, &effective);
+                result.lintErrors = pre.errorCount();
+                result.lintWarnings = pre.warningCount();
+                const auto fatal = std::find_if(
+                    pre.diagnostics.begin(), pre.diagnostics.end(),
+                    [](const analysis::Diagnostic &d) {
+                        return d.severity ==
+                                   analysis::Severity::Error &&
+                               d.category ==
+                                   analysis::RuleCategory::Usage;
+                    });
+                if (fatal != pre.diagnostics.end()) {
+                    if (_options.failFast) {
+                        throw VaqError("lint rejected job: [" +
+                                       fatal->ruleId + "] " +
+                                       fatal->message);
+                    }
+                    result.status = JobStatus::Failed;
+                    result.errorCategory = ErrorCategory::Usage;
+                    result.error = "[" + fatal->ruleId + "] " +
+                                   fatal->message;
+                    result.attempts = 0;
+                    finish(i, std::move(result));
+                    return;
+                }
+            }
+
             const std::size_t totalAttempts =
                 _options.failFast ? 1 : 1 + fallbacks.size();
             for (std::size_t attempt = 0; attempt < totalAttempts;
@@ -356,6 +402,17 @@ BatchCompiler::compile(
                     if (!retryable(category))
                         break;
                 }
+            }
+            if (linter && result.ok()) {
+                // Post-compile pass over the routed circuit: SWAP
+                // hygiene, idle exposure, and the static reliability
+                // budget on what will actually execute. Advisory
+                // only — the job already compiled.
+                const analysis::LintReport post =
+                    linter->lintPhysical(result.mapped.physical,
+                                         _graph, &effective);
+                result.mappedLintErrors = post.errorCount();
+                result.mappedLintWarnings = post.warningCount();
             }
             finish(i, std::move(result));
         });

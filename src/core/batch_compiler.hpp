@@ -43,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/linter.hpp"
 #include "calibration/sanitize.hpp"
 #include "calibration/snapshot.hpp"
 #include "circuit/circuit.hpp"
@@ -85,6 +86,13 @@ struct BatchOptions
     bool sanitizeCalibration = true;
     /** Quarantine thresholds (see calibration/sanitize.hpp). */
     calibration::SanitizeOptions sanitize;
+    /** Run the static analysis rules around each job: pre-compile on
+     *  the logical circuit (error-severity Usage findings fail the
+     *  job before any compile attempt) and post-compile on the
+     *  mapped output (counted, never fatal). */
+    bool lint = false;
+    /** Rule selection and thresholds for the lint passes. */
+    analysis::LintOptions lintOptions;
 };
 
 /** Terminal state of one batch job. */
@@ -120,6 +128,14 @@ struct BatchResult
     int attempts = 1;
     /** Name of the policy that produced `mapped`; empty on failure. */
     std::string policyUsed;
+    /** Diagnostic counts from the pre-compile (logical) lint pass;
+     *  zero when BatchOptions::lint is off. */
+    std::size_t lintErrors = 0;
+    std::size_t lintWarnings = 0;
+    /** Diagnostic counts from the post-compile pass over the mapped
+     *  circuit; zero when linting is off or the job failed. */
+    std::size_t mappedLintErrors = 0;
+    std::size_t mappedLintWarnings = 0;
 
     BatchResult(std::size_t circuit_index,
                 std::size_t snapshot_index, MappedCircuit mapped_in,

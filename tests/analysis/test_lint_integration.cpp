@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Integration tests for the lint layer: linter rule selection, the
+ * batch compiler's pre-/post-compile lint passes (including the
+ * Usage fast-fail), byte-determinism of rendered reports across
+ * batch thread counts, and the analysis.* telemetry counters.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/linter.hpp"
+#include "calibration/snapshot.hpp"
+#include "circuit/circuit.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/allocator.hpp"
+#include "core/batch_compiler.hpp"
+#include "core/mapper.hpp"
+#include "obs/metrics.hpp"
+#include "test_support.hpp"
+#include "topology/layouts.hpp"
+
+namespace vaq
+{
+namespace
+{
+
+using analysis::FailOn;
+using analysis::Linter;
+using analysis::LintInput;
+using analysis::LintOptions;
+using analysis::LintReport;
+using core::BatchCompiler;
+using core::BatchOptions;
+using core::BatchResult;
+using core::JobStatus;
+
+/** Flip the telemetry switch for one test, restoring it after. */
+class EnabledGuard
+{
+  public:
+    explicit EnabledGuard(bool on) : _previous(obs::enabled())
+    {
+        obs::setEnabled(on);
+    }
+    ~EnabledGuard() { obs::setEnabled(_previous); }
+
+  private:
+    bool _previous;
+};
+
+core::Mapper
+referenceMapper()
+{
+    return core::Mapper("reference",
+                        std::make_unique<core::LocalityAllocator>(),
+                        core::CostKind::SwapCount);
+}
+
+/** Well-formed 3-qubit programs the reference mapper handles. */
+std::vector<circuit::Circuit>
+cleanCircuits(std::size_t count)
+{
+    Rng rng(99);
+    std::vector<circuit::Circuit> circuits;
+    circuits.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        circuits.push_back(vaq::test::randomCircuit(3, 10, rng));
+    return circuits;
+}
+
+BatchOptions
+lintingOptions(std::size_t threads)
+{
+    BatchOptions options;
+    options.compile.threads = threads;
+    options.lint = true;
+    return options;
+}
+
+TEST(LintIntegration, DisabledRulesAreDropped)
+{
+    LintOptions options;
+    options.disabled = {"VL003", "redundant-swap"};
+    const Linter linter(options);
+    const std::vector<std::string> ids = linter.ruleIds();
+    EXPECT_EQ(ids.size(), 8u);
+    EXPECT_EQ(std::find(ids.begin(), ids.end(), "VL003"),
+              ids.end());
+    EXPECT_EQ(std::find(ids.begin(), ids.end(), "VL006"),
+              ids.end());
+    EXPECT_NE(std::find(ids.begin(), ids.end(), "VL001"),
+              ids.end());
+}
+
+TEST(LintIntegration, EnabledOnlyKeepsJustThoseRules)
+{
+    LintOptions options;
+    options.enabledOnly = {"VL004", "measure-uninitialized"};
+    const Linter linter(options);
+    EXPECT_EQ(linter.ruleIds(),
+              (std::vector<std::string>{"VL001", "VL004"}));
+
+    // A circuit full of VL002/VL003 material yields nothing when
+    // those rules are filtered out.
+    circuit::Circuit c(2);
+    c.h(0).cx(0, 1).measureAll();
+    const LintReport report = linter.lint(c);
+    EXPECT_TRUE(report.diagnostics.empty());
+    EXPECT_EQ(report.rules.size(), 2u);
+}
+
+TEST(LintIntegration, UnknownRuleNamesThrowUpFront)
+{
+    LintOptions disabled;
+    disabled.disabled = {"VL999"};
+    EXPECT_THROW(Linter{disabled}, VaqError);
+
+    LintOptions enabled;
+    enabled.enabledOnly = {"no-such-rule"};
+    EXPECT_THROW(Linter{enabled}, VaqError);
+}
+
+TEST(LintIntegration, RunWithoutCircuitIsAUsageError)
+{
+    const Linter linter;
+    EXPECT_THROW(linter.run(LintInput{}), VaqError);
+}
+
+TEST(LintIntegration, BatchFastFailsUsageFindingsBeforeCompiling)
+{
+    const topology::CouplingGraph q5 = topology::ibmQ5Tenerife();
+    const auto snapshot = vaq::test::uniformSnapshot(q5);
+    auto circuits = cleanCircuits(4);
+    // Slot 2: wider than the machine -> VL010 (Error/Usage) must
+    // reject the job before any compile attempt runs.
+    Rng rng(5);
+    circuits[2] = vaq::test::randomCircuit(7, 8, rng);
+
+    const core::Mapper mapper = referenceMapper();
+    BatchCompiler compiler(mapper, q5, lintingOptions(4));
+    const auto results = compiler.compileAll(circuits, {snapshot});
+
+    ASSERT_EQ(results.size(), circuits.size());
+    for (const BatchResult &r : results) {
+        if (r.circuit == 2) {
+            EXPECT_EQ(r.status, JobStatus::Failed);
+            EXPECT_EQ(r.errorCategory, ErrorCategory::Usage);
+            EXPECT_NE(r.error.find("VL010"), std::string::npos);
+            EXPECT_EQ(r.attempts, 0);
+            EXPECT_GE(r.lintErrors, 1u);
+        } else {
+            EXPECT_EQ(r.status, JobStatus::Ok);
+            EXPECT_TRUE(r.error.empty());
+            EXPECT_EQ(r.lintErrors, 0u);
+            // Post-compile pass ran over the mapped output.
+            EXPECT_EQ(r.mappedLintErrors, 0u);
+        }
+    }
+}
+
+TEST(LintIntegration, BatchLintOffLeavesCountsZero)
+{
+    const topology::CouplingGraph q5 = topology::ibmQ5Tenerife();
+    const auto snapshot = vaq::test::uniformSnapshot(q5);
+    const auto circuits = cleanCircuits(2);
+
+    const core::Mapper mapper = referenceMapper();
+    BatchOptions options;
+    options.compile.threads = 2;
+    BatchCompiler compiler(mapper, q5, options);
+    const auto results = compiler.compileAll(circuits, {snapshot});
+    for (const BatchResult &r : results) {
+        EXPECT_EQ(r.lintErrors, 0u);
+        EXPECT_EQ(r.lintWarnings, 0u);
+        EXPECT_EQ(r.mappedLintErrors, 0u);
+        EXPECT_EQ(r.mappedLintWarnings, 0u);
+    }
+}
+
+TEST(LintIntegration, BatchUnknownLintRuleThrowsAsUsage)
+{
+    const topology::CouplingGraph q5 = topology::ibmQ5Tenerife();
+    const auto snapshot = vaq::test::uniformSnapshot(q5);
+    const auto circuits = cleanCircuits(1);
+
+    const core::Mapper mapper = referenceMapper();
+    BatchOptions options = lintingOptions(2);
+    options.lintOptions.disabled = {"VL777"};
+    BatchCompiler compiler(mapper, q5, options);
+    try {
+        compiler.compileAll(circuits, {snapshot});
+        FAIL() << "expected VaqError for the unknown rule name";
+    } catch (const VaqError &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::Usage);
+    }
+}
+
+TEST(LintIntegration, ReportsAreByteIdenticalAcrossThreadCounts)
+{
+    const topology::CouplingGraph q5 = topology::ibmQ5Tenerife();
+    const auto snapshot = vaq::test::uniformSnapshot(q5);
+    const auto circuits = cleanCircuits(6);
+    const core::Mapper mapper = referenceMapper();
+    const Linter linter;
+
+    // Lint every mapped output and render; the concatenation must
+    // not depend on how many workers compiled the batch.
+    std::vector<std::string> renderings;
+    for (const std::size_t threads : {1u, 4u, 8u}) {
+        BatchCompiler compiler(mapper, q5,
+                               lintingOptions(threads));
+        const auto results =
+            compiler.compileAll(circuits, {snapshot});
+        std::string blob;
+        for (const BatchResult &r : results) {
+            ASSERT_TRUE(r.ok());
+            const LintReport report = linter.lintPhysical(
+                r.mapped.physical, q5, &snapshot);
+            blob += renderText(report);
+            blob += renderJson(report);
+            blob += renderSarif(report);
+        }
+        renderings.push_back(std::move(blob));
+    }
+    EXPECT_EQ(renderings[0], renderings[1]);
+    EXPECT_EQ(renderings[0], renderings[2]);
+}
+
+TEST(LintIntegration, TelemetryCountsRunsAndDiagnostics)
+{
+    EnabledGuard guard(true);
+    obs::Registry::global().reset();
+
+    circuit::Circuit dirty(2);
+    dirty.measure(0).x(0).measure(1);
+    const Linter linter;
+    const LintReport report = linter.lint(dirty);
+    ASSERT_GE(report.diagnostics.size(), 2u);
+
+    const obs::MetricsSnapshot snap =
+        obs::Registry::global().snapshot();
+    const auto counter = [&](const std::string &name) {
+        const auto it = snap.counters.find(name);
+        return it == snap.counters.end() ? std::uint64_t{0}
+                                         : it->second;
+    };
+    EXPECT_EQ(counter("analysis.runs"), 1u);
+    EXPECT_EQ(counter("analysis.diagnostics.emitted"),
+              report.diagnostics.size());
+    EXPECT_EQ(counter("analysis.diagnostics.error"),
+              report.errorCount());
+    EXPECT_EQ(counter("analysis.diagnostics.warning"),
+              report.warningCount());
+}
+
+TEST(LintIntegration, TelemetryOffLeavesRegistryUntouched)
+{
+    EnabledGuard guard(false);
+    obs::Registry::global().reset();
+
+    circuit::Circuit dirty(1);
+    dirty.measure(0);
+    Linter().lint(dirty);
+
+    // Registry::reset() zeroes counters but keeps registrations,
+    // so earlier tests may have created the keys: assert the lint
+    // run added nothing, not that the keys are absent.
+    const obs::MetricsSnapshot snap =
+        obs::Registry::global().snapshot();
+    const auto counter = [&](const std::string &name) {
+        const auto it = snap.counters.find(name);
+        return it == snap.counters.end() ? std::uint64_t{0}
+                                         : it->second;
+    };
+    EXPECT_EQ(counter("analysis.runs"), 0u);
+    EXPECT_EQ(counter("analysis.diagnostics.emitted"), 0u);
+}
+
+} // namespace
+} // namespace vaq

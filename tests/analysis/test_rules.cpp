@@ -1,0 +1,399 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "analysis/linter.hpp"
+#include "analysis/rule.hpp"
+#include "calibration/snapshot.hpp"
+#include "circuit/circuit.hpp"
+#include "common/error.hpp"
+#include "topology/layouts.hpp"
+
+namespace vaq::analysis
+{
+namespace
+{
+
+using circuit::Circuit;
+
+/** Run exactly one rule over an input. */
+LintReport
+runRule(const std::string &id, const LintInput &input)
+{
+    LintOptions options;
+    options.enabledOnly = {id};
+    return Linter(options).run(input);
+}
+
+LintInput
+logicalInput(const Circuit &circuit)
+{
+    LintInput input;
+    input.circuit = &circuit;
+    return input;
+}
+
+/** Count diagnostics carrying the given rule id. */
+std::size_t
+countOf(const LintReport &report, const std::string &id)
+{
+    std::size_t n = 0;
+    for (const Diagnostic &d : report.diagnostics)
+        n += d.ruleId == id ? 1 : 0;
+    return n;
+}
+
+// --- VL001 measure-uninitialized -----------------------------------
+
+TEST(Rules, MeasureUninitializedFires)
+{
+    Circuit c(2);
+    c.h(0).measure(0).measure(1);
+    const LintReport report = runRule("VL001", logicalInput(c));
+    ASSERT_EQ(report.diagnostics.size(), 1u);
+    EXPECT_EQ(report.diagnostics[0].ruleId, "VL001");
+    EXPECT_EQ(report.diagnostics[0].qubit, 1);
+    EXPECT_EQ(report.diagnostics[0].gateIndex, 2);
+}
+
+TEST(Rules, MeasureUninitializedSilentOnCleanCircuit)
+{
+    Circuit c(2);
+    c.h(0).h(1).measureAll();
+    const LintReport report = runRule("VL001", logicalInput(c));
+    EXPECT_TRUE(report.diagnostics.empty());
+}
+
+// --- VL002 measure-then-reuse --------------------------------------
+
+TEST(Rules, MeasureThenReuseFires)
+{
+    Circuit c(1);
+    c.h(0).measure(0).x(0);
+    const LintReport report = runRule("VL002", logicalInput(c));
+    ASSERT_EQ(report.diagnostics.size(), 1u);
+    EXPECT_EQ(report.diagnostics[0].gateIndex, 2);
+    EXPECT_EQ(report.diagnostics[0].severity, Severity::Warning);
+}
+
+TEST(Rules, MeasureThenReuseSilentWhenMeasureIsLast)
+{
+    Circuit c(1);
+    c.h(0).x(0).measure(0);
+    const LintReport report = runRule("VL002", logicalInput(c));
+    EXPECT_TRUE(report.diagnostics.empty());
+}
+
+// --- VL003 dead-gate -----------------------------------------------
+
+TEST(Rules, DeadGateFires)
+{
+    Circuit c(2);
+    c.h(0).x(1).measure(0);
+    const LintReport report = runRule("VL003", logicalInput(c));
+    ASSERT_EQ(report.diagnostics.size(), 1u);
+    EXPECT_EQ(report.diagnostics[0].gateIndex, 1);
+    EXPECT_EQ(report.diagnostics[0].qubit, 1);
+}
+
+TEST(Rules, DeadGateSilentWithoutMeasurements)
+{
+    // Building-block circuits measure nothing; everything would be
+    // "dead", so the rule stays quiet.
+    Circuit c(2);
+    c.h(0).cx(0, 1);
+    const LintReport report = runRule("VL003", logicalInput(c));
+    EXPECT_TRUE(report.diagnostics.empty());
+}
+
+TEST(Rules, DeadGateSilentOnFullyMeasuredCircuit)
+{
+    Circuit c(2);
+    c.h(0).cx(0, 1).measureAll();
+    const LintReport report = runRule("VL003", logicalInput(c));
+    EXPECT_TRUE(report.diagnostics.empty());
+}
+
+// --- VL004 double-measure ------------------------------------------
+
+TEST(Rules, DoubleMeasureFires)
+{
+    Circuit c(1);
+    c.h(0).measure(0).measure(0);
+    const LintReport report = runRule("VL004", logicalInput(c));
+    ASSERT_EQ(report.diagnostics.size(), 1u);
+    EXPECT_EQ(report.diagnostics[0].severity, Severity::Error);
+    EXPECT_EQ(report.diagnostics[0].gateIndex, 2);
+}
+
+TEST(Rules, DoubleMeasureSilentOnSingleMeasures)
+{
+    Circuit c(2);
+    c.h(0).cx(0, 1).measureAll();
+    const LintReport report = runRule("VL004", logicalInput(c));
+    EXPECT_TRUE(report.diagnostics.empty());
+}
+
+// --- VL005 uncoupled-cx --------------------------------------------
+
+TEST(Rules, UncoupledCxFiresOnPhysicalCircuit)
+{
+    const topology::CouplingGraph graph = topology::linear(3);
+    Circuit c(3);
+    c.cx(0, 2).measureAll();
+    LintInput input = logicalInput(c);
+    input.physical = true;
+    input.graph = &graph;
+    const LintReport report = runRule("VL005", input);
+    ASSERT_EQ(report.diagnostics.size(), 1u);
+    EXPECT_EQ(report.diagnostics[0].severity, Severity::Error);
+    EXPECT_EQ(report.diagnostics[0].qubit, 0);
+    EXPECT_EQ(report.diagnostics[0].qubit2, 2);
+}
+
+TEST(Rules, UncoupledCxSilentOnLogicalCircuit)
+{
+    // Logical operands are not machine indices; the rule only
+    // applies post-mapping.
+    const topology::CouplingGraph graph = topology::linear(3);
+    Circuit c(3);
+    c.cx(0, 2).measureAll();
+    LintInput input = logicalInput(c);
+    input.graph = &graph;
+    const LintReport report = runRule("VL005", input);
+    EXPECT_TRUE(report.diagnostics.empty());
+}
+
+TEST(Rules, UncoupledCxSilentOnCoupledPairs)
+{
+    const topology::CouplingGraph graph = topology::linear(3);
+    Circuit c(3);
+    c.cx(0, 1).cx(1, 2).measureAll();
+    LintInput input = logicalInput(c);
+    input.physical = true;
+    input.graph = &graph;
+    const LintReport report = runRule("VL005", input);
+    EXPECT_TRUE(report.diagnostics.empty());
+}
+
+// --- VL006 redundant-swap ------------------------------------------
+
+TEST(Rules, RedundantSwapFiresOnUntouchedExchange)
+{
+    Circuit c(2);
+    c.swap(0, 1).measureAll();
+    const LintReport report = runRule("VL006", logicalInput(c));
+    ASSERT_EQ(report.diagnostics.size(), 1u);
+    EXPECT_EQ(report.diagnostics[0].gateIndex, 0);
+}
+
+TEST(Rules, RedundantSwapFiresOnCancellingPair)
+{
+    Circuit c(2);
+    c.h(0).h(1).swap(0, 1).swap(0, 1).measureAll();
+    const LintReport report = runRule("VL006", logicalInput(c));
+    ASSERT_EQ(report.diagnostics.size(), 1u);
+    EXPECT_EQ(report.diagnostics[0].gateIndex, 3);
+}
+
+TEST(Rules, RedundantSwapSilentOnMeaningfulSwap)
+{
+    Circuit c(2);
+    c.h(0).swap(0, 1).measure(1);
+    const LintReport report = runRule("VL006", logicalInput(c));
+    EXPECT_TRUE(report.diagnostics.empty());
+}
+
+// --- VL007 quarantined-qubit ---------------------------------------
+
+TEST(Rules, QuarantinedQubitFiresOnDeadCalibration)
+{
+    const topology::CouplingGraph graph = topology::linear(3);
+    calibration::Snapshot snapshot(graph);
+    snapshot.qubit(1).error1q = 0.99; // above the 0.95 threshold
+    Circuit c(3);
+    c.h(1).cx(1, 2).measure(2);
+    LintInput input = logicalInput(c);
+    input.physical = true;
+    input.graph = &graph;
+    input.snapshot = &snapshot;
+    const LintReport report = runRule("VL007", input);
+    ASSERT_EQ(report.diagnostics.size(), 1u);
+    EXPECT_EQ(report.diagnostics[0].qubit, 1);
+}
+
+TEST(Rules, QuarantinedQubitFiresOnDeadLink)
+{
+    const topology::CouplingGraph graph = topology::linear(3);
+    calibration::Snapshot snapshot(graph);
+    snapshot.setLinkError(0, 0.97);
+    Circuit c(3);
+    c.cx(0, 1).measureAll();
+    LintInput input = logicalInput(c);
+    input.physical = true;
+    input.graph = &graph;
+    input.snapshot = &snapshot;
+    const LintReport report = runRule("VL007", input);
+    ASSERT_EQ(report.diagnostics.size(), 1u);
+    EXPECT_EQ(report.diagnostics[0].qubit, 0);
+    EXPECT_EQ(report.diagnostics[0].qubit2, 1);
+}
+
+TEST(Rules, QuarantinedQubitSilentOnHealthyMachine)
+{
+    const topology::CouplingGraph graph = topology::linear(3);
+    calibration::Snapshot snapshot(graph);
+    for (std::size_t l = 0; l < graph.linkCount(); ++l)
+        snapshot.setLinkError(l, 0.02);
+    Circuit c(3);
+    c.h(0).cx(0, 1).measureAll();
+    LintInput input = logicalInput(c);
+    input.physical = true;
+    input.graph = &graph;
+    input.snapshot = &snapshot;
+    const LintReport report = runRule("VL007", input);
+    EXPECT_TRUE(report.diagnostics.empty());
+}
+
+// --- VL008 reliability-budget --------------------------------------
+
+TEST(Rules, ReliabilityBudgetFiresOnLossyLinks)
+{
+    const topology::CouplingGraph graph = topology::linear(3);
+    calibration::Snapshot snapshot(graph);
+    for (std::size_t l = 0; l < graph.linkCount(); ++l)
+        snapshot.setLinkError(l, 0.6);
+    Circuit c(3);
+    c.cx(0, 1).cx(1, 2).cx(0, 1).measureAll();
+    LintInput input = logicalInput(c);
+    input.physical = true;
+    input.graph = &graph;
+    input.snapshot = &snapshot;
+    const LintReport report = runRule("VL008", input);
+    ASSERT_EQ(report.diagnostics.size(), 1u);
+    // Whole-circuit finding: not anchored to one gate.
+    EXPECT_EQ(report.diagnostics[0].gateIndex, -1);
+}
+
+TEST(Rules, ReliabilityBudgetSilentOnHealthyMachine)
+{
+    const topology::CouplingGraph graph = topology::linear(3);
+    calibration::Snapshot snapshot(graph);
+    for (std::size_t l = 0; l < graph.linkCount(); ++l)
+        snapshot.setLinkError(l, 0.02);
+    Circuit c(3);
+    c.cx(0, 1).cx(1, 2).measureAll();
+    LintInput input = logicalInput(c);
+    input.physical = true;
+    input.graph = &graph;
+    input.snapshot = &snapshot;
+    const LintReport report = runRule("VL008", input);
+    EXPECT_TRUE(report.diagnostics.empty());
+}
+
+// --- VL009 idle-qubit-exceeds-window -------------------------------
+
+TEST(Rules, IdleWindowFiresOnShortCoherence)
+{
+    const topology::CouplingGraph graph = topology::linear(2);
+    calibration::Snapshot snapshot(graph);
+    snapshot.qubit(1).t1Us = 1.0; // budget: 10% of 1 us = 100 ns
+    snapshot.qubit(1).t2Us = 1.0;
+    Circuit c(2);
+    // q1 idles 120 ns between its h and the cx.
+    c.h(1).h(0).h(0).h(0).cx(0, 1).measureAll();
+    LintInput input = logicalInput(c);
+    input.physical = true;
+    input.graph = &graph;
+    input.snapshot = &snapshot;
+    const LintReport report = runRule("VL009", input);
+    ASSERT_EQ(report.diagnostics.size(), 1u);
+    EXPECT_EQ(report.diagnostics[0].qubit, 1);
+}
+
+TEST(Rules, IdleWindowSilentWithinBudget)
+{
+    const topology::CouplingGraph graph = topology::linear(2);
+    calibration::Snapshot snapshot(graph); // 42 us coherence
+    Circuit c(2);
+    c.h(1).h(0).h(0).h(0).cx(0, 1).measureAll();
+    LintInput input = logicalInput(c);
+    input.physical = true;
+    input.graph = &graph;
+    input.snapshot = &snapshot;
+    const LintReport report = runRule("VL009", input);
+    EXPECT_TRUE(report.diagnostics.empty());
+}
+
+// --- VL010 width-exceeds-machine -----------------------------------
+
+TEST(Rules, WidthExceedsMachineFires)
+{
+    const topology::CouplingGraph graph = topology::linear(3);
+    Circuit c(5);
+    c.h(0).measureAll();
+    LintInput input = logicalInput(c);
+    input.graph = &graph;
+    const LintReport report = runRule("VL010", input);
+    ASSERT_EQ(report.diagnostics.size(), 1u);
+    EXPECT_EQ(report.diagnostics[0].severity, Severity::Error);
+    EXPECT_EQ(report.diagnostics[0].category,
+              RuleCategory::Usage);
+}
+
+TEST(Rules, WidthExceedsMachineSilentWhenItFits)
+{
+    const topology::CouplingGraph graph = topology::linear(3);
+    Circuit c(3);
+    c.h(0).measureAll();
+    LintInput input = logicalInput(c);
+    input.graph = &graph;
+    const LintReport report = runRule("VL010", input);
+    EXPECT_TRUE(report.diagnostics.empty());
+}
+
+// --- Registry ------------------------------------------------------
+
+TEST(Rules, RegistryShipsTenRules)
+{
+    const std::vector<std::string> ids =
+        RuleRegistry::global().ids();
+    ASSERT_EQ(ids.size(), 10u);
+    EXPECT_EQ(ids.front(), "VL001");
+    EXPECT_EQ(ids.back(), "VL010");
+    EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+}
+
+TEST(Rules, RegistryKnowsIdsAndNames)
+{
+    const RuleRegistry &registry = RuleRegistry::global();
+    EXPECT_TRUE(registry.known("VL005"));
+    EXPECT_TRUE(registry.known("uncoupled-cx"));
+    EXPECT_FALSE(registry.known("VL999"));
+}
+
+TEST(Rules, RegistryRejectsDuplicateIds)
+{
+    RuleRegistry registry;
+    registerBuiltinRules(registry);
+    EXPECT_THROW(registerBuiltinRules(registry), VaqError);
+}
+
+TEST(Rules, MachineRulesSkipSilentlyWithoutMachineFacts)
+{
+    // One rule set serves logical circuits: with no graph/snapshot
+    // the machine-dependent rules emit nothing rather than throw.
+    Circuit c(2);
+    c.cx(0, 1).measureAll();
+    LintOptions options;
+    const LintReport report =
+        Linter(options).run(logicalInput(c));
+    EXPECT_EQ(countOf(report, "VL005"), 0u);
+    EXPECT_EQ(countOf(report, "VL007"), 0u);
+    EXPECT_EQ(countOf(report, "VL008"), 0u);
+    EXPECT_EQ(countOf(report, "VL009"), 0u);
+    EXPECT_EQ(countOf(report, "VL010"), 0u);
+}
+
+} // namespace
+} // namespace vaq::analysis

@@ -23,10 +23,21 @@
  *        [--threads N] [--fail-fast] [--max-retries N]
  *        [--job-deadline-ms X] ...
  *
+ * Lint mode runs the static analysis rules (analysis/linter.hpp)
+ * without compiling:
+ *   vaqc lint prog.qasm [--machine NAME] [--calibration FILE |
+ *        --synthetic-seed N] [--physical]
+ *        [--lint-format text|json|sarif] [--lint-out FILE]
+ *        [--lint-disable RULE] [--lint-only RULE]
+ *        [--lint-fail-on error|warning|never]
+ * `--lint` runs the same pre-compile pass inside a compile or
+ * batch run.
+ *
  * Exit codes map to the error taxonomy (common/error.hpp):
- *   0 success, 2 usage, 3 calibration, 4 compile/routing,
- *   5 timeout, 6 internal. A batch with contained job failures
- *   exits with the first failed job's code.
+ *   0 success, 1 lint findings at/above --lint-fail-on, 2 usage,
+ *   3 calibration, 4 compile/routing, 5 timeout, 6 internal. A
+ *   batch with contained job failures exits with the first failed
+ *   job's code.
  *
  * Example:
  *   vaqc --qasm bell.qasm --machine q5 --policy vqa+vqm \
@@ -40,6 +51,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/linter.hpp"
 #include "calibration/csv_io.hpp"
 #include "calibration/synthetic.hpp"
 #include "circuit/lower.hpp"
@@ -85,6 +97,14 @@ struct Options
     double jobDeadlineMs = 0.0;
     bool failFast = false;
     bool batch = false;
+    bool lintMode = false; ///< `vaqc lint ...` subcommand
+    bool lint = false;     ///< --lint during compile / batch
+    bool lintPhysical = false;
+    std::string lintFormat = "text";
+    std::string lintOut;
+    std::vector<std::string> lintDisable;
+    std::vector<std::string> lintOnly;
+    std::string lintFailOn = "error";
     bool noPathCache = false;
     bool optimize = false;
     bool lower = false;
@@ -155,7 +175,25 @@ printUsage()
         "(default) | csv | prom\n"
         "  --trace-out FILE     write the span trace (nested "
         "stage timings) as JSON\n"
-        "  --help               this text\n";
+        "  --help               this text\n"
+        "\n"
+        "lint mode: vaqc lint prog.qasm [flags]\n"
+        "  --lint               also run the pre-compile lint "
+        "pass during compile/batch\n"
+        "  --physical           treat the program as already "
+        "mapped (operands are\n"
+        "                       physical qubits; enables the "
+        "machine-side rules)\n"
+        "  --lint-format F      report format: text (default) | "
+        "json | sarif\n"
+        "  --lint-out FILE      write the report to FILE instead "
+        "of stdout\n"
+        "  --lint-disable RULE  skip a rule by id or name "
+        "(repeatable)\n"
+        "  --lint-only RULE     run only the named rules "
+        "(repeatable)\n"
+        "  --lint-fail-on T     exit 1 at/above threshold: error "
+        "(default) | warning | never\n";
 }
 
 Options
@@ -169,8 +207,26 @@ parseArgs(int argc, char **argv)
                     std::string(flag) + " needs a value");
             return argv[++i];
         };
-        if (arg == "--qasm")
+        if (arg == "lint" && i == 1)
+            options.lintMode = true;
+        else if (arg == "--qasm")
             options.qasmPaths.push_back(next("--qasm"));
+        else if (arg == "--lint")
+            options.lint = true;
+        else if (arg == "--physical")
+            options.lintPhysical = true;
+        else if (arg == "--lint-format")
+            options.lintFormat = next("--lint-format");
+        else if (arg == "--lint-out")
+            options.lintOut = next("--lint-out");
+        else if (arg == "--lint-disable")
+            options.lintDisable.push_back(next("--lint-disable"));
+        else if (arg == "--lint-only")
+            options.lintOnly.push_back(next("--lint-only"));
+        else if (arg == "--lint-fail-on")
+            options.lintFailOn = next("--lint-fail-on");
+        else if (options.lintMode && !startsWith(arg, "--"))
+            options.qasmPaths.push_back(arg);
         else if (arg == "--batch")
             options.batch = true;
         else if (arg == "--batch-cycles")
@@ -327,14 +383,97 @@ exportTelemetry(const Options &options)
     }
 }
 
-circuit::Circuit
-loadQasm(const std::string &path)
+circuit::ParsedQasm
+loadQasmWithLines(const std::string &path)
 {
     std::ifstream in(path);
     require(static_cast<bool>(in), "cannot open " + path);
     std::ostringstream text;
     text << in.rdbuf();
-    return circuit::fromQasm(text.str());
+    return circuit::parseQasm(text.str(), path);
+}
+
+circuit::Circuit
+loadQasm(const std::string &path)
+{
+    return loadQasmWithLines(path).circuit;
+}
+
+/** Linter configuration shared by lint mode, --lint and --batch. */
+analysis::LintOptions
+lintOptionsFor(const Options &options)
+{
+    analysis::LintOptions lint;
+    lint.disabled = options.lintDisable;
+    lint.enabledOnly = options.lintOnly;
+    lint.failOn = analysis::failOnFromName(options.lintFailOn);
+    return lint;
+}
+
+/** Render a report in --lint-format to --lint-out or stdout. */
+void
+emitLintReport(const Options &options,
+               const analysis::LintReport &report)
+{
+    std::string text;
+    if (options.lintFormat == "text")
+        text = analysis::renderText(report);
+    else if (options.lintFormat == "json")
+        text = analysis::renderJson(report);
+    else if (options.lintFormat == "sarif")
+        text = analysis::renderSarif(report);
+    else
+        throw VaqError("unknown --lint-format: " +
+                       options.lintFormat +
+                       " (text | json | sarif)");
+    if (options.lintOut.empty()) {
+        std::cout << text;
+        if (!text.empty() && text.back() != '\n')
+            std::cout << "\n";
+    } else {
+        writeFile(options.lintOut, text);
+        std::cout << "lint      : " << options.lintOut << " ("
+                  << options.lintFormat << ", "
+                  << report.summary() << ")\n";
+    }
+}
+
+/**
+ * Lint mode: run the analysis rules over one program against the
+ * chosen machine/calibration, no compilation. Exit 0 when clean (or
+ * below the --lint-fail-on threshold), 1 otherwise.
+ */
+int
+runLint(const Options &options)
+{
+    require(options.qasmPaths.size() == 1,
+            "vaqc lint takes exactly one program");
+    const std::string &qasmPath = options.qasmPaths.front();
+    const circuit::ParsedQasm parsed = loadQasmWithLines(qasmPath);
+
+    const topology::CouplingGraph machine =
+        machineByName(options.machine);
+    const calibration::Snapshot snapshot =
+        options.calibrationPath.empty()
+            ? calibration::SyntheticSource(
+                  machine, calibration::SyntheticParams{},
+                  options.syntheticSeed)
+                  .nextCycle()
+            : calibration::loadCsv(options.calibrationPath,
+                                   machine);
+
+    const analysis::Linter linter(lintOptionsFor(options));
+    analysis::LintInput input;
+    input.circuit = &parsed.circuit;
+    input.physical = options.lintPhysical;
+    input.graph = &machine;
+    input.snapshot = &snapshot;
+    input.gateLines = &parsed.gateLines;
+    input.artifact = qasmPath;
+    const analysis::LintReport report = linter.run(input);
+
+    emitLintReport(options, report);
+    return report.shouldFail(linter.options().failOn) ? 1 : 0;
 }
 
 /**
@@ -375,6 +514,9 @@ runBatch(const Options &options)
     batchOptions.failFast = options.failFast;
     batchOptions.maxRetries = options.maxRetries;
     batchOptions.jobDeadlineMs = options.jobDeadlineMs;
+    batchOptions.lint = options.lint;
+    if (options.lint)
+        batchOptions.lintOptions = lintOptionsFor(options);
     core::BatchCompiler compiler(mapper, machine, batchOptions);
 
     const auto t0 = std::chrono::steady_clock::now();
@@ -432,6 +574,21 @@ runBatch(const Options &options)
     std::cout << "jobs      : " << okJobs << " ok, "
               << degradedJobs << " degraded, " << failedJobs
               << " failed, " << timedOutJobs << " timed-out\n";
+    if (options.lint) {
+        std::size_t preErrors = 0, preWarnings = 0,
+                    postErrors = 0, postWarnings = 0;
+        for (const core::BatchResult &r : results) {
+            preErrors += r.lintErrors;
+            preWarnings += r.lintWarnings;
+            postErrors += r.mappedLintErrors;
+            postWarnings += r.mappedLintWarnings;
+        }
+        std::cout << "lint      : pre-compile " << preErrors
+                  << " errors / " << preWarnings
+                  << " warnings, mapped " << postErrors
+                  << " errors / " << postWarnings
+                  << " warnings\n";
+    }
     for (const core::BatchResult &r : results) {
         if (r.status == core::JobStatus::Failed ||
             r.status == core::JobStatus::TimedOut) {
@@ -476,7 +633,9 @@ run(const Options &options)
 
     // Program.
     const std::string &qasmPath = options.qasmPaths.front();
-    const circuit::Circuit logical = loadQasm(qasmPath);
+    const circuit::ParsedQasm parsed =
+        loadQasmWithLines(qasmPath);
+    const circuit::Circuit &logical = parsed.circuit;
 
     // Machine + calibration.
     const topology::CouplingGraph machine =
@@ -489,6 +648,27 @@ run(const Options &options)
                   .nextCycle()
             : calibration::loadCsv(options.calibrationPath,
                                    machine);
+
+    // Pre-compile lint gate: findings at/above --lint-fail-on stop
+    // the run before any compile work.
+    if (options.lint) {
+        const analysis::Linter linter(lintOptionsFor(options));
+        analysis::LintInput input;
+        input.circuit = &logical;
+        input.graph = &machine;
+        input.snapshot = &snapshot;
+        input.gateLines = &parsed.gateLines;
+        input.artifact = qasmPath;
+        const analysis::LintReport report = linter.run(input);
+        if (!report.diagnostics.empty() ||
+            !options.lintOut.empty())
+            emitLintReport(options, report);
+        if (report.shouldFail(linter.options().failOn)) {
+            std::cerr << "vaqc: lint failed: " << report.summary()
+                      << "\n";
+            return 1;
+        }
+    }
 
     // Compile.
     const core::Mapper mapper =
@@ -597,7 +777,9 @@ main(int argc, char **argv)
             !options.traceOut.empty())
             obs::setEnabled(true);
         int code = 0;
-        if (options.batch) {
+        if (options.lintMode) {
+            code = runLint(options);
+        } else if (options.batch) {
             require(!options.qasmPaths.empty(),
                     "--batch needs at least one --qasm program");
             code = runBatch(options);
