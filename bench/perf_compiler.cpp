@@ -12,6 +12,8 @@
 #include "core/batch_compiler.hpp"
 #include "core/compile_cache.hpp"
 #include "core/compile_options.hpp"
+#include "store/adapter.hpp"
+#include "store/artifact_store.hpp"
 #include "workloads/workloads.hpp"
 
 namespace
@@ -218,6 +220,128 @@ BM_SequentialCompile100x4_Seed(benchmark::State &state)
         benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SequentialCompile100x4_Seed)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Cold-vs-warm compile latency over a calibration-series replay
+ * through the persistent artifact store (src/store/). The series
+ * drifts one qubit per cycle, so even a cold pass serves most of
+ * cycles 1+ via delta reuse; the warm pass replays the identical
+ * series against a populated store and compiles nothing. The two
+ * benches print as adjacent columns: the gap is the store's win.
+ */
+std::vector<circuit::Circuit>
+replayCircuits()
+{
+    std::vector<circuit::Circuit> circuits;
+    circuits.reserve(30);
+    for (int i = 0; i < 30; ++i) {
+        const int n = 4 + (i % 6);
+        circuits.push_back(i % 2 == 0
+                               ? workloads::bernsteinVazirani(n)
+                               : workloads::qft(n));
+    }
+    return circuits;
+}
+
+std::vector<calibration::Snapshot>
+driftSeries(std::size_t cycles)
+{
+    calibration::SyntheticSource source(
+        env().machine, calibration::SyntheticParams{},
+        bench::kArchiveSeed);
+    std::vector<calibration::Snapshot> series;
+    series.push_back(source.nextCycle());
+    for (std::size_t c = 1; c < cycles; ++c) {
+        calibration::Snapshot next = series.back();
+        // Recalibration touched one qubit; everything else held.
+        const int q =
+            static_cast<int>(c) % env().machine.numQubits();
+        next.qubit(q).t1Us *= 0.95;
+        next.qubit(q).readoutError *= 1.05;
+        series.push_back(next);
+    }
+    return series;
+}
+
+double
+replaySeries(core::BatchCompiler &compiler,
+             const std::vector<circuit::Circuit> &circuits,
+             const std::vector<calibration::Snapshot> &series)
+{
+    double jobs = 0.0;
+    for (const auto &snapshot : series) {
+        const auto results =
+            compiler.compileAll(circuits, {snapshot});
+        jobs += static_cast<double>(results.size());
+        benchmark::DoNotOptimize(results);
+    }
+    return jobs;
+}
+
+void
+BM_SeriesReplayColdStore(benchmark::State &state)
+{
+    const auto circuits = replayCircuits();
+    const auto series = driftSeries(4);
+    const core::Mapper mapper = core::makeMapper({.name = "vqm"});
+    double jobs = 0.0;
+    std::uint64_t compiles = 0, delta = 0;
+    for (auto _ : state) {
+        // A fresh memory-only store per pass: every pass pays the
+        // cold compiles, then rides delta reuse across cycles.
+        store::ArtifactStore artifacts(store::StoreOptions{});
+        store::ArtifactCacheAdapter cache(
+            artifacts, env().machine, {.name = "vqm"});
+        core::BatchOptions options;
+        options.scoreResults = false;
+        options.artifactCache = &cache;
+        core::BatchCompiler compiler(mapper, env().machine,
+                                     options);
+        jobs += replaySeries(compiler, circuits, series);
+        compiles += artifacts.stats().misses;
+        delta += artifacts.stats().deltaReuse;
+    }
+    state.counters["jobs_per_s"] =
+        benchmark::Counter(jobs, benchmark::Counter::kIsRate);
+    state.counters["compiles"] = static_cast<double>(compiles) /
+                                 static_cast<double>(
+                                     state.iterations());
+    state.counters["delta_reuse"] =
+        static_cast<double>(delta) /
+        static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_SeriesReplayColdStore)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime()
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_SeriesReplayWarmStore(benchmark::State &state)
+{
+    const auto circuits = replayCircuits();
+    const auto series = driftSeries(4);
+    const core::Mapper mapper = core::makeMapper({.name = "vqm"});
+    store::ArtifactStore artifacts(store::StoreOptions{});
+    store::ArtifactCacheAdapter cache(artifacts, env().machine,
+                                      {.name = "vqm"});
+    core::BatchOptions options;
+    options.scoreResults = false;
+    options.artifactCache = &cache;
+    core::BatchCompiler compiler(mapper, env().machine, options);
+    // Prime: one full pass populates the store for every cycle.
+    replaySeries(compiler, circuits, series);
+    double jobs = 0.0;
+    for (auto _ : state)
+        jobs += replaySeries(compiler, circuits, series);
+    state.counters["jobs_per_s"] =
+        benchmark::Counter(jobs, benchmark::Counter::kIsRate);
+    state.counters["store_hits"] = static_cast<double>(
+        artifacts.stats().exactHits + artifacts.stats().deltaReuse);
+}
+BENCHMARK(BM_SeriesReplayWarmStore)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime()
     ->Unit(benchmark::kMillisecond);
 
 /**

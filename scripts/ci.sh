@@ -7,12 +7,15 @@
 #   scripts/ci.sh --asan   # also run the address+UB sanitizer leg
 #
 # The default ctest run includes every label (robustness, parallel,
-# analysis, router, obs, ...). The TSan leg rebuilds into build-tsan/
-# and runs only `-L "parallel|analysis"` — the tests that exercise
-# the thread pool, the shared path caches, the batch fault paths and
-# the lint determinism checks — because the full suite under TSan is
-# too slow for a gate. The ASan leg rebuilds into build-asan/ with
-# -DVAQ_SANITIZE=address,undefined and runs the full suite.
+# analysis, store, router, obs, ...). The TSan leg rebuilds into
+# build-tsan/ and runs only `-L "parallel|analysis|store"` — the
+# tests that exercise the thread pool, the shared path caches, the
+# batch fault paths, the lint determinism checks and the shared
+# artifact store — because the full suite under TSan is too slow for
+# a gate. The ASan leg rebuilds into build-asan/ with
+# -DVAQ_SANITIZE=address,undefined and runs the full suite, then
+# re-selects the `store` label so the record parser's
+# corruption-tolerance sweeps are provably part of that leg.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,11 +43,14 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 echo "== tier-1: robustness label smoke (must select tests) =="
 ctest --test-dir build -L robustness --output-on-failure -j "$JOBS"
 
+echo "== tier-1: store label smoke (must select tests) =="
+ctest --test-dir build -L store --output-on-failure -j "$JOBS"
+
 if [ "$RUN_TSAN" -eq 1 ]; then
-    echo "== tsan leg: -DVAQ_SANITIZE=thread, ctest -L parallel|analysis =="
+    echo "== tsan leg: -DVAQ_SANITIZE=thread, ctest -L parallel|analysis|store =="
     cmake -B build-tsan -S . -DVAQ_SANITIZE=thread >/dev/null
     cmake --build build-tsan -j "$JOBS"
-    ctest --test-dir build-tsan -L "parallel|analysis" \
+    ctest --test-dir build-tsan -L "parallel|analysis|store" \
         --output-on-failure -j "$JOBS"
 fi
 
@@ -57,6 +63,10 @@ if [ "$RUN_ASAN" -eq 1 ]; then
     # cannot pass while printing runtime-error lines.
     UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
         ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+    echo "== asan leg: store label smoke (must select tests) =="
+    UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+        ctest --test-dir build-asan -L store --output-on-failure \
+        -j "$JOBS"
 fi
 
 echo "ci: all legs passed"

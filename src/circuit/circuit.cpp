@@ -6,6 +6,7 @@
 
 #include "circuit/layering.hpp"
 #include "common/error.hpp"
+#include "common/hashing.hpp"
 
 namespace vaq::circuit
 {
@@ -233,6 +234,32 @@ Circuit::remapped(const std::vector<Qubit> &permutation,
         out.append(g);
     }
     return out;
+}
+
+std::uint64_t
+Circuit::contentHash() const
+{
+    std::uint64_t h = kHashSeed;
+    h = hashCombine(h, static_cast<std::uint64_t>(_numQubits));
+    h = hashCombine(h, static_cast<std::uint64_t>(_gates.size()));
+    for (const Gate &g : _gates) {
+        // Pack kind and both operands into one word (operands are
+        // small non-negative ints, or the -1 sentinel).
+        const std::uint64_t word =
+            (static_cast<std::uint64_t>(g.kind) << 48) ^
+            (static_cast<std::uint64_t>(
+                 static_cast<std::uint32_t>(g.q0))
+             << 24) ^
+            static_cast<std::uint64_t>(
+                static_cast<std::uint32_t>(g.q1));
+        h = hashCombine(h, word);
+        if (g.isParameterized()) {
+            h = hashCombine(h, g.param);
+            h = hashCombine(h, g.param2);
+            h = hashCombine(h, g.param3);
+        }
+    }
+    return h;
 }
 
 Circuit

@@ -15,6 +15,7 @@
 #define VAQ_CIRCUIT_CIRCUIT_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -104,6 +105,15 @@ class Circuit
 
     /** Structural equality. */
     bool operator==(const Circuit &other) const = default;
+
+    /**
+     * Content hash over width and the full gate list (kind,
+     * operands, angle bit patterns with signed zeros normalized —
+     * see common/hashing.hpp). Circuits that compare equal hash
+     * equal, so the hash keys compile-artifact caches (the
+     * "circuit hash" axis of store/artifact.hpp).
+     */
+    std::uint64_t contentHash() const;
 
   private:
     void checkOperand(Qubit q) const;

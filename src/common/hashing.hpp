@@ -28,10 +28,20 @@ hashCombine(std::uint64_t h, std::uint64_t word)
     return h;
 }
 
-/** FNV-1a step over a double's bit pattern. */
+/**
+ * FNV-1a step over a double's bit pattern.
+ *
+ * Signed zeros are normalized first: -0.0 and +0.0 compare equal,
+ * so they must hash equal too, or two calibration snapshots with
+ * identical values would miss every content-hash cache (and, for
+ * the persistent artifact store, duplicate on-disk records). NaNs
+ * keep their raw bit pattern — they never compare equal anyway.
+ */
 inline std::uint64_t
 hashCombine(std::uint64_t h, double value)
 {
+    if (value == 0.0)
+        value = 0.0; // collapse -0.0 onto +0.0
     return hashCombine(h, std::bit_cast<std::uint64_t>(value));
 }
 

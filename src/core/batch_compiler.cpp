@@ -306,6 +306,52 @@ BatchCompiler::compile(
             BatchResult result(job.circuit, job.snapshot,
                                placeholderMapped(), 0.0);
 
+            // Artifact-cache lookup: a stored compile for this
+            // exact (circuit, snapshot, machine, policy) key — or
+            // one whose calibration dependencies survived the
+            // snapshot change (delta reuse) — replaces the whole
+            // attempt loop. Only clean snapshots are eligible: a
+            // quarantined machine compiles against a synthesized
+            // cleaned snapshot whose content the key does not
+            // describe. failFast keeps the legacy path untouched.
+            ArtifactCacheHook *artifacts =
+                _options.failFast ? nullptr
+                                  : _options.artifactCache;
+            if (artifacts &&
+                state.kind == SnapshotState::Kind::Clean) {
+                std::optional<ArtifactHit> hit = artifacts->lookup(
+                    circuits[job.circuit], snapshots[job.snapshot]);
+                if (hit.has_value()) {
+                    if (telemetry) {
+                        obs::count("store.hits");
+                        if (hit->viaDelta)
+                            obs::count("store.delta_reuse");
+                    }
+                    result.mapped = std::move(hit->mapped);
+                    // Prefer the PST recorded at store time; an
+                    // artifact stored by a non-scoring batch
+                    // carries 0 and is re-scored (deterministic —
+                    // the analytic model needs no sampling).
+                    result.analyticPst =
+                        !_options.scoreResults ? 0.0
+                        : hit->analyticPst != 0.0
+                            ? hit->analyticPst
+                            : scoreAttempt(result.mapped, job,
+                                           state);
+                    result.status = JobStatus::Ok;
+                    result.attempts = 0;
+                    result.fromStore = true;
+                    result.policyUsed = std::move(hit->policyUsed);
+                    result.mappedLintErrors = hit->mappedLintErrors;
+                    result.mappedLintWarnings =
+                        hit->mappedLintWarnings;
+                    finish(i, std::move(result));
+                    return;
+                }
+                if (telemetry)
+                    obs::count("store.misses");
+            }
+
             const calibration::Snapshot &effective =
                 state.kind == SnapshotState::Kind::Degraded
                     ? state.sanitized->snapshot
@@ -423,6 +469,30 @@ BatchCompiler::compile(
         for (const std::exception_ptr &error : errors) {
             if (error)
                 std::rethrow_exception(error);
+        }
+    }
+
+    // Deferred artifact-store writes: every fresh Ok compile of the
+    // primary policy on a clean snapshot is recorded only now, after
+    // all workers have drained. Recording mid-batch would let a
+    // later job hit an artifact an earlier job just stored, making
+    // results depend on scheduling order — this keeps a batch a pure
+    // function of (jobs, store-state-at-entry) at any thread count.
+    if (_options.artifactCache && !_options.failFast) {
+        for (const std::optional<BatchResult> &slot : slots) {
+            if (!slot.has_value())
+                continue;
+            const BatchResult &result = *slot;
+            if (result.fromStore ||
+                result.status != JobStatus::Ok ||
+                result.attempts != 1)
+                continue;
+            const SnapshotState &state = *states[result.snapshot];
+            if (state.kind != SnapshotState::Kind::Clean)
+                continue;
+            _options.artifactCache->record(
+                circuits[result.circuit],
+                snapshots[result.snapshot], result);
         }
     }
 

@@ -40,6 +40,7 @@
 #define VAQ_CORE_BATCH_COMPILER_HPP
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,64 @@ struct BatchJob
 {
     std::size_t circuit = 0;
     std::size_t snapshot = 0;
+};
+
+struct BatchResult;
+
+/** A compile served out of an artifact cache instead of running
+ *  the mapper (see ArtifactCacheHook). */
+struct ArtifactHit
+{
+    MappedCircuit mapped;
+    /** PST estimate recorded when the artifact was stored. */
+    double analyticPst = 0.0;
+    /** Mapped-circuit lint counts recorded at store time. */
+    std::size_t mappedLintErrors = 0;
+    std::size_t mappedLintWarnings = 0;
+    /** Policy that produced the stored mapping. */
+    std::string policyUsed;
+    /** True when the hit came through delta reuse (the stored
+     *  artifact's calibration dependencies survived a snapshot
+     *  change) rather than an exact key match. */
+    bool viaDelta = false;
+
+    explicit ArtifactHit(MappedCircuit mapped_in)
+        : mapped(std::move(mapped_in))
+    {}
+};
+
+/**
+ * Compile-artifact cache consulted by BatchCompiler around each
+ * job. Implemented by store::ArtifactCacheAdapter over the
+ * persistent content-addressed store (store/artifact_store.hpp);
+ * core only sees this interface so the store library can depend on
+ * core types without a cycle.
+ *
+ * Threading contract: lookup() is called concurrently from worker
+ * threads and must be thread-safe; record() is only called from
+ * the thread running BatchCompiler::compile, after every worker
+ * has finished. BatchCompiler defers all record() calls to the end
+ * of the batch so lookups observe the store exactly as it was when
+ * the batch started — that is what keeps batch results
+ * bit-identical across thread counts even when one batch contains
+ * duplicate jobs.
+ */
+class ArtifactCacheHook
+{
+  public:
+    virtual ~ArtifactCacheHook() = default;
+
+    /** Best stored artifact for (logical, snapshot) under the
+     *  machine and policy the cache was configured with, or
+     *  nullopt on a miss. */
+    virtual std::optional<ArtifactHit>
+    lookup(const circuit::Circuit &logical,
+           const calibration::Snapshot &snapshot) = 0;
+
+    /** Persist one freshly compiled Ok result. */
+    virtual void record(const circuit::Circuit &logical,
+                        const calibration::Snapshot &snapshot,
+                        const BatchResult &result) = 0;
 };
 
 /** Batch-compiler knobs. */
@@ -93,6 +152,18 @@ struct BatchOptions
     bool lint = false;
     /** Rule selection and thresholds for the lint passes. */
     analysis::LintOptions lintOptions;
+    /**
+     * Optional persistent artifact cache (not owned; must outlive
+     * the compiler). When set, each job on a clean snapshot first
+     * consults the cache — a hit skips the compile entirely
+     * (BatchResult::fromStore, attempts == 0), including both lint
+     * passes: its lint counts are the ones recorded when the
+     * artifact was stored — and every fresh
+     * JobStatus::Ok result compiled with the primary policy is
+     * recorded after the batch completes. Ignored under failFast
+     * (legacy semantics stay byte-for-byte identical).
+     */
+    ArtifactCacheHook *artifactCache = nullptr;
 };
 
 /** Terminal state of one batch job. */
@@ -124,7 +195,8 @@ struct BatchResult
     /** Why a Degraded result is degraded (fallback policy and/or
      *  quarantine summary); empty otherwise. */
     std::string note;
-    /** Compile attempts consumed (>= 1 unless rejected up front). */
+    /** Compile attempts consumed (>= 1 unless rejected up front
+     *  or served from the artifact cache — both report 0). */
     int attempts = 1;
     /** Name of the policy that produced `mapped`; empty on failure. */
     std::string policyUsed;
@@ -136,6 +208,9 @@ struct BatchResult
      *  circuit; zero when linting is off or the job failed. */
     std::size_t mappedLintErrors = 0;
     std::size_t mappedLintWarnings = 0;
+    /** True when `mapped` came from the artifact cache (exact or
+     *  delta hit) instead of a compile; attempts is 0 then. */
+    bool fromStore = false;
 
     BatchResult(std::size_t circuit_index,
                 std::size_t snapshot_index, MappedCircuit mapped_in,

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/hashing.hpp"
 #include "core/compile_options.hpp"
 #include "obs/metrics.hpp"
@@ -47,6 +48,9 @@ struct PlanStore
     std::uint64_t useCounter = 0;
     std::size_t hits = 0;
     std::size_t misses = 0;
+    /** Bumped by invalidatePathCaches(), in lock-step with the
+     *  matrix cache's epoch (see PathCacheStats::planEpoch). */
+    std::uint64_t epoch = 0;
 };
 
 PlanStore &
@@ -168,10 +172,16 @@ sharedPlanCache(const topology::CouplingGraph &graph,
 void
 invalidatePathCaches()
 {
+    // The matrix cache owns the only other epoch counter, and this
+    // is the only call site of either invalidate — so the two
+    // epochs cannot drift apart at rest. The plan store's epoch is
+    // bumped alongside its clear to keep that invariant observable
+    // (PathCacheStats reports both).
     matrixCache().invalidate();
     PlanStore &store = planStore();
     const std::lock_guard<std::mutex> lock(store.mutex);
     store.entries.clear();
+    ++store.epoch;
 }
 
 PathCacheStats
@@ -181,12 +191,16 @@ pathCacheStats()
     stats.matrixHits = matrixCache().hits();
     stats.matrixMisses = matrixCache().misses();
     stats.matrixEntries = matrixCache().size();
-    stats.epoch = matrixCache().epoch();
+    stats.matrixEpoch = matrixCache().epoch();
+    stats.epoch = stats.matrixEpoch;
     PlanStore &store = planStore();
     const std::lock_guard<std::mutex> lock(store.mutex);
     stats.planHits = store.hits;
     stats.planMisses = store.misses;
     stats.planEntries = store.entries.size();
+    stats.planEpoch = store.epoch;
+    VAQ_ASSERT(stats.planEpoch <= stats.matrixEpoch,
+               "plan-cache epoch ran ahead of the matrix epoch");
     return stats;
 }
 

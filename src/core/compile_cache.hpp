@@ -107,6 +107,18 @@ struct PathCacheStats
     std::size_t planHits = 0;
     std::size_t planMisses = 0;
     std::size_t planEntries = 0;
+    /**
+     * Calibration epoch as seen by each store. Both advance only
+     * inside invalidatePathCaches(), so at rest they are equal;
+     * they are bumped under separate locks, so a reader racing an
+     * invalidation may observe matrixEpoch == planEpoch + 1 for
+     * the duration of that call — never a larger gap, and never
+     * planEpoch ahead of matrixEpoch.
+     */
+    std::uint64_t matrixEpoch = 0;
+    std::uint64_t planEpoch = 0;
+    /** The shared calibration epoch (alias of matrixEpoch, kept
+     *  for existing callers). */
     std::uint64_t epoch = 0;
 };
 

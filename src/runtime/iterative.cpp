@@ -49,6 +49,9 @@ TrialLog::inferredOutcome() const
     require(!outcomes.empty(), "empty output log");
     std::uint64_t best = 0;
     std::size_t bestCount = 0;
+    // Ascending-key walk with a strict > replacement: ties resolve
+    // to the lowest outcome, keeping inference deterministic (see
+    // the header contract).
     for (const auto &[outcome, count] : outcomes) {
         if (count > bestCount) {
             bestCount = count;
@@ -61,7 +64,13 @@ TrialLog::inferredOutcome() const
 double
 TrialLog::confidence() const
 {
+    // Guard everything inferredOutcome() and frequencyOf() need up
+    // front, so a malformed log (trials recorded but no outcomes,
+    // or vice versa) fails here with a message naming the actual
+    // inconsistency instead of a misleading error from a callee.
     require(trials > 0, "empty output log");
+    require(!outcomes.empty(),
+            "output log records trials but no outcomes");
     return frequencyOf(inferredOutcome());
 }
 

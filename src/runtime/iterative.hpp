@@ -41,10 +41,22 @@ struct TrialLog
     std::map<std::uint64_t, std::size_t> outcomes;
     std::size_t trials = 0;
 
-    /** Most frequent outcome (throws VaqError when empty). */
+    /**
+     * Most frequent outcome. Ties are broken toward the
+     * numerically lowest outcome: the scan walks `outcomes` in
+     * std::map (ascending key) order and replaces the best only on
+     * a strictly greater count, so inference is deterministic for
+     * any insertion order. Throws VaqError when the log is empty.
+     */
     std::uint64_t inferredOutcome() const;
 
-    /** Fraction of trials landing on the inferred outcome. */
+    /**
+     * Fraction of trials landing on the inferred outcome. Throws
+     * VaqError when the log is empty — including the malformed
+     * "trials > 0 but no recorded outcomes" state, which is
+     * rejected here with its own message rather than surfacing as
+     * inferredOutcome()'s generic empty-log error.
+     */
     double confidence() const;
 
     /** Fraction of trials landing on `outcome`. */

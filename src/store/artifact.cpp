@@ -1,0 +1,480 @@
+#include "store/artifact.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/dataflow.hpp"
+#include "common/hashing.hpp"
+
+namespace vaq::store
+{
+
+namespace
+{
+
+/** 16-digit lowercase hex of a 64-bit word. */
+std::string
+hexWord(std::uint64_t word)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(word));
+    return std::string(buf);
+}
+
+/** Doubles travel as bit patterns: exact round-trip, no locale. */
+std::string
+hexDouble(double value)
+{
+    if (value == 0.0)
+        value = 0.0; // match the normalized content hashes
+    return hexWord(std::bit_cast<std::uint64_t>(value));
+}
+
+/** Parse a 16-digit hex word; throws on any malformation. */
+std::uint64_t
+parseHexWord(const std::string &token)
+{
+    if (token.size() != 16)
+        throw std::invalid_argument("bad hex word");
+    std::uint64_t word = 0;
+    for (const char c : token) {
+        word <<= 4;
+        if (c >= '0' && c <= '9')
+            word |= static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            word |= static_cast<std::uint64_t>(c - 'a' + 10);
+        else
+            throw std::invalid_argument("bad hex digit");
+    }
+    return word;
+}
+
+double
+parseHexDouble(const std::string &token)
+{
+    return std::bit_cast<double>(parseHexWord(token));
+}
+
+/** FNV-1a over a byte range (the record checksum). */
+std::uint64_t
+checksumBytes(const std::string &bytes)
+{
+    std::uint64_t h = kHashSeed;
+    for (const unsigned char c : bytes)
+        h = hashCombine(h, static_cast<std::uint64_t>(c));
+    return h;
+}
+
+/** Reject absurd counts from damaged length fields before any
+ *  allocation happens. */
+constexpr std::size_t kMaxListLength = 1u << 22;
+
+/** Line-oriented reader whose every helper throws on malformed
+ *  input — parseArtifact() catches and converts to a miss. */
+class RecordReader
+{
+  public:
+    explicit RecordReader(const std::string &text) : _in(text) {}
+
+    /** Next line split into whitespace tokens; first token must be
+     *  `tag`. Returns the remaining tokens. */
+    std::vector<std::string> line(const char *tag)
+    {
+        std::string raw;
+        if (!std::getline(_in, raw))
+            throw std::invalid_argument("record truncated");
+        std::istringstream fields(raw);
+        std::string head;
+        if (!(fields >> head) || head != tag)
+            throw std::invalid_argument("unexpected record line");
+        std::vector<std::string> tokens;
+        std::string token;
+        while (fields >> token)
+            tokens.push_back(std::move(token));
+        return tokens;
+    }
+
+  private:
+    std::istringstream _in;
+};
+
+long
+parseCount(const std::string &token, long max)
+{
+    std::size_t used = 0;
+    const long value = std::stol(token, &used);
+    if (used != token.size() || value < 0 || value > max)
+        throw std::invalid_argument("count out of range");
+    return value;
+}
+
+} // namespace
+
+std::uint64_t
+ArtifactKey::combined() const
+{
+    std::uint64_t h = hashCombine(kHashSeed, circuitHash);
+    h = hashCombine(h, snapshotHash);
+    h = hashCombine(h, topologyHash);
+    return hashCombine(h, policyHash);
+}
+
+std::uint64_t
+ArtifactKey::baseHash() const
+{
+    std::uint64_t h = hashCombine(kHashSeed, circuitHash);
+    h = hashCombine(h, topologyHash);
+    return hashCombine(h, policyHash);
+}
+
+std::string
+ArtifactKey::fileName() const
+{
+    return hexWord(combined()) + ".vaqart";
+}
+
+std::uint64_t
+policySpecHash(const core::PolicySpec &spec)
+{
+    std::uint64_t h = kHashSeed;
+    for (const unsigned char c : spec.name)
+        h = hashCombine(h, static_cast<std::uint64_t>(c));
+    h = hashCombine(h, static_cast<std::uint64_t>(
+                           static_cast<std::int64_t>(spec.mah)));
+    return hashCombine(h, spec.seed);
+}
+
+ArtifactKey
+makeArtifactKey(const circuit::Circuit &logical,
+                const topology::CouplingGraph &graph,
+                const calibration::Snapshot &snapshot,
+                const core::PolicySpec &spec)
+{
+    ArtifactKey key;
+    key.circuitHash = logical.contentHash();
+    key.snapshotHash = snapshot.contentHash();
+    key.topologyHash = graph.topologyHash();
+    key.policyHash = policySpecHash(spec);
+    return key;
+}
+
+CompileArtifact
+makeArtifact(const core::MappedCircuit &mapped, double analytic_pst,
+             std::size_t mapped_lint_errors,
+             std::size_t mapped_lint_warnings,
+             const topology::CouplingGraph &graph,
+             const calibration::Snapshot &snapshot)
+{
+    CompileArtifact artifact;
+    artifact.numProgQubits = mapped.initial.numProg();
+    artifact.numPhysQubits = mapped.initial.numPhys();
+    artifact.physical = mapped.physical;
+    artifact.initialLayout = mapped.initial.progToPhys();
+    artifact.finalLayout = mapped.final.progToPhys();
+    artifact.insertedSwaps = mapped.insertedSwaps;
+    artifact.policyUsed = mapped.policyName;
+    artifact.analyticPst = analytic_pst;
+    artifact.mappedLintErrors = mapped_lint_errors;
+    artifact.mappedLintWarnings = mapped_lint_warnings;
+    artifact.durations = snapshot.durations;
+
+    // Touched qubits from the dataflow chains over the physical
+    // circuit; touched links from its two-qubit gates. These sets —
+    // not the full machine — are what the artifact depends on.
+    const analysis::DataflowAnalysis dataflow(mapped.physical,
+                                              snapshot.durations);
+    for (int q = 0; q < mapped.physical.numQubits(); ++q) {
+        if (!dataflow.chain(q).touched())
+            continue;
+        artifact.touchedQubits.push_back(q);
+        const calibration::QubitCalibration &cal = snapshot.qubit(q);
+        artifact.qubitDeps.push_back(cal.t1Us);
+        artifact.qubitDeps.push_back(cal.t2Us);
+        artifact.qubitDeps.push_back(cal.error1q);
+        artifact.qubitDeps.push_back(cal.readoutError);
+    }
+    std::set<std::size_t> links;
+    for (const circuit::Gate &gate : mapped.physical.gates()) {
+        if (gate.isTwoQubit())
+            links.insert(graph.linkIndex(gate.q0, gate.q1));
+    }
+    for (const std::size_t l : links) {
+        artifact.touchedLinks.push_back(l);
+        artifact.linkDeps.push_back(snapshot.linkError(l));
+    }
+    return artifact;
+}
+
+core::MappedCircuit
+toMapped(const CompileArtifact &artifact)
+{
+    core::MappedCircuit mapped(artifact.numProgQubits,
+                               artifact.numPhysQubits);
+    mapped.physical = artifact.physical;
+    for (int prog = 0; prog < artifact.numProgQubits; ++prog) {
+        mapped.initial.assign(prog, artifact.initialLayout[prog]);
+        mapped.final.assign(prog, artifact.finalLayout[prog]);
+    }
+    mapped.insertedSwaps = artifact.insertedSwaps;
+    mapped.policyName = artifact.policyUsed;
+    return mapped;
+}
+
+bool
+reusableUnder(const CompileArtifact &artifact,
+              const calibration::Snapshot &snapshot)
+{
+    const calibration::GateDurations &d = snapshot.durations;
+    if (d.oneQubitNs != artifact.durations.oneQubitNs ||
+        d.twoQubitNs != artifact.durations.twoQubitNs ||
+        d.measureNs != artifact.durations.measureNs)
+        return false;
+    for (std::size_t i = 0; i < artifact.touchedQubits.size(); ++i) {
+        const int q = artifact.touchedQubits[i];
+        if (q < 0 || q >= snapshot.numQubits())
+            return false;
+        const calibration::QubitCalibration &cal = snapshot.qubit(q);
+        const double *deps = &artifact.qubitDeps[i * 4];
+        if (cal.t1Us != deps[0] || cal.t2Us != deps[1] ||
+            cal.error1q != deps[2] || cal.readoutError != deps[3])
+            return false;
+    }
+    for (std::size_t i = 0; i < artifact.touchedLinks.size(); ++i) {
+        const std::size_t l = artifact.touchedLinks[i];
+        if (l >= snapshot.numLinks() ||
+            snapshot.linkError(l) != artifact.linkDeps[i])
+            return false;
+    }
+    return true;
+}
+
+std::string
+serializeArtifact(const ArtifactKey &key,
+                  const CompileArtifact &artifact)
+{
+    std::ostringstream out;
+    out << "vaqart " << kArtifactVersion << '\n';
+    out << "key " << hexWord(key.circuitHash) << ' '
+        << hexWord(key.snapshotHash) << ' '
+        << hexWord(key.topologyHash) << ' '
+        << hexWord(key.policyHash) << '\n';
+    out << "shape " << artifact.numProgQubits << ' '
+        << artifact.numPhysQubits << '\n';
+    out << "policy "
+        << (artifact.policyUsed.empty() ? "-" : artifact.policyUsed)
+        << '\n';
+    out << "swaps " << artifact.insertedSwaps << '\n';
+    out << "pst " << hexDouble(artifact.analyticPst) << '\n';
+    out << "lint " << artifact.mappedLintErrors << ' '
+        << artifact.mappedLintWarnings << '\n';
+    out << "dur " << hexDouble(artifact.durations.oneQubitNs) << ' '
+        << hexDouble(artifact.durations.twoQubitNs) << ' '
+        << hexDouble(artifact.durations.measureNs) << '\n';
+    out << "init";
+    for (const int p : artifact.initialLayout)
+        out << ' ' << p;
+    out << '\n';
+    out << "final";
+    for (const int p : artifact.finalLayout)
+        out << ' ' << p;
+    out << '\n';
+    out << "gates " << artifact.physical.gates().size() << '\n';
+    for (const circuit::Gate &gate : artifact.physical.gates()) {
+        out << "g " << circuit::gateName(gate.kind) << ' ' << gate.q0
+            << ' ' << gate.q1 << ' ' << hexDouble(gate.param) << ' '
+            << hexDouble(gate.param2) << ' '
+            << hexDouble(gate.param3) << '\n';
+    }
+    out << "qdeps " << artifact.touchedQubits.size() << '\n';
+    for (std::size_t i = 0; i < artifact.touchedQubits.size(); ++i) {
+        out << "q " << artifact.touchedQubits[i];
+        for (std::size_t j = 0; j < 4; ++j)
+            out << ' ' << hexDouble(artifact.qubitDeps[i * 4 + j]);
+        out << '\n';
+    }
+    out << "ldeps " << artifact.touchedLinks.size() << '\n';
+    for (std::size_t i = 0; i < artifact.touchedLinks.size(); ++i) {
+        out << "l " << artifact.touchedLinks[i] << ' '
+            << hexDouble(artifact.linkDeps[i]) << '\n';
+    }
+    std::string payload = out.str();
+    payload += "sum " + hexWord(checksumBytes(payload)) + '\n';
+    return payload;
+}
+
+std::optional<std::pair<ArtifactKey, CompileArtifact>>
+parseArtifact(const std::string &text)
+{
+    try {
+        // A record always ends with a newline; a byte-for-byte
+        // prefix of a record (torn write, truncated file) must
+        // never parse, not even one that only lost the final '\n'.
+        if (text.empty() || text.back() != '\n')
+            return std::nullopt;
+        // The checksum line is last; everything before it is the
+        // checksummed payload. Damage anywhere — including inside
+        // the sum line itself — fails here.
+        const std::size_t sum_pos = text.rfind("sum ");
+        if (sum_pos == std::string::npos ||
+            (sum_pos != 0 && text[sum_pos - 1] != '\n'))
+            return std::nullopt;
+        std::istringstream sum_line(text.substr(sum_pos + 4));
+        std::string sum_token;
+        if (!(sum_line >> sum_token))
+            return std::nullopt;
+        const std::string payload = text.substr(0, sum_pos);
+        if (checksumBytes(payload) != parseHexWord(sum_token))
+            return std::nullopt;
+
+        RecordReader reader(payload);
+        const std::vector<std::string> version =
+            reader.line("vaqart");
+        if (version.size() != 1 ||
+            parseCount(version[0], 1000) != kArtifactVersion)
+            return std::nullopt;
+
+        ArtifactKey key;
+        const std::vector<std::string> key_tokens =
+            reader.line("key");
+        if (key_tokens.size() != 4)
+            return std::nullopt;
+        key.circuitHash = parseHexWord(key_tokens[0]);
+        key.snapshotHash = parseHexWord(key_tokens[1]);
+        key.topologyHash = parseHexWord(key_tokens[2]);
+        key.policyHash = parseHexWord(key_tokens[3]);
+
+        CompileArtifact artifact;
+        const std::vector<std::string> shape =
+            reader.line("shape");
+        if (shape.size() != 2)
+            return std::nullopt;
+        artifact.numProgQubits = static_cast<int>(
+            parseCount(shape[0], kMaxListLength));
+        artifact.numPhysQubits = static_cast<int>(
+            parseCount(shape[1], kMaxListLength));
+        if (artifact.numProgQubits < 1 ||
+            artifact.numPhysQubits < artifact.numProgQubits)
+            return std::nullopt;
+
+        const std::vector<std::string> policy =
+            reader.line("policy");
+        if (policy.size() != 1)
+            return std::nullopt;
+        artifact.policyUsed = policy[0] == "-" ? "" : policy[0];
+
+        const std::vector<std::string> swaps =
+            reader.line("swaps");
+        if (swaps.size() != 1)
+            return std::nullopt;
+        artifact.insertedSwaps = static_cast<std::size_t>(
+            parseCount(swaps[0], 1L << 40));
+
+        const std::vector<std::string> pst = reader.line("pst");
+        if (pst.size() != 1)
+            return std::nullopt;
+        artifact.analyticPst = parseHexDouble(pst[0]);
+
+        const std::vector<std::string> lint = reader.line("lint");
+        if (lint.size() != 2)
+            return std::nullopt;
+        artifact.mappedLintErrors = static_cast<std::size_t>(
+            parseCount(lint[0], 1L << 40));
+        artifact.mappedLintWarnings = static_cast<std::size_t>(
+            parseCount(lint[1], 1L << 40));
+
+        const std::vector<std::string> dur = reader.line("dur");
+        if (dur.size() != 3)
+            return std::nullopt;
+        artifact.durations.oneQubitNs = parseHexDouble(dur[0]);
+        artifact.durations.twoQubitNs = parseHexDouble(dur[1]);
+        artifact.durations.measureNs = parseHexDouble(dur[2]);
+
+        const auto parse_layout =
+            [&artifact](const std::vector<std::string> &tokens) {
+                std::vector<int> layout;
+                layout.reserve(tokens.size());
+                for (const std::string &token : tokens)
+                    layout.push_back(static_cast<int>(parseCount(
+                        token, artifact.numPhysQubits - 1)));
+                return layout;
+            };
+        artifact.initialLayout = parse_layout(reader.line("init"));
+        artifact.finalLayout = parse_layout(reader.line("final"));
+        if (static_cast<int>(artifact.initialLayout.size()) !=
+                artifact.numProgQubits ||
+            static_cast<int>(artifact.finalLayout.size()) !=
+                artifact.numProgQubits)
+            return std::nullopt;
+
+        const std::vector<std::string> gate_count =
+            reader.line("gates");
+        if (gate_count.size() != 1)
+            return std::nullopt;
+        const long num_gates =
+            parseCount(gate_count[0], kMaxListLength);
+        circuit::Circuit physical(artifact.numPhysQubits);
+        for (long i = 0; i < num_gates; ++i) {
+            const std::vector<std::string> g = reader.line("g");
+            if (g.size() != 6)
+                return std::nullopt;
+            circuit::Gate gate;
+            gate.kind = circuit::gateKindFromName(g[0]);
+            // Operands may be the kNoQubit sentinel (-1); range
+            // checking is Circuit::append's job and a throw there
+            // is a miss like any other damage.
+            gate.q0 = std::stoi(g[1]);
+            gate.q1 = std::stoi(g[2]);
+            gate.param = parseHexDouble(g[3]);
+            gate.param2 = parseHexDouble(g[4]);
+            gate.param3 = parseHexDouble(g[5]);
+            physical.append(gate);
+        }
+        artifact.physical = std::move(physical);
+
+        const std::vector<std::string> qdep_count =
+            reader.line("qdeps");
+        if (qdep_count.size() != 1)
+            return std::nullopt;
+        const long num_qdeps =
+            parseCount(qdep_count[0], kMaxListLength);
+        for (long i = 0; i < num_qdeps; ++i) {
+            const std::vector<std::string> q = reader.line("q");
+            if (q.size() != 5)
+                return std::nullopt;
+            artifact.touchedQubits.push_back(static_cast<int>(
+                parseCount(q[0], artifact.numPhysQubits - 1)));
+            for (std::size_t j = 1; j < 5; ++j)
+                artifact.qubitDeps.push_back(parseHexDouble(q[j]));
+        }
+
+        const std::vector<std::string> ldep_count =
+            reader.line("ldeps");
+        if (ldep_count.size() != 1)
+            return std::nullopt;
+        const long num_ldeps =
+            parseCount(ldep_count[0], kMaxListLength);
+        for (long i = 0; i < num_ldeps; ++i) {
+            const std::vector<std::string> l = reader.line("l");
+            if (l.size() != 2)
+                return std::nullopt;
+            artifact.touchedLinks.push_back(static_cast<std::size_t>(
+                parseCount(l[0], kMaxListLength)));
+            artifact.linkDeps.push_back(parseHexDouble(l[1]));
+        }
+
+        // Reconstruct the layouts once here so a damaged-but-
+        // checksum-colliding record (or a record written by a buggy
+        // producer) can never throw later inside a batch.
+        (void)toMapped(artifact);
+        return std::make_pair(key, std::move(artifact));
+    }
+    catch (...) {
+        return std::nullopt;
+    }
+}
+
+} // namespace vaq::store

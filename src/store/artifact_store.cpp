@@ -1,0 +1,284 @@
+#include "store/artifact_store.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace fs = std::filesystem;
+
+namespace vaq::store
+{
+
+namespace
+{
+
+/** Whole-file read; nullopt on any I/O failure. */
+std::optional<std::string>
+readFile(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad())
+        return std::nullopt;
+    return buffer.str();
+}
+
+} // namespace
+
+ArtifactStore::ArtifactStore(StoreOptions options)
+    : _options(std::move(options))
+{
+    if (_options.maxEntries == 0)
+        _options.maxEntries = 1;
+    warmStart();
+}
+
+void
+ArtifactStore::warmStart()
+{
+    if (_options.directory.empty())
+        return;
+    std::error_code ec;
+    fs::create_directories(_options.directory, ec);
+    if (ec)
+        return; // memory-only from here; puts will count failures
+    // Sort the listing so warm-start order (and therefore any
+    // eviction it triggers) is independent of directory iteration
+    // order.
+    std::vector<fs::path> records;
+    for (const fs::directory_entry &entry :
+         fs::directory_iterator(_options.directory, ec)) {
+        if (entry.path().extension() == ".vaqart")
+            records.push_back(entry.path());
+    }
+    std::sort(records.begin(), records.end());
+    const std::lock_guard<std::mutex> lock(_mutex);
+    for (const fs::path &path : records) {
+        const std::optional<std::string> text = readFile(path);
+        std::optional<std::pair<ArtifactKey, CompileArtifact>>
+            record;
+        if (text.has_value())
+            record = parseArtifact(*text);
+        if (!record.has_value()) {
+            ++_stats.corruptRecords;
+            obs::count("store.corrupt");
+            continue;
+        }
+        Entry entry;
+        entry.key = record->first;
+        entry.artifact = std::move(record->second);
+        entry.lastUsed = ++_useCounter;
+        const std::uint64_t combined = entry.key.combined();
+        if (_entries.emplace(combined, std::move(entry)).second) {
+            std::vector<std::uint64_t> &bucket =
+                _byBase[record->first.baseHash()];
+            bucket.insert(std::lower_bound(bucket.begin(),
+                                           bucket.end(), combined),
+                          combined);
+            ++_stats.warmLoaded;
+            evictIfNeeded();
+        }
+    }
+}
+
+void
+ArtifactStore::touchEntry(Entry &entry)
+{
+    entry.lastUsed = ++_useCounter;
+}
+
+std::optional<CompileArtifact>
+ArtifactStore::get(const ArtifactKey &key)
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    const auto it = _entries.find(key.combined());
+    if (it == _entries.end() || !(it->second.key == key)) {
+        ++_stats.misses;
+        return std::nullopt;
+    }
+    touchEntry(it->second);
+    ++_stats.exactHits;
+    ++_stats.hits;
+    return it->second.artifact;
+}
+
+std::optional<CompileArtifact>
+ArtifactStore::getOrDelta(const ArtifactKey &key,
+                          const calibration::Snapshot &snapshot,
+                          bool *via_delta)
+{
+    if (via_delta != nullptr)
+        *via_delta = false;
+    const std::lock_guard<std::mutex> lock(_mutex);
+    const auto exact = _entries.find(key.combined());
+    if (exact != _entries.end() && exact->second.key == key) {
+        touchEntry(exact->second);
+        ++_stats.exactHits;
+        ++_stats.hits;
+        return exact->second.artifact;
+    }
+    if (_options.deltaReuse) {
+        const auto bucket = _byBase.find(key.baseHash());
+        if (bucket != _byBase.end()) {
+            for (const std::uint64_t combined : bucket->second) {
+                const auto it = _entries.find(combined);
+                if (it == _entries.end())
+                    continue;
+                Entry &candidate = it->second;
+                if (candidate.key.circuitHash != key.circuitHash ||
+                    candidate.key.topologyHash != key.topologyHash ||
+                    candidate.key.policyHash != key.policyHash)
+                    continue;
+                if (!reusableUnder(candidate.artifact, snapshot))
+                    continue;
+                touchEntry(candidate);
+                ++_stats.deltaReuse;
+                ++_stats.hits;
+                CompileArtifact artifact = candidate.artifact;
+                // Alias the artifact under the new snapshot's key
+                // so the rest of this cycle hits exactly. Memory
+                // only: the record on disk stays singular.
+                Entry alias;
+                alias.key = key;
+                alias.artifact = artifact;
+                alias.lastUsed = ++_useCounter;
+                alias.aliasOnly = true;
+                const std::uint64_t alias_combined = key.combined();
+                if (_entries.emplace(alias_combined,
+                                     std::move(alias))
+                        .second) {
+                    std::vector<std::uint64_t> &base_bucket =
+                        _byBase[key.baseHash()];
+                    base_bucket.insert(
+                        std::lower_bound(base_bucket.begin(),
+                                         base_bucket.end(),
+                                         alias_combined),
+                        alias_combined);
+                    evictIfNeeded();
+                }
+                if (via_delta != nullptr)
+                    *via_delta = true;
+                return artifact;
+            }
+        }
+    }
+    ++_stats.misses;
+    return std::nullopt;
+}
+
+void
+ArtifactStore::put(const ArtifactKey &key, CompileArtifact artifact)
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    persist(key, artifact);
+    ++_stats.writes;
+    const std::uint64_t combined = key.combined();
+    const auto it = _entries.find(combined);
+    if (it != _entries.end()) {
+        it->second.key = key;
+        it->second.artifact = std::move(artifact);
+        it->second.aliasOnly = false;
+        touchEntry(it->second);
+        return;
+    }
+    Entry entry;
+    entry.key = key;
+    entry.artifact = std::move(artifact);
+    entry.lastUsed = ++_useCounter;
+    _entries.emplace(combined, std::move(entry));
+    std::vector<std::uint64_t> &bucket = _byBase[key.baseHash()];
+    bucket.insert(
+        std::lower_bound(bucket.begin(), bucket.end(), combined),
+        combined);
+    evictIfNeeded();
+}
+
+void
+ArtifactStore::persist(const ArtifactKey &key,
+                       const CompileArtifact &artifact)
+{
+    if (_options.directory.empty())
+        return;
+    const fs::path final_path =
+        fs::path(_options.directory) / key.fileName();
+    const fs::path tmp_path = final_path.string() + ".tmp";
+    std::error_code ec;
+    fs::create_directories(_options.directory, ec);
+    {
+        std::ofstream out(tmp_path, std::ios::binary);
+        if (out)
+            out << serializeArtifact(key, artifact);
+        if (!out) {
+            ++_stats.writeFailures;
+            fs::remove(tmp_path, ec);
+            return;
+        }
+    }
+    // Atomic publish: readers see the old record or the new one,
+    // never a torn write.
+    fs::rename(tmp_path, final_path, ec);
+    if (ec) {
+        ++_stats.writeFailures;
+        fs::remove(tmp_path, ec);
+    }
+}
+
+void
+ArtifactStore::evictIfNeeded()
+{
+    while (_entries.size() > _options.maxEntries) {
+        auto victim = _entries.begin();
+        for (auto it = _entries.begin(); it != _entries.end();
+             ++it) {
+            if (it->second.lastUsed < victim->second.lastUsed)
+                victim = it;
+        }
+        const ArtifactKey key = victim->second.key;
+        const bool owns_file =
+            !victim->second.aliasOnly && !_options.directory.empty();
+        const std::uint64_t combined = victim->first;
+        _entries.erase(victim);
+        const auto bucket = _byBase.find(key.baseHash());
+        if (bucket != _byBase.end()) {
+            auto &keys = bucket->second;
+            keys.erase(
+                std::remove(keys.begin(), keys.end(), combined),
+                keys.end());
+            if (keys.empty())
+                _byBase.erase(bucket);
+        }
+        if (owns_file) {
+            std::error_code ec;
+            fs::remove(fs::path(_options.directory) /
+                           key.fileName(),
+                       ec);
+        }
+        ++_stats.evictions;
+        obs::count("store.evictions");
+    }
+}
+
+StoreStats
+ArtifactStore::stats() const
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    StoreStats stats = _stats;
+    stats.entries = _entries.size();
+    return stats;
+}
+
+std::size_t
+ArtifactStore::size() const
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    return _entries.size();
+}
+
+} // namespace vaq::store

@@ -22,6 +22,26 @@ TEST(Snapshot, ShapeMatchesMachine)
     EXPECT_EQ(snap.numLinks(), 6u);
 }
 
+TEST(Snapshot, ContentHashIgnoresZeroSign)
+{
+    // Regression: hashCombine(double) bit-cast -0.0 and +0.0 to
+    // different words, so two snapshots whose values compare equal
+    // hashed differently — missing every snapshot-keyed cache and
+    // duplicating persistent artifact-store records.
+    const auto q5 = topology::ibmQ5Tenerife();
+    Snapshot plus(q5);
+    Snapshot minus(q5);
+    plus.setLinkError(0, 0.0);
+    minus.setLinkError(0, -0.0);
+    plus.qubit(2).readoutError = 0.0;
+    minus.qubit(2).readoutError = -0.0;
+    EXPECT_EQ(plus.contentHash(), minus.contentHash());
+
+    // A value that actually differs still changes the hash.
+    minus.setLinkError(0, 0.01);
+    EXPECT_NE(plus.contentHash(), minus.contentHash());
+}
+
 TEST(Snapshot, LinkErrorByEndpoints)
 {
     const auto q5 = topology::ibmQ5Tenerife();

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The FNV-1a helpers are the foundation of every content-addressed
+ * cache key (path caches, artifact store), so their edge cases are
+ * pinned here — above all the signed-zero normalization: -0.0 and
+ * +0.0 compare equal, so they must hash equal or snapshots with
+ * "the same" data would miss caches and duplicate store records.
+ */
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "common/hashing.hpp"
+
+namespace vaq
+{
+namespace
+{
+
+TEST(Hashing, SignedZerosHashEqual)
+{
+    ASSERT_EQ(0.0, -0.0); // the invariant the hash must mirror
+    EXPECT_EQ(hashCombine(kHashSeed, 0.0),
+              hashCombine(kHashSeed, -0.0));
+    // ...even though their bit patterns differ.
+    EXPECT_NE(std::bit_cast<std::uint64_t>(0.0),
+              std::bit_cast<std::uint64_t>(-0.0));
+}
+
+TEST(Hashing, DistinctValuesHashDistinct)
+{
+    const std::uint64_t zero = hashCombine(kHashSeed, 0.0);
+    EXPECT_NE(zero, hashCombine(kHashSeed, 1.0));
+    EXPECT_NE(zero,
+              hashCombine(kHashSeed,
+                          std::numeric_limits<double>::min()));
+    EXPECT_NE(zero,
+              hashCombine(kHashSeed,
+                          -std::numeric_limits<double>::denorm_min()));
+    EXPECT_NE(hashCombine(kHashSeed, 1.0),
+              hashCombine(kHashSeed, -1.0));
+}
+
+TEST(Hashing, NansKeepTheirBitPattern)
+{
+    const double qnan = std::numeric_limits<double>::quiet_NaN();
+    // NaNs never compare equal, so no normalization applies: the
+    // hash is simply the raw-bit hash, and different payloads hash
+    // differently.
+    EXPECT_EQ(hashCombine(kHashSeed, qnan),
+              hashCombine(kHashSeed,
+                          std::bit_cast<std::uint64_t>(qnan)));
+    const double other_nan = std::bit_cast<double>(
+        std::bit_cast<std::uint64_t>(qnan) ^ 1u);
+    ASSERT_TRUE(std::isnan(other_nan));
+    EXPECT_NE(hashCombine(kHashSeed, qnan),
+              hashCombine(kHashSeed, other_nan));
+}
+
+TEST(Hashing, ChainsAreOrderSensitive)
+{
+    std::uint64_t ab = hashCombine(kHashSeed, std::uint64_t{1});
+    ab = hashCombine(ab, std::uint64_t{2});
+    std::uint64_t ba = hashCombine(kHashSeed, std::uint64_t{2});
+    ba = hashCombine(ba, std::uint64_t{1});
+    EXPECT_NE(ab, ba);
+}
+
+} // namespace
+} // namespace vaq

@@ -35,6 +35,34 @@ TEST(TrialLog, EmptyLogRejected)
     EXPECT_THROW(log.confidence(), VaqError);
 }
 
+TEST(TrialLog, GuardsAgreeOnMalformedLog)
+{
+    // Regression: confidence() guarded on trials > 0 while
+    // inferredOutcome() guarded on outcomes being non-empty, so a
+    // log claiming trials but recording no outcomes passed the
+    // first guard and surfaced the second one's unrelated error
+    // from inside confidence(). Both guards now reject explicitly.
+    TrialLog log;
+    log.trials = 50;
+    EXPECT_THROW(log.inferredOutcome(), VaqError);
+    EXPECT_THROW(log.confidence(), VaqError);
+    EXPECT_DOUBLE_EQ(log.frequencyOf(0), 0.0);
+}
+
+TEST(TrialLog, TieBreaksTowardLowestOutcome)
+{
+    // Documented tie-break: equal counts resolve to the numerically
+    // lowest outcome (ascending std::map walk, strictly-greater
+    // replacement), independent of insertion order.
+    TrialLog log;
+    log.outcomes[0b110] = 40;
+    log.outcomes[0b001] = 40;
+    log.outcomes[0b010] = 20;
+    log.trials = 100;
+    EXPECT_EQ(log.inferredOutcome(), 0b001u);
+    EXPECT_DOUBLE_EQ(log.confidence(), 0.4);
+}
+
 class IterativeTest : public ::testing::Test
 {
   protected:

@@ -46,6 +46,7 @@
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -70,6 +71,8 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/parallel_fault_sim.hpp"
+#include "store/adapter.hpp"
+#include "store/artifact_store.hpp"
 #include "topology/layouts.hpp"
 
 namespace
@@ -105,6 +108,8 @@ struct Options
     std::vector<std::string> lintDisable;
     std::vector<std::string> lintOnly;
     std::string lintFailOn = "error";
+    std::string storeDir;
+    bool storeStats = false;
     bool noPathCache = false;
     bool optimize = false;
     bool lower = false;
@@ -140,6 +145,15 @@ printUsage()
         "  --no-path-cache      disable the shared reliability-"
         "path caches and recompute\n"
         "                       all routes per compile\n"
+        "  --store-dir DIR      persistent compile-artifact store: "
+        "reuse prior results\n"
+        "                       keyed on (circuit, calibration, "
+        "machine, policy) content,\n"
+        "                       incl. delta reuse across "
+        "calibration cycles; fresh\n"
+        "                       compiles are recorded into DIR\n"
+        "  --store-stats        print artifact-store counters "
+        "after the run\n"
         "  --machine NAME       q20 (default) | q5 | falcon27 | "
         "line:N | ring:N | grid:RxC\n"
         "  --policy NAME        baseline | vqm | vqm4 | vqa | "
@@ -240,6 +254,10 @@ parseArgs(int argc, char **argv)
         else if (arg == "--job-deadline-ms")
             options.jobDeadlineMs =
                 parseDouble(next("--job-deadline-ms"));
+        else if (arg == "--store-dir")
+            options.storeDir = next("--store-dir");
+        else if (arg == "--store-stats")
+            options.storeStats = true;
         else if (arg == "--no-path-cache")
             options.noPathCache = true;
         else if (arg == "--machine")
@@ -310,17 +328,28 @@ machineByName(const std::string &name)
     throw VaqError("unknown machine: " + name);
 }
 
-core::Mapper
-policyByName(const std::string &name, int mah)
+/**
+ * CLI policy name -> registry PolicySpec. Shared by the mapper
+ * construction and the artifact-store key derivation so stored
+ * records are addressed by exactly the spec that compiled them.
+ */
+core::PolicySpec
+policySpecByName(const std::string &name, int mah)
 {
     // "vqm4" is CLI shorthand for the paper's hop-limited VQM;
     // everything else goes to the registry as-is ("native" maps to
     // the registry's "random" alias with the historical seed).
     if (name == "vqm4")
-        return core::makeMapper({.name = "vqm", .mah = 4});
+        return {.name = "vqm", .mah = 4};
     if (name == "native")
-        return core::makeMapper({.name = "random", .seed = 1});
-    return core::makeMapper({.name = name, .mah = mah});
+        return {.name = "random", .seed = 1};
+    return {.name = name, .mah = mah};
+}
+
+core::Mapper
+policyByName(const std::string &name, int mah)
+{
+    return core::makeMapper(policySpecByName(name, mah));
 }
 
 /** The documented exit-code map over the error taxonomy. */
@@ -381,6 +410,32 @@ exportTelemetry(const Options &options)
                   obs::exportTraceJson(obs::drainTrace()));
         std::cout << "trace     : " << options.traceOut << "\n";
     }
+}
+
+/** Open the artifact store when --store-dir / --store-stats asks
+ *  for one (--store-stats alone runs a memory-only store). */
+std::unique_ptr<store::ArtifactStore>
+openArtifactStore(const Options &options)
+{
+    if (options.storeDir.empty() && !options.storeStats)
+        return nullptr;
+    store::StoreOptions storeOptions;
+    storeOptions.directory = options.storeDir;
+    return std::make_unique<store::ArtifactStore>(storeOptions);
+}
+
+/** The --store-stats summary line. */
+void
+printStoreStats(const store::ArtifactStore &artifacts)
+{
+    const store::StoreStats s = artifacts.stats();
+    std::cout << "store     : " << s.exactHits << " exact hits, "
+              << s.deltaReuse << " delta reuse, " << s.misses
+              << " misses, " << s.writes << " writes ("
+              << s.entries << " entries, " << s.warmLoaded
+              << " warm-loaded, " << s.corruptRecords
+              << " corrupt skipped, " << s.evictions
+              << " evicted)\n";
 }
 
 circuit::ParsedQasm
@@ -517,6 +572,16 @@ runBatch(const Options &options)
     batchOptions.lint = options.lint;
     if (options.lint)
         batchOptions.lintOptions = lintOptionsFor(options);
+    const std::unique_ptr<store::ArtifactStore> artifacts =
+        openArtifactStore(options);
+    std::unique_ptr<store::ArtifactCacheAdapter> artifactCache;
+    if (artifacts != nullptr) {
+        artifactCache =
+            std::make_unique<store::ArtifactCacheAdapter>(
+                *artifacts, machine,
+                policySpecByName(options.policy, options.mah));
+        batchOptions.artifactCache = artifactCache.get();
+    }
     core::BatchCompiler compiler(mapper, machine, batchOptions);
 
     const auto t0 = std::chrono::steady_clock::now();
@@ -618,6 +683,12 @@ runBatch(const Options &options)
               << " hits / " << stats.planMisses << " misses"
               << (options.noPathCache ? " (disabled)" : "")
               << "\n";
+    if (artifacts != nullptr) {
+        printStoreStats(*artifacts);
+        if (options.failFast)
+            std::cout << "            (artifact store is ignored "
+                         "under --fail-fast)\n";
+    }
     // Contained job failures still signal through the exit code.
     return firstFailure.has_value() ? exitCodeFor(*firstFailure)
                                     : 0;
@@ -681,8 +752,30 @@ run(const Options &options)
             ? CancellationToken::withDeadline(options.jobDeadlineMs)
             : CancellationToken();
     const CancellationScope deadline(deadlineToken);
-    core::MappedCircuit mapped = mapper.compile(
-        logical, machine, snapshot, compileOptionsFor(options));
+
+    // The artifact store replaces only the compile step here:
+    // verify/optimize/lower and the Monte-Carlo report still run on
+    // a stored mapping, so a hit and a fresh compile print the same
+    // report shape.
+    const std::unique_ptr<store::ArtifactStore> artifacts =
+        openArtifactStore(options);
+    std::unique_ptr<store::ArtifactCacheAdapter> artifactCache;
+    std::optional<core::ArtifactHit> hit;
+    if (artifacts != nullptr) {
+        artifactCache =
+            std::make_unique<store::ArtifactCacheAdapter>(
+                *artifacts, machine,
+                policySpecByName(options.policy, options.mah));
+        hit = artifactCache->lookup(logical, snapshot);
+    }
+    core::MappedCircuit mapped =
+        hit.has_value()
+            ? std::move(hit->mapped)
+            : mapper.compile(logical, machine, snapshot,
+                             compileOptionsFor(options));
+    if (artifactCache != nullptr && !hit.has_value())
+        artifactCache->recordMapped(logical, snapshot, mapped,
+                                    0.0);
 
     if (options.verify) {
         const core::VerificationReport report =
@@ -737,6 +830,16 @@ run(const Options &options)
               << machine.numQubits() << " qubits, "
               << machine.linkCount() << " links)\n";
     std::cout << "policy    : " << mapper.name() << "\n";
+    if (artifacts != nullptr) {
+        std::cout << "store     : "
+                  << (hit.has_value()
+                          ? hit->viaDelta ? "delta-reuse hit"
+                                          : "exact hit"
+                          : "miss (result recorded)")
+                  << "\n";
+        if (options.storeStats)
+            printStoreStats(*artifacts);
+    }
     std::cout << "swaps     : " << mapped.insertedSwaps << "\n";
     std::cout << "layout    : ";
     for (int q = 0; q < logical.numQubits(); ++q)
