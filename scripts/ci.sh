@@ -7,15 +7,18 @@
 #   scripts/ci.sh --asan   # also run the address+UB sanitizer leg
 #
 # The default ctest run includes every label (robustness, parallel,
-# analysis, store, router, obs, ...). The TSan leg rebuilds into
-# build-tsan/ and runs only `-L "parallel|analysis|store"` — the
-# tests that exercise the thread pool, the shared path caches, the
-# batch fault paths, the lint determinism checks and the shared
-# artifact store — because the full suite under TSan is too slow for
-# a gate. The ASan leg rebuilds into build-asan/ with
+# analysis, store, router, obs, sim, ...). The TSan leg rebuilds
+# into build-tsan/ and runs only `-L "parallel|analysis|store|sim"`
+# — the tests that exercise the thread pool, the shared path caches,
+# the batch fault paths, the lint determinism checks, the shared
+# artifact store, and the Pauli-frame cross-validation suite (whose
+# per-trial frame-vs-dense bit-exactness and thread-count invariance
+# are asserted under TSan) — because the full suite under TSan is
+# too slow for a gate. The ASan leg rebuilds into build-asan/ with
 # -DVAQ_SANITIZE=address,undefined and runs the full suite, then
-# re-selects the `store` label so the record parser's
-# corruption-tolerance sweeps are provably part of that leg.
+# re-selects the `store` and `sim` labels so the record parser's
+# corruption-tolerance sweeps and the simulator cross-validation are
+# provably part of that leg.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -46,11 +49,14 @@ ctest --test-dir build -L robustness --output-on-failure -j "$JOBS"
 echo "== tier-1: store label smoke (must select tests) =="
 ctest --test-dir build -L store --output-on-failure -j "$JOBS"
 
+echo "== tier-1: sim label smoke (must select tests) =="
+ctest --test-dir build -L sim --output-on-failure -j "$JOBS"
+
 if [ "$RUN_TSAN" -eq 1 ]; then
-    echo "== tsan leg: -DVAQ_SANITIZE=thread, ctest -L parallel|analysis|store =="
+    echo "== tsan leg: -DVAQ_SANITIZE=thread, ctest -L parallel|analysis|store|sim =="
     cmake -B build-tsan -S . -DVAQ_SANITIZE=thread >/dev/null
     cmake --build build-tsan -j "$JOBS"
-    ctest --test-dir build-tsan -L "parallel|analysis|store" \
+    ctest --test-dir build-tsan -L "parallel|analysis|store|sim" \
         --output-on-failure -j "$JOBS"
 fi
 
@@ -66,6 +72,10 @@ if [ "$RUN_ASAN" -eq 1 ]; then
     echo "== asan leg: store label smoke (must select tests) =="
     UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
         ctest --test-dir build-asan -L store --output-on-failure \
+        -j "$JOBS"
+    echo "== asan leg: sim label smoke (must select tests) =="
+    UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+        ctest --test-dir build-asan -L sim --output-on-failure \
         -j "$JOBS"
 fi
 

@@ -18,6 +18,7 @@
 #include <cstddef>
 
 #include "obs/metrics.hpp"
+#include "sim/sim_engine.hpp"
 
 namespace vaq::core
 {
@@ -39,6 +40,11 @@ struct CompileOptions
     /** Worker threads for batch entry points; 0 = one per
      *  hardware thread. Ignored by single-circuit compiles. */
     std::size_t threads = 0;
+    /** Per-trial engine for outcome-level simulation of the
+     *  compiled program (sim/sim_engine.hpp): Auto takes the
+     *  Pauli-frame fast path on Clifford-only circuits and the
+     *  dense trajectory path otherwise. */
+    sim::SimEngine simEngine = sim::SimEngine::Auto;
 };
 
 /**

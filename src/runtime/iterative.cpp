@@ -20,7 +20,8 @@ namespace
 TrialLog
 translateLog(const circuit::Circuit &logical,
              const core::MappedCircuit &mapped,
-             const sim::ShotCounts &counts)
+             const sim::ShotCounts &counts,
+             std::size_t requestedTrials)
 {
     const std::uint64_t measuredLogicalMask = [&] {
         std::uint64_t mask = 0;
@@ -38,7 +39,33 @@ translateLog(const circuit::Circuit &logical,
         log.outcomes[logicalOutcome] += count;
     }
     log.trials = counts.shots;
+    log.requestedTrials = requestedTrials;
+
+    // The log's trial count is the count the inference divides by:
+    // it must equal what was actually recorded, or confidence() and
+    // frequencyOf() silently skew.
+    std::size_t recorded = 0;
+    for (const auto &[outcome, count] : log.outcomes)
+        recorded += count;
+    VAQ_ASSERT(recorded == log.trials,
+               "trial log count disagrees with recorded outcomes");
     return log;
+}
+
+/**
+ * Validate a machine's reported trial count against the request:
+ * zero trials is always malformed; fewer than requested is legal
+ * (adaptive early stopping) and documented in the log's
+ * trials/requestedTrials pair; more than requested is a machine
+ * bug.
+ */
+void
+checkMachineTrials(const sim::ShotCounts &counts,
+                   std::size_t requested)
+{
+    require(counts.shots > 0, "machine ran no trials");
+    require(counts.shots <= requested,
+            "machine returned more trials than requested");
 }
 
 } // namespace
@@ -109,10 +136,9 @@ IterativeRunner::run(const circuit::Circuit &logical,
         obs::Span executeSpan("runtime.execute");
         return _machine(result.mapped.physical, trials);
     }();
-    require(counts.shots == trials,
-            "machine returned a different trial count");
+    checkMachineTrials(counts, trials);
 
-    result.log = translateLog(logical, result.mapped, counts);
+    result.log = translateLog(logical, result.mapped, counts, trials);
     obs::count("runtime.jobs");
     return result;
 }
@@ -171,9 +197,9 @@ IterativeRunner::runBatch(
             obs::Span executeSpan("runtime.execute", telemetry);
             return _machine(result.mapped.physical, trials);
         }();
-        require(counts.shots == trials,
-                "machine returned a different trial count");
-        result.log = translateLog(logical, result.mapped, counts);
+        checkMachineTrials(counts, trials);
+        result.log = translateLog(logical, result.mapped, counts,
+                                  trials);
         if (telemetry)
             obs::count("runtime.jobs");
         results.push_back(std::move(result));

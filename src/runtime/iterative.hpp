@@ -39,7 +39,17 @@ struct TrialLog
 {
     /** Logical outcome (bit i = program qubit i) -> occurrences. */
     std::map<std::uint64_t, std::size_t> outcomes;
+    /**
+     * Trials actually executed — always equal to the sum of
+     * `outcomes` counts (asserted when the runner builds the log).
+     * A machine running adaptive early stopping (e.g. a simulator
+     * honoring --target-stderr) may legitimately stop short of the
+     * request, so this can be less than `requestedTrials`; it can
+     * never exceed it.
+     */
     std::size_t trials = 0;
+    /** Trials the caller asked the machine for. */
+    std::size_t requestedTrials = 0;
 
     /**
      * Most frequent outcome. Ties are broken toward the

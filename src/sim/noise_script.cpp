@@ -1,0 +1,128 @@
+#include "sim/noise_script.hpp"
+
+#include "common/error.hpp"
+#include "sim/statevector.hpp"
+
+namespace vaq::sim
+{
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+using circuit::Qubit;
+
+circuit::GateKind
+pauliGateKind(PauliKind pauli)
+{
+    switch (pauli) {
+      case PauliKind::X:
+        return GateKind::X;
+      case PauliKind::Y:
+        return GateKind::Y;
+      case PauliKind::Z:
+        return GateKind::Z;
+    }
+    VAQ_ASSERT(false, "unhandled PauliKind");
+    return GateKind::X;
+}
+
+std::uint64_t
+measuredMaskOf(const Circuit &circuit)
+{
+    std::uint64_t mask = 0;
+    for (const Gate &g : circuit.gates()) {
+        if (g.kind == GateKind::MEASURE)
+            mask |= 1ULL << g.q0;
+    }
+    return mask;
+}
+
+NoiseScript
+NoiseScript::compile(const Circuit &physical,
+                     const NoiseModel &model,
+                     const TrajectoryOptions &options)
+{
+    require(options.crosstalk >= 0.0 && options.crosstalk <= 1.0,
+            "crosstalk must be in [0, 1]");
+
+    NoiseScript script;
+    script.readoutNoise = options.readoutNoise;
+    script.measuredMask = measuredMaskOf(physical);
+
+    const auto &gates = physical.gates();
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        const Gate &g = gates[i];
+        if (g.kind == GateKind::BARRIER ||
+            g.kind == GateKind::MEASURE) {
+            continue;
+        }
+        ScriptOp op;
+        op.gateIndex = i;
+        op.q0 = g.q0;
+        op.q1 = g.isTwoQubit() ? g.q1 : circuit::kNoQubit;
+        op.opProb = model.opErrorProb(g);
+        op.cohProb = model.coherenceErrorProb(g);
+        op.ctBegin = script.crosstalk.size();
+        // Spectator enumeration order is part of the RNG stream
+        // contract: each operand's machine neighbours in adjacency
+        // order, operands skipped, qubits beyond the circuit's
+        // width skipped.
+        if (options.crosstalk > 0.0 && g.isTwoQubit()) {
+            const double p = options.crosstalk * op.opProb;
+            for (Qubit operand : {g.q0, g.q1}) {
+                for (Qubit spectator :
+                     model.graph().neighbors(operand)) {
+                    if (spectator == g.q0 || spectator == g.q1 ||
+                        spectator >= physical.numQubits()) {
+                        continue;
+                    }
+                    script.crosstalk.push_back({spectator, p});
+                }
+            }
+        }
+        op.ctEnd = script.crosstalk.size();
+        script.ops.push_back(op);
+    }
+
+    for (int q = 0; q < physical.numQubits(); ++q) {
+        if (script.measuredMask & (1ULL << q)) {
+            script.readout.push_back(
+                {q, model.snapshot().qubit(q).readoutError});
+        }
+    }
+    return script;
+}
+
+std::uint64_t
+applyReadoutNoise(const NoiseScript &script, std::uint64_t outcome,
+                  Rng &rng)
+{
+    if (!script.readoutNoise)
+        return outcome;
+    for (const ReadoutEvent &event : script.readout) {
+        if (rng.bernoulli(event.prob))
+            outcome ^= 1ULL << event.qubit;
+    }
+    return outcome;
+}
+
+std::uint64_t
+denseTrajectoryShot(const Circuit &physical,
+                    const NoiseScript &script, Rng &rng)
+{
+    StateVector state(physical.numQubits());
+    const auto &gates = physical.gates();
+    for (const ScriptOp &op : script.ops) {
+        state.apply(gates[op.gateIndex]);
+        sampleOpNoise(op, script, rng,
+                      [&](Qubit q, PauliKind pauli) {
+                          state.apply(Gate::oneQubit(
+                              pauliGateKind(pauli), q));
+                      });
+    }
+    const std::uint64_t outcome =
+        state.sample(rng) & script.measuredMask;
+    return applyReadoutNoise(script, outcome, rng);
+}
+
+} // namespace vaq::sim

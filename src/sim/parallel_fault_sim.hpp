@@ -19,11 +19,15 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "circuit/circuit.hpp"
 #include "common/thread_pool.hpp"
 #include "sim/fault_sim.hpp"
+#include "sim/pauli_frame.hpp"
+#include "sim/sim_engine.hpp"
+#include "sim/trajectory_sim.hpp"
 
 namespace vaq::sim
 {
@@ -51,6 +55,56 @@ struct ParallelFaultSimOptions
      * `trials` field reports the trials actually run.
      */
     double targetStderr = 0.0;
+};
+
+/**
+ * Knobs of an outcome-checked parallel run: full per-trial outcome
+ * simulation (Pauli injections, sampling, readout flips) instead of
+ * the Bernoulli success/failure abstraction, judged against the
+ * program's ideal outcome set. The chunked RNG-stream layout is the
+ * same as ParallelFaultSimOptions, so results — per-trial outcomes
+ * included — are bit-identical for any thread count.
+ */
+struct OutcomeSimOptions
+{
+    std::size_t trials = 100'000;
+    /** Defaults to the trajectory engine's seed so a single-threaded
+     *  chunk replays TrajectorySimulator streams per chunk. */
+    std::uint64_t seed = 29;
+    /** Worker threads for the one-shot entry point; 0 = one per
+     *  hardware thread. Ignored by ParallelFaultSim instances. */
+    std::size_t threads = 0;
+    /** Trials per chunk — the unit of determinism (see
+     *  ParallelFaultSimOptions::chunkTrials). */
+    std::size_t chunkTrials = 4'096;
+    /** Adaptive precision target; see ParallelFaultSimOptions. */
+    double targetStderr = 0.0;
+    /** Which per-trial engine executes the trials. */
+    SimEngine engine = SimEngine::Auto;
+    /** Flip measured bits with the calibrated readout error. */
+    bool readoutNoise = true;
+    /** Crosstalk extension (see TrajectoryOptions::crosstalk). */
+    double crosstalk = 0.0;
+};
+
+/** Outcome of an outcome-checked parallel run. */
+struct OutcomeSimResult
+{
+    std::size_t trials = 0;
+    std::size_t successes = 0;
+    /** Output-checked PST estimate = successes / trials. */
+    double pst = 0.0;
+    double stderrPst = 0.0;
+    /** True when the Pauli-frame fast path executed the trials. */
+    bool framePath = false;
+    /** Why dense trials ran although the frame path was allowed
+     *  (empty when framePath, or when SimEngine::Dense was
+     *  requested). */
+    std::string fallbackReason;
+    /** Clifford census of the circuit. */
+    FrameCounts gates;
+    /** Aggregated masked-outcome histogram over every trial run. */
+    ShotCounts counts;
 };
 
 /**
@@ -84,9 +138,34 @@ class ParallelFaultSim
              const NoiseModel &model,
              const ParallelFaultSimOptions &options = {});
 
+    /**
+     * Outcome-checked Monte-Carlo run behind the SimEngine seam: a
+     * trial simulates the full noisy execution (Pauli-frame fast
+     * path for Clifford circuits, dense trajectory otherwise) and
+     * succeeds iff its outcome lands in the program's ideal outcome
+     * set. Chunk streams, wave structure and adaptive stopping
+     * mirror run(), so results are thread-count invariant; with one
+     * chunk covering all trials the trial stream is exactly
+     * TrajectorySimulator's.
+     *
+     * @throws VaqError when the circuit measures nothing or its
+     *         accept set covers more than half the outcome space
+     *         (same contract as idealOutcomes()).
+     */
+    OutcomeSimResult
+    runOutcomeChecked(const circuit::Circuit &physical,
+                      const NoiseModel &model,
+                      const OutcomeSimOptions &options = {});
+
   private:
     ThreadPool _pool;
 };
+
+/** One-shot convenience for runOutcomeChecked (options.threads). */
+OutcomeSimResult
+runOutcomeCheckedParallel(const circuit::Circuit &physical,
+                          const NoiseModel &model,
+                          const OutcomeSimOptions &options = {});
 
 /** One-shot convenience: build a transient engine (options.threads)
  *  and run once. Prefer ParallelFaultSim for repeated calls. */

@@ -1,0 +1,36 @@
+#include "sim/sim_engine.hpp"
+
+#include "common/error.hpp"
+
+namespace vaq::sim
+{
+
+std::string
+simEngineName(SimEngine engine)
+{
+    switch (engine) {
+      case SimEngine::Auto:
+        return "auto";
+      case SimEngine::Dense:
+        return "dense";
+      case SimEngine::PauliFrame:
+        return "frame";
+    }
+    VAQ_ASSERT(false, "unhandled SimEngine value");
+    return "auto";
+}
+
+SimEngine
+simEngineFromName(const std::string &name)
+{
+    if (name == "auto")
+        return SimEngine::Auto;
+    if (name == "dense")
+        return SimEngine::Dense;
+    if (name == "frame" || name == "pauli-frame")
+        return SimEngine::PauliFrame;
+    throw VaqError("unknown sim engine '" + name +
+                   "' (expected auto, dense or frame)");
+}
+
+} // namespace vaq::sim

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Engine-selection seam for outcome-level Monte-Carlo simulation.
+ *
+ * The repository has two per-trial outcome engines with identical
+ * noise semantics (sim/noise_script.hpp): the dense state-vector
+ * trajectory path and the stochastic Pauli-frame fast path
+ * (sim/pauli_frame.hpp). Callers pick between them — or let the
+ * runner decide — through this enum, which travels in
+ * core::CompileOptions and behind `vaqc --sim-engine`.
+ */
+#ifndef VAQ_SIM_SIM_ENGINE_HPP
+#define VAQ_SIM_SIM_ENGINE_HPP
+
+#include <string>
+
+namespace vaq::sim
+{
+
+/** Which per-trial simulation engine executes a noisy run. */
+enum class SimEngine
+{
+    /** Pauli-frame fast path when the circuit qualifies
+     *  (Clifford-only, <= 64 qubits), dense otherwise. */
+    Auto,
+    /** Always the dense state-vector trajectory path. */
+    Dense,
+    /** Request the frame path; non-qualifying circuits still fall
+     *  back to dense (counted in sim.frame.fallbacks). */
+    PauliFrame,
+};
+
+/** Lower-case flag spelling ("auto", "dense", "frame"). */
+std::string simEngineName(SimEngine engine);
+
+/** Parse a flag spelling; throws VaqError if unknown. */
+SimEngine simEngineFromName(const std::string &name);
+
+} // namespace vaq::sim
+
+#endif // VAQ_SIM_SIM_ENGINE_HPP

@@ -21,8 +21,8 @@ constexpr double kInvSqrt2 = 0.7071067811865475244;
 StateVector::StateVector(int num_qubits)
     : _numQubits(num_qubits)
 {
-    require(num_qubits >= 1 && num_qubits <= 24,
-            "statevector supports 1..24 qubits");
+    require(num_qubits >= 1 && num_qubits <= 27,
+            "statevector supports 1..27 qubits");
     _amps.assign(1ULL << num_qubits, Amplitude(0.0, 0.0));
     _amps[0] = Amplitude(1.0, 0.0);
 }

@@ -2,8 +2,10 @@
  * @file
  * Dense state-vector simulator.
  *
- * Exact simulation of the libvaq gate set for up to ~24 qubits
- * (2^24 amplitudes). Used three ways in this repository:
+ * Exact simulation of the libvaq gate set for up to 27 qubits
+ * (2^27 amplitudes = 2 GiB — Falcon-27 scale, the dense baseline
+ * the Pauli-frame fast path is benchmarked against). Used three
+ * ways in this repository:
  *  - functional verification that mapped circuits preserve program
  *    semantics (tests),
  *  - computing the ideal ("correct") output set of a program so a
@@ -34,7 +36,7 @@ using Amplitude = std::complex<double>;
 class StateVector
 {
   public:
-    /** Create |0...0> over `num_qubits` qubits (1..24 supported). */
+    /** Create |0...0> over `num_qubits` qubits (1..27 supported). */
     explicit StateVector(int num_qubits);
 
     /** Number of qubits. */

@@ -4,44 +4,13 @@
 
 #include "common/error.hpp"
 #include "sim/fault_sim.hpp"
+#include "sim/noise_script.hpp"
 
 namespace vaq::sim
 {
 
 using circuit::Circuit;
 using circuit::Gate;
-using circuit::GateKind;
-using circuit::Qubit;
-
-namespace
-{
-
-/** Measured-qubit mask (and count) of a circuit. */
-std::uint64_t
-measuredMaskOf(const Circuit &circuit)
-{
-    std::uint64_t mask = 0;
-    for (const Gate &g : circuit.gates()) {
-        if (g.kind == GateKind::MEASURE)
-            mask |= 1ULL << g.q0;
-    }
-    return mask;
-}
-
-/** Apply one uniformly random non-identity Pauli to qubit q. */
-void
-randomPauli(StateVector &state, Qubit q, Rng &rng)
-{
-    const auto pick = rng.uniformInt(std::uint64_t{3});
-    GateKind kind = GateKind::X;
-    if (pick == 1)
-        kind = GateKind::Y;
-    else if (pick == 2)
-        kind = GateKind::Z;
-    state.apply(Gate::oneQubit(kind, q));
-}
-
-} // namespace
 
 std::vector<std::uint64_t>
 idealOutcomes(const Circuit &logical, double threshold)
@@ -103,78 +72,25 @@ TrajectorySimulator::TrajectorySimulator(
             "crosstalk must be in [0, 1]");
 }
 
-void
-TrajectorySimulator::injectPauli(StateVector &state,
-                                 const Gate &gate, Rng &rng) const
-{
-    // Operational error: random non-identity Pauli on the operand
-    // set (depolarizing-style). For two-qubit gates each operand is
-    // hit independently, with at least one guaranteed non-identity.
-    randomPauli(state, gate.q0, rng);
-    if (gate.isTwoQubit() && rng.bernoulli(0.75))
-        randomPauli(state, gate.q1, rng);
-}
-
 ShotCounts
 TrajectorySimulator::run(const Circuit &physical)
 {
     checkExecutable(physical, _model);
 
+    // The trial body — gate stream, error events and their RNG draw
+    // order — lives in the shared NoiseScript so the Pauli-frame
+    // fast path (sim/pauli_frame.hpp) replays identical trials.
+    const NoiseScript script =
+        NoiseScript::compile(physical, _model, _options);
+
     ShotCounts result;
     result.shots = _options.shots;
-    result.measuredMask = measuredMaskOf(physical);
+    result.measuredMask = script.measuredMask;
     require(result.measuredMask != 0, "program measures no qubits");
 
     Rng rng(_options.seed);
-    for (std::size_t shot = 0; shot < _options.shots; ++shot) {
-        StateVector state(physical.numQubits());
-        for (const Gate &g : physical.gates()) {
-            if (g.kind == GateKind::BARRIER ||
-                g.kind == GateKind::MEASURE) {
-                continue;
-            }
-            state.apply(g);
-            if (rng.bernoulli(_model.opErrorProb(g)))
-                injectPauli(state, g, rng);
-            // Decoherence during the gate: stochastic phase/bit
-            // damage on each operand.
-            if (rng.bernoulli(_model.coherenceErrorProb(g)))
-                randomPauli(state, g.q0, rng);
-            // Optional crosstalk: spectator qubits next to a
-            // firing two-qubit gate take collateral damage.
-            if (_options.crosstalk > 0.0 && g.isTwoQubit()) {
-                const double p =
-                    _options.crosstalk * _model.opErrorProb(g);
-                for (Qubit operand : {g.q0, g.q1}) {
-                    for (Qubit spectator :
-                         _model.graph().neighbors(operand)) {
-                        if (spectator == g.q0 ||
-                            spectator == g.q1 ||
-                            spectator >= state.numQubits()) {
-                            continue;
-                        }
-                        if (rng.bernoulli(p))
-                            randomPauli(state, spectator, rng);
-                    }
-                }
-            }
-        }
-
-        std::uint64_t outcome =
-            state.sample(rng) & result.measuredMask;
-        if (_options.readoutNoise) {
-            for (int q = 0; q < physical.numQubits(); ++q) {
-                const std::uint64_t bit = 1ULL << q;
-                if (!(result.measuredMask & bit))
-                    continue;
-                if (rng.bernoulli(
-                        _model.snapshot().qubit(q).readoutError)) {
-                    outcome ^= bit;
-                }
-            }
-        }
-        ++result.counts[outcome];
-    }
+    for (std::size_t shot = 0; shot < _options.shots; ++shot)
+        ++result.counts[denseTrajectoryShot(physical, script, rng)];
     return result;
 }
 

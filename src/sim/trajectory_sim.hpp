@@ -96,9 +96,6 @@ class TrajectorySimulator
     ShotCounts run(const circuit::Circuit &physical);
 
   private:
-    void injectPauli(StateVector &state, const circuit::Gate &gate,
-                     Rng &rng) const;
-
     const NoiseModel &_model;
     TrajectoryOptions _options;
 };

@@ -244,5 +244,101 @@ TEST_F(IterativeTest, Validation)
                  VaqError);
 }
 
+TEST_F(IterativeTest, LogRecordsRequestedTrials)
+{
+    const IterativeRunner runner(graph, machine());
+    const auto job = runner.run(
+        workloads::ghz(3), core::makeMapper({.name = "baseline"}),
+        truth, 512);
+    EXPECT_EQ(job.log.trials, 512u);
+    EXPECT_EQ(job.log.requestedTrials, 512u);
+}
+
+TEST_F(IterativeTest, EarlyStoppingMachineIsLegal)
+{
+    // A machine running adaptive early stopping may return fewer
+    // trials than requested; the log must report what actually ran
+    // against what was asked, and inference must divide by the
+    // actual count.
+    auto earlyStop = [this](const circuit::Circuit &c,
+                            std::size_t shots) {
+        sim::ShotCounts counts = machine()(c, shots / 2);
+        return counts;
+    };
+    const IterativeRunner runner(graph, earlyStop);
+    const auto job = runner.run(
+        workloads::ghz(3), core::makeMapper({.name = "baseline"}),
+        truth, 1000);
+    EXPECT_EQ(job.log.trials, 500u);
+    EXPECT_EQ(job.log.requestedTrials, 1000u);
+
+    std::size_t recorded = 0;
+    for (const auto &[outcome, count] : job.log.outcomes)
+        recorded += count;
+    EXPECT_EQ(recorded, job.log.trials);
+    // Frequencies are fractions of the trials that ran, so they
+    // still sum to one.
+    double total = 0.0;
+    for (const auto &[outcome, count] : job.log.outcomes)
+        total += job.log.frequencyOf(outcome);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST_F(IterativeTest, MachineTrialAccountingRejected)
+{
+    // Zero trials is always malformed; *more* trials than requested
+    // is a machine bug (the inference would silently divide a
+    // too-large log by the wrong base otherwise).
+    auto silent = [](const circuit::Circuit &,
+                     std::size_t) { return sim::ShotCounts{}; };
+    const IterativeRunner zeroRunner(graph, silent);
+    EXPECT_THROW(
+        zeroRunner.run(workloads::ghz(3),
+                       core::makeMapper({.name = "baseline"}),
+                       truth, 100),
+        VaqError);
+
+    auto overCount = [this](const circuit::Circuit &c,
+                            std::size_t shots) {
+        return machine()(c, shots + 1);
+    };
+    const IterativeRunner overRunner(graph, overCount);
+    EXPECT_THROW(
+        overRunner.run(workloads::ghz(3),
+                       core::makeMapper({.name = "baseline"}),
+                       truth, 100),
+        VaqError);
+}
+
+TEST_F(IterativeTest, BatchAppliesSameTrialAccounting)
+{
+    auto earlyStop = [this](const circuit::Circuit &c,
+                            std::size_t shots) {
+        return machine()(c, shots - 100);
+    };
+    const IterativeRunner runner(graph, earlyStop);
+    const auto results = runner.runBatch(
+        {workloads::ghz(3), workloads::bernsteinVazirani(3)},
+        core::makeMapper({.name = "baseline"}), truth, 512,
+        core::BatchOptions{});
+    ASSERT_EQ(results.size(), 2u);
+    for (const auto &result : results) {
+        EXPECT_EQ(result.log.trials, 412u);
+        EXPECT_EQ(result.log.requestedTrials, 512u);
+    }
+
+    auto overCount = [this](const circuit::Circuit &c,
+                            std::size_t shots) {
+        return machine()(c, shots + 1);
+    };
+    const IterativeRunner overRunner(graph, overCount);
+    EXPECT_THROW(
+        overRunner.runBatch(
+            {workloads::ghz(3)},
+            core::makeMapper({.name = "baseline"}), truth, 512,
+            core::BatchOptions{}),
+        VaqError);
+}
+
 } // namespace
 } // namespace vaq::runtime

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Seeded random Clifford circuit corpus for the Pauli-frame suite.
+ *
+ * Circuits are generated directly in *physical* form: two-qubit
+ * gates only ever act across coupling links of the target machine,
+ * so they pass the engines' executability check without a mapping
+ * pass. The generator draws from the full frame alphabet
+ * (H/S/Sdg/X/Y/Z one-qubit, CX/CZ/SWAP two-qubit) and ends with a
+ * full measurement, exercising every conjugation rule and the
+ * tableau support derivation on states whose support is a
+ * non-trivial affine subspace.
+ */
+#ifndef VAQ_TESTS_SIM_CLIFFORD_CORPUS_HPP
+#define VAQ_TESTS_SIM_CLIFFORD_CORPUS_HPP
+
+#include <cstdint>
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "topology/coupling_graph.hpp"
+
+namespace vaq::test
+{
+
+/**
+ * Random machine-respecting Clifford circuit: `num_gates` unitaries
+ * over the qubits of `graph` (60 % one-qubit, 40 % link-constrained
+ * two-qubit), measured in full. Deterministic in (graph, num_gates,
+ * rng state).
+ *
+ * Every frame-alphabet gate except H maps computational basis
+ * states to single basis states (up to phase), so the support of
+ * the final state has dimension at most the number of H gates.
+ * `max_h` caps that count (further H draws degrade to S), which
+ * outcome-checked tests use to keep the ideal accept set under the
+ * engines' half-the-outcome-space meaningfulness rule; -1 leaves H
+ * unlimited.
+ */
+inline circuit::Circuit
+randomCliffordCircuit(const topology::CouplingGraph &graph,
+                      int num_gates, Rng &rng, int max_h = -1)
+{
+    const int n = graph.numQubits();
+    circuit::Circuit c(n);
+    int hUsed = 0;
+    for (int i = 0; i < num_gates; ++i) {
+        const bool twoQubit =
+            graph.linkCount() > 0 && rng.uniformInt(10) >= 6;
+        if (twoQubit) {
+            const auto &link = graph.links()[rng.uniformInt(
+                static_cast<std::uint64_t>(graph.linkCount()))];
+            // Random orientation so CX targets both directions.
+            const bool flip = rng.uniformInt(2) == 1;
+            const auto a = static_cast<circuit::Qubit>(
+                flip ? link.b : link.a);
+            const auto b = static_cast<circuit::Qubit>(
+                flip ? link.a : link.b);
+            switch (rng.uniformInt(3)) {
+              case 0: c.cx(a, b); break;
+              case 1: c.cz(a, b); break;
+              default: c.swap(a, b); break;
+            }
+        } else {
+            const auto q = static_cast<circuit::Qubit>(
+                rng.uniformInt(static_cast<std::uint64_t>(n)));
+            switch (rng.uniformInt(6)) {
+              case 0:
+                if (max_h >= 0 && hUsed >= max_h) {
+                    c.s(q);
+                } else {
+                    c.h(q);
+                    ++hUsed;
+                }
+                break;
+              case 1: c.s(q); break;
+              case 2: c.sdg(q); break;
+              case 3: c.x(q); break;
+              case 4: c.y(q); break;
+              default: c.z(q); break;
+            }
+        }
+    }
+    c.measureAll();
+    return c;
+}
+
+} // namespace vaq::test
+
+#endif // VAQ_TESTS_SIM_CLIFFORD_CORPUS_HPP

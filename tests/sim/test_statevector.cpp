@@ -30,7 +30,7 @@ TEST(StateVector, InitializedToAllZeros)
 TEST(StateVector, WidthValidation)
 {
     EXPECT_THROW(StateVector(0), VaqError);
-    EXPECT_THROW(StateVector(25), VaqError);
+    EXPECT_THROW(StateVector(28), VaqError);
     EXPECT_NO_THROW(StateVector(1));
 }
 

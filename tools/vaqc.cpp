@@ -13,9 +13,9 @@
  *        vqa+vqm|native] [--calibration cal.csv |
  *        --synthetic-seed N] [--mah K] [--optimize]
  *        [--out mapped.qasm] [--trials N] [--threads N]
- *        [--target-stderr X] [--no-path-cache]
- *        [--metrics-out FILE] [--trace-out FILE]
- *        [--metrics-format json|csv|prom]
+ *        [--target-stderr X] [--sim-engine auto|dense|frame]
+ *        [--no-path-cache] [--metrics-out FILE]
+ *        [--trace-out FILE] [--metrics-format json|csv|prom]
  *
  * Batch mode compiles every --qasm program (the flag repeats)
  * against several consecutive calibration cycles concurrently:
@@ -95,6 +95,8 @@ struct Options
     std::size_t trials = 100000;
     std::size_t threads = 0;
     double targetStderr = 0.0;
+    /** --sim-engine value; empty = legacy Bernoulli report only. */
+    std::string simEngine;
     std::size_t batchCycles = 4;
     int maxRetries = 2;
     double jobDeadlineMs = 0.0;
@@ -180,6 +182,13 @@ printUsage()
         "once the PST\n"
         "                       standard error drops to X "
         "(default 0 = run all trials)\n"
+        "  --sim-engine E       also run an outcome-checked "
+        "Monte-Carlo report with\n"
+        "                       the chosen per-trial engine: auto "
+        "(Pauli-frame fast\n"
+        "                       path on Clifford-only programs, "
+        "dense otherwise) |\n"
+        "                       dense | frame\n"
         "  --out FILE           write the mapped program as QASM\n"
         "  --metrics-out FILE   write pipeline metrics (cache "
         "hit ratios, stage\n"
@@ -279,6 +288,11 @@ parseArgs(int argc, char **argv)
         else if (arg == "--target-stderr")
             options.targetStderr =
                 parseDouble(next("--target-stderr"));
+        else if (arg == "--sim-engine") {
+            options.simEngine = next("--sim-engine");
+            // Reject bad spellings at parse time (usage error).
+            sim::simEngineFromName(options.simEngine);
+        }
         else if (arg == "--optimize")
             options.optimize = true;
         else if (arg == "--lower")
@@ -380,6 +394,8 @@ compileOptionsFor(const Options &options)
     compile.cacheEnabled = !options.noPathCache;
     compile.telemetryEnabled = obs::enabled();
     compile.threads = options.threads;
+    if (!options.simEngine.empty())
+        compile.simEngine = sim::simEngineFromName(options.simEngine);
     return compile;
 }
 
@@ -850,6 +866,40 @@ run(const Options &options)
               << " (analytic "
               << formatDouble(result.analyticPst, 5) << ", "
               << result.trials << " trials)\n";
+
+    if (!options.simEngine.empty()) {
+        sim::OutcomeSimOptions oOptions;
+        oOptions.trials = options.trials;
+        oOptions.threads = options.threads;
+        oOptions.targetStderr = options.targetStderr;
+        oOptions.engine = sim::simEngineFromName(options.simEngine);
+        try {
+            const sim::OutcomeSimResult checked =
+                sim::runOutcomeCheckedParallel(mapped.physical,
+                                               model, oOptions);
+            std::cout << "sim-engine: "
+                      << (checked.framePath ? "frame" : "dense")
+                      << " (" << checked.gates.clifford
+                      << " clifford, " << checked.gates.nonClifford
+                      << " non-clifford gates";
+            if (!checked.framePath &&
+                !checked.fallbackReason.empty())
+                std::cout << "; fallback: "
+                          << checked.fallbackReason;
+            std::cout << ")\n";
+            std::cout << "PST (mc)  : "
+                      << formatDouble(checked.pst, 5) << " +/- "
+                      << formatDouble(checked.stderrPst, 5)
+                      << " (outcome-checked, " << checked.trials
+                      << " trials)\n";
+        } catch (const VaqError &e) {
+            // The outcome-checked report is additive: a program
+            // outside its envelope (too wide for a reference, no
+            // measurements) degrades to a note, not a failure.
+            std::cout << "sim-engine: skipped (" << e.message()
+                      << ")\n";
+        }
+    }
 
     if (options.explain) {
         std::cout << "\n"
