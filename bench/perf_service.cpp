@@ -1,0 +1,279 @@
+/**
+ * @file
+ * vaqd service load generator: drives CompileService through a real
+ * loopback HttpServer and reports requests/s with p50/p99 latency at
+ * 1, 4 and 16 concurrent clients, cold (every request compiled) vs
+ * store-warmed (every request served from the artifact store). The
+ * paper's daemon premise — recompile the queue against every fresh
+ * calibration epoch — only holds up if warm service latency is a
+ * small multiple of the wire cost, which is what this bench shows.
+ *
+ * Usage:
+ *   perf_service                 in-process benchmark (default)
+ *   perf_service --requests N    per-client request count (def 64)
+ *   perf_service --smoke --port P
+ *       CI smoke client against an already-running vaqd on port P:
+ *       one health probe, one compile, one calibration rollover,
+ *       one post-rollover compile. Exits non-zero on any failure.
+ */
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "circuit/qasm.hpp"
+#include "common/json.hpp"
+#include "common/strings.hpp"
+#include "obs/metrics.hpp"
+#include "service/http.hpp"
+#include "service/service.hpp"
+#include "store/artifact_store.hpp"
+#include "workloads/workloads.hpp"
+
+namespace
+{
+
+using namespace vaq;
+using Clock = std::chrono::steady_clock;
+
+std::string
+compileBody(const circuit::Circuit &logical,
+            const std::string &policy)
+{
+    json::Value body = json::Value::object();
+    body.set("clientId", json::Value::string("perf"));
+    body.set("qasm",
+             json::Value::string(circuit::toQasm(logical)));
+    json::Value spec = json::Value::object();
+    spec.set("name", json::Value::string(policy));
+    body.set("policy", std::move(spec));
+    return json::write(body);
+}
+
+struct LoadReport
+{
+    double requestsPerSecond = 0.0;
+    double p50Ms = 0.0;
+    double p99Ms = 0.0;
+    std::size_t failures = 0;
+};
+
+double
+percentile(std::vector<double> sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t at = std::min(
+        sorted.size() - 1,
+        static_cast<std::size_t>(q * static_cast<double>(
+                                         sorted.size())));
+    return sorted[at];
+}
+
+/** Fire `requests` POSTs from each of `clients` threads. */
+LoadReport
+runLoad(int port, const std::string &body, int clients,
+        int requests)
+{
+    std::vector<std::vector<double>> latencies(
+        static_cast<std::size_t>(clients));
+    std::atomic<std::size_t> failures{0};
+    const Clock::time_point start = Clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c]() {
+            std::vector<double> &mine =
+                latencies[static_cast<std::size_t>(c)];
+            mine.reserve(static_cast<std::size_t>(requests));
+            for (int r = 0; r < requests; ++r) {
+                const Clock::time_point t0 = Clock::now();
+                try {
+                    const service::HttpResponse response =
+                        service::httpExchange(port, "POST",
+                                              "/v1/compile", body);
+                    if (response.status != 200)
+                        ++failures;
+                } catch (...) {
+                    ++failures;
+                }
+                mine.push_back(
+                    std::chrono::duration<double, std::milli>(
+                        Clock::now() - t0)
+                        .count());
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start)
+            .count();
+
+    std::vector<double> all;
+    for (const std::vector<double> &chunk : latencies)
+        all.insert(all.end(), chunk.begin(), chunk.end());
+    LoadReport report;
+    report.requestsPerSecond =
+        elapsed > 0.0 ? static_cast<double>(all.size()) / elapsed
+                      : 0.0;
+    report.p50Ms = percentile(all, 0.50);
+    report.p99Ms = percentile(all, 0.99);
+    report.failures = failures.load();
+    return report;
+}
+
+void
+printRow(const std::string &mode, const std::string &clients,
+         const std::string &rps, const std::string &p50,
+         const std::string &p99, const std::string &fail)
+{
+    std::cout << std::left << std::setw(8) << mode
+              << std::setw(9) << clients << std::setw(11) << rps
+              << std::setw(10) << p50 << std::setw(10) << p99
+              << fail << "\n";
+}
+
+int
+runBenchmark(int requests)
+{
+    const topology::CouplingGraph machine =
+        topology::ibmQ20Tokyo();
+    const circuit::Circuit program = workloads::qft(5);
+    const std::string body = compileBody(program, "vqa+vqm");
+
+    std::cout << "vaqd service load (qft5 on q20, vqa+vqm, "
+              << requests << " requests/client)\n";
+    printRow("mode", "clients", "req/s", "p50 ms", "p99 ms",
+             "fail");
+
+    for (const bool warmed : {false, true}) {
+        // A fresh service per mode so cold numbers are honest.
+        store::ArtifactStore store{store::StoreOptions{}};
+        calibration::Snapshot snapshot =
+            calibration::SyntheticSource(
+                machine, calibration::SyntheticParams{},
+                bench::kArchiveSeed)
+                .nextCycle();
+        service::ServiceOptions options;
+        options.compile.telemetryEnabled = false;
+        service::CompileService daemon(
+            machine, std::move(snapshot), options,
+            warmed ? &store : nullptr);
+        service::HttpServer server(
+            service::HttpServerOptions{},
+            [&daemon](const service::HttpRequest &request) {
+                return daemon.handle(request);
+            });
+        if (warmed) {
+            // Prime the store: the first request records, the
+            // rest of the run serves exact hits.
+            service::httpExchange(server.port(), "POST",
+                                  "/v1/compile", body);
+        }
+        for (const int clients : {1, 4, 16}) {
+            const LoadReport report =
+                runLoad(server.port(), body, clients, requests);
+            printRow(warmed ? "warmed" : "cold",
+                     std::to_string(clients),
+                     formatDouble(report.requestsPerSecond, 4),
+                     formatDouble(report.p50Ms, 3),
+                     formatDouble(report.p99Ms, 3),
+                     std::to_string(report.failures));
+            if (report.failures != 0)
+                return 1;
+        }
+        server.stop();
+    }
+    return 0;
+}
+
+/** CI smoke client: probe an external vaqd and exercise one full
+ *  compile / rollover / recompile cycle. */
+int
+runSmoke(int port)
+{
+    const auto expect = [](const char *what,
+                           const service::HttpResponse &response,
+                           int status) {
+        if (response.status != status) {
+            std::cerr << "smoke: " << what << " returned "
+                      << response.status << " (want " << status
+                      << "): " << response.body << "\n";
+            std::exit(1);
+        }
+        std::cout << "smoke: " << what << " ok\n";
+    };
+
+    const circuit::Circuit program = workloads::qft(5);
+    const std::string body = compileBody(program, "vqa+vqm");
+    expect("healthz",
+           service::httpExchange(port, "GET", "/healthz"), 200);
+    expect("compile",
+           service::httpExchange(port, "POST", "/v1/compile",
+                                 body),
+           200);
+    expect("rollover",
+           service::httpExchange(port, "POST", "/v1/calibration",
+                                 "{\"syntheticSeed\": 11}"),
+           200);
+    expect("recompile",
+           service::httpExchange(port, "POST", "/v1/compile",
+                                 body),
+           200);
+    const service::HttpResponse metrics =
+        service::httpExchange(port, "GET", "/metrics");
+    if (metrics.status != 200 ||
+        metrics.body.find("vaq_service_requests") ==
+            std::string::npos) {
+        std::cerr << "smoke: /metrics missing "
+                     "vaq_service_requests\n";
+        return 1;
+    }
+    std::cout << "smoke: metrics ok\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int requests = 64;
+    int port = 0;
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--port" && i + 1 < argc) {
+            port = std::atoi(argv[++i]);
+        } else if (arg == "--requests" && i + 1 < argc) {
+            requests = std::atoi(argv[++i]);
+        } else {
+            std::cerr << "usage: perf_service [--requests N] | "
+                         "--smoke --port P\n";
+            return 2;
+        }
+    }
+    try {
+        if (smoke) {
+            if (port <= 0) {
+                std::cerr << "--smoke needs --port P\n";
+                return 2;
+            }
+            return runSmoke(port);
+        }
+        return runBenchmark(requests);
+    } catch (const std::exception &e) {
+        std::cerr << "perf_service: " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -52,11 +52,40 @@ ctest --test-dir build -L store --output-on-failure -j "$JOBS"
 echo "== tier-1: sim label smoke (must select tests) =="
 ctest --test-dir build -L sim --output-on-failure -j "$JOBS"
 
+echo "== tier-1: service label smoke (must select tests) =="
+ctest --test-dir build -L service --output-on-failure -j "$JOBS"
+
+echo "== tier-1: vaqd daemon smoke (compile + rollover over HTTP) =="
+# Start vaqd on an ephemeral port, parse the port it prints, then
+# drive one compile / rollover / recompile cycle through the
+# perf_service load generator's external-client smoke mode.
+VAQD_LOG="$(mktemp)"
+build/tools/vaqd --machine q20 --synthetic-seed 7 >"$VAQD_LOG" 2>&1 &
+VAQD_PID=$!
+trap 'kill "$VAQD_PID" 2>/dev/null || true' EXIT
+VAQD_PORT=""
+for _ in $(seq 1 50); do
+    VAQD_PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$VAQD_LOG" | head -1)"
+    [ -n "$VAQD_PORT" ] && break
+    sleep 0.1
+done
+if [ -z "$VAQD_PORT" ]; then
+    echo "ci: vaqd did not come up:" >&2
+    cat "$VAQD_LOG" >&2
+    exit 1
+fi
+build/bench/perf_service --smoke --port "$VAQD_PORT"
+kill -TERM "$VAQD_PID"
+wait "$VAQD_PID"
+trap - EXIT
+echo "ci: vaqd smoke passed (port $VAQD_PORT)"
+
 if [ "$RUN_TSAN" -eq 1 ]; then
-    echo "== tsan leg: -DVAQ_SANITIZE=thread, ctest -L parallel|analysis|store|sim =="
+    echo "== tsan leg: -DVAQ_SANITIZE=thread, ctest -L parallel|analysis|store|sim|service =="
     cmake -B build-tsan -S . -DVAQ_SANITIZE=thread >/dev/null
     cmake --build build-tsan -j "$JOBS"
-    ctest --test-dir build-tsan -L "parallel|analysis|store|sim" \
+    ctest --test-dir build-tsan \
+        -L "parallel|analysis|store|sim|service" \
         --output-on-failure -j "$JOBS"
 fi
 
@@ -76,6 +105,10 @@ if [ "$RUN_ASAN" -eq 1 ]; then
     echo "== asan leg: sim label smoke (must select tests) =="
     UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
         ctest --test-dir build-asan -L sim --output-on-failure \
+        -j "$JOBS"
+    echo "== asan leg: service label smoke (must select tests) =="
+    UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+        ctest --test-dir build-asan -L service --output-on-failure \
         -j "$JOBS"
 fi
 

@@ -3,7 +3,8 @@
 # library sources, using the compile database the normal build
 # exports (CMAKE_EXPORT_COMPILE_COMMANDS=ON in CMakeLists.txt).
 #
-#   scripts/lint.sh                # lint src/core and src/circuit
+#   scripts/lint.sh                # lint src/core, src/circuit,
+#                                  # src/service
 #   scripts/lint.sh src/analysis   # lint specific director(y/ies)
 #
 # Exits 0 when clang-tidy finds nothing (or is not installed —
@@ -37,7 +38,7 @@ fi
 
 DIRS=("$@")
 if [ "${#DIRS[@]}" -eq 0 ]; then
-    DIRS=(src/core src/circuit)
+    DIRS=(src/core src/circuit src/service)
 fi
 
 FILES=()

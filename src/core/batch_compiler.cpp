@@ -1,94 +1,25 @@
 #include "core/batch_compiler.hpp"
 
-#include <algorithm>
 #include <atomic>
 #include <optional>
 #include <set>
 #include <utility>
 
-#include "common/cancellation.hpp"
 #include "common/error.hpp"
 #include "core/compile_cache.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "sim/fault_sim.hpp"
-#include "sim/noise_model.hpp"
 
 namespace vaq::core
 {
 
-const char *
-jobStatusName(JobStatus status)
-{
-    switch (status) {
-    case JobStatus::Ok:
-        return "ok";
-    case JobStatus::Degraded:
-        return "degraded";
-    case JobStatus::Failed:
-        return "failed";
-    case JobStatus::TimedOut:
-        return "timed-out";
-    }
-    return "unknown";
-}
-
-namespace
-{
-
-/** What a distinct snapshot turned out to be once inspected. */
-struct SnapshotState
-{
-    enum class Kind
-    {
-        Clean,    ///< passed validate(), use as-is
-        Degraded, ///< quarantined but usable (compile into region)
-        Rejected, ///< unusable; every job against it fails
-    };
-
-    Kind kind = Kind::Clean;
-    /** Present iff kind == Degraded. */
-    std::optional<calibration::SanitizedCalibration> sanitized;
-    /** Quarantine summary or rejection reason. */
-    std::string note;
-};
-
-/** Failure classes worth walking the fallback ladder for. Usage and
- *  calibration errors are deterministic: the same input fails the
- *  same way under every policy, so retrying just burns time. */
-bool
-retryable(ErrorCategory category)
-{
-    return category == ErrorCategory::Routing ||
-           category == ErrorCategory::Compile ||
-           category == ErrorCategory::Timeout ||
-           category == ErrorCategory::Internal;
-}
-
-/** MappedCircuit has no empty state (circuits need >= 1 qubit), so
- *  failed jobs carry the smallest constructible stub. */
-MappedCircuit
-placeholderMapped()
-{
-    return MappedCircuit(1, 1);
-}
-
-} // namespace
-
 std::vector<std::string>
 BatchCompiler::fallbackLadder(const std::string &policy_name)
 {
-    // Each step drops the most expensive variability-aware
-    // ingredient first: vqa+vqm -> vqm (keep reliability routing,
-    // drop strongest-subgraph allocation) -> baseline (locality +
-    // fewest SWAPs, the policy that cannot fail for policy reasons).
-    if (policy_name.rfind("vqa", 0) == 0)
-        return {"vqm", "baseline"};
-    if (policy_name.rfind("vqm", 0) == 0)
-        return {"baseline"};
-    if (policy_name == "baseline")
-        return {};
-    return {"baseline"};
+    // The ladder itself moved to core/compile_request.hpp with the
+    // unified pipeline; this forwarder keeps the historical call
+    // sites (tests, the vaqc summary) compiling unchanged.
+    return core::fallbackLadder(policy_name);
 }
 
 BatchCompiler::BatchCompiler(const Mapper &mapper,
@@ -129,43 +60,15 @@ BatchCompiler::compile(
     // burst: a snapshot that fails validate() is either rescued by
     // the quarantine (jobs compile into the healthy region, marked
     // Degraded) or rejected (jobs fail with the report attached).
-    std::vector<std::optional<SnapshotState>> states(
+    const CalibrationHandling handling =
+        !_options.sanitizeCalibration || _options.failFast
+            ? CalibrationHandling::Validate
+            : CalibrationHandling::Sanitize;
+    std::vector<std::optional<SnapshotHealth>> states(
         snapshots.size());
     for (std::size_t s : distinct) {
-        SnapshotState state;
-        try {
-            snapshots[s].validate();
-        } catch (const VaqError &e) {
-            if (!_options.sanitizeCalibration || _options.failFast) {
-                state.kind = SnapshotState::Kind::Rejected;
-                state.note = e.message();
-            } else {
-                obs::Span sanitizeSpan("batch.sanitize", telemetry);
-                calibration::SanitizedCalibration sanitized =
-                    calibration::sanitize(snapshots[s], _graph,
-                                          _options.sanitize);
-                state.note = sanitized.report.summary();
-                if (telemetry) {
-                    obs::count("calibration.quarantine.snapshots");
-                    obs::count("calibration.quarantine.qubits",
-                               sanitized.report.qubits.size());
-                    obs::count("calibration.quarantine.links",
-                               sanitized.report.links.size());
-                }
-                if (sanitized.usable) {
-                    state.kind = SnapshotState::Kind::Degraded;
-                    state.sanitized = std::move(sanitized);
-                } else {
-                    state.kind = SnapshotState::Kind::Rejected;
-                    state.note +=
-                        "; healthy region too small to compile for";
-                    if (telemetry)
-                        obs::count(
-                            "calibration.quarantine.rejected");
-                }
-            }
-        }
-        states[s] = std::move(state);
+        states[s] = inspectSnapshot(snapshots[s], _graph, handling,
+                                    _options.sanitize, telemetry);
     }
 
     if (_options.compile.cacheEnabled) {
@@ -176,7 +79,7 @@ BatchCompiler::compile(
         // small tables, so there is nothing to pre-warm.)
         const PathCacheScope cacheScope(true);
         for (std::size_t s : distinct) {
-            if (states[s]->kind == SnapshotState::Kind::Clean)
+            if (states[s]->kind == SnapshotHealth::Kind::Clean)
                 sharedReliabilityMatrix(_graph, snapshots[s]);
         }
     }
@@ -192,59 +95,23 @@ BatchCompiler::compile(
     // makeMapper is cheap but not worth repeating per job, and doing
     // it here keeps the workers allocation-light.
     std::vector<Mapper> fallbacks;
-    if (!_options.failFast && _options.maxRetries > 0) {
-        const std::vector<std::string> ladder =
-            fallbackLadder(_mapper.name());
-        const std::size_t steps = std::min(
-            ladder.size(),
-            static_cast<std::size_t>(_options.maxRetries));
-        fallbacks.reserve(steps);
-        for (std::size_t i = 0; i < steps; ++i) {
-            PolicySpec spec;
-            spec.name = ladder[i];
-            fallbacks.push_back(makeMapper(spec));
-        }
-    }
+    if (!_options.failFast && _options.maxRetries > 0)
+        fallbacks = buildFallbackMappers(_mapper.name(),
+                                         _options.maxRetries);
 
-    // One compile attempt: clean snapshots map on the full machine,
-    // quarantined ones into the healthy region of the cleaned copy.
-    const auto compileAttempt =
-        [&](const Mapper &mapper, const BatchJob &job,
-            const SnapshotState &state) -> MappedCircuit {
-        const circuit::Circuit &logical = circuits[job.circuit];
-        if (state.kind == SnapshotState::Kind::Clean) {
-            return mapper.compile(logical, _graph,
-                                  snapshots[job.snapshot],
-                                  _options.compile);
-        }
-        const calibration::SanitizedCalibration &sanitized =
-            *state.sanitized;
-        if (sanitized.healthyRegion.size() <
-            static_cast<std::size_t>(logical.numQubits())) {
-            throw CalibrationError(
-                "healthy region (" +
-                std::to_string(sanitized.healthyRegion.size()) +
-                " qubits) smaller than the program (" +
-                std::to_string(logical.numQubits()) + ")");
-        }
-        return mapper.mapInRegion(logical, _graph,
-                                  sanitized.snapshot,
-                                  sanitized.healthyRegion);
-    };
-
-    const auto scoreAttempt = [&](const MappedCircuit &mapped,
-                                  const BatchJob &job,
-                                  const SnapshotState &state) {
-        if (!_options.scoreResults)
-            return 0.0;
-        const calibration::Snapshot &snapshot =
-            state.kind == SnapshotState::Kind::Degraded
-                ? state.sanitized->snapshot
-                : snapshots[job.snapshot];
-        const sim::NoiseModel model(_graph, snapshot,
-                                    sim::CoherenceMode::PerOp);
-        return sim::analyticPst(mapped.physical, model);
-    };
+    // The per-job knobs, expressed once as a CompileRequest
+    // template; CompileContext injects the batch-shared pieces so
+    // every job reuses them instead of rebuilding per call.
+    CompileRequest proto;
+    proto.options = _options.compile;
+    proto.lint = _options.lint;
+    proto.lintOptions = _options.lintOptions;
+    proto.deadlineMs = _options.jobDeadlineMs;
+    proto.maxRetries = _options.maxRetries;
+    proto.calibration = handling;
+    proto.sanitize = _options.sanitize;
+    proto.scoreResult = _options.scoreResults;
+    proto.failFast = _options.failFast;
 
     // Per-job result slots: workers never touch shared state, so
     // the output is a pure function of the job list — including the
@@ -284,183 +151,30 @@ BatchCompiler::compile(
             obs::ScopedTimer jobTimer("batch.job.seconds",
                                       telemetry);
             const BatchJob &job = jobs[i];
-            const SnapshotState &state = *states[job.snapshot];
+            const SnapshotHealth &health = *states[job.snapshot];
 
-            if (state.kind == SnapshotState::Kind::Rejected) {
-                if (_options.failFast) {
-                    throw CalibrationError(
-                        "snapshot " +
-                        std::to_string(job.snapshot) +
-                        " rejected: " + state.note);
-                }
-                BatchResult result(job.circuit, job.snapshot,
-                                   placeholderMapped(), 0.0);
-                result.status = JobStatus::Failed;
-                result.errorCategory = ErrorCategory::Calibration;
-                result.error = state.note;
-                result.attempts = 0;
-                finish(i, std::move(result));
-                return;
+            // The unified pipeline throws a context-free message on
+            // rejection under failFast; the batch names the
+            // offending snapshot index, as it always has.
+            if (health.kind == SnapshotHealth::Kind::Rejected &&
+                _options.failFast) {
+                throw CalibrationError(
+                    "snapshot " + std::to_string(job.snapshot) +
+                    " rejected: " + health.note);
             }
 
-            BatchResult result(job.circuit, job.snapshot,
-                               placeholderMapped(), 0.0);
-
-            // Artifact-cache lookup: a stored compile for this
-            // exact (circuit, snapshot, machine, policy) key — or
-            // one whose calibration dependencies survived the
-            // snapshot change (delta reuse) — replaces the whole
-            // attempt loop. Only clean snapshots are eligible: a
-            // quarantined machine compiles against a synthesized
-            // cleaned snapshot whose content the key does not
-            // describe. failFast keeps the legacy path untouched.
-            ArtifactCacheHook *artifacts =
-                _options.failFast ? nullptr
-                                  : _options.artifactCache;
-            if (artifacts &&
-                state.kind == SnapshotState::Kind::Clean) {
-                std::optional<ArtifactHit> hit = artifacts->lookup(
-                    circuits[job.circuit], snapshots[job.snapshot]);
-                if (hit.has_value()) {
-                    if (telemetry) {
-                        obs::count("store.hits");
-                        if (hit->viaDelta)
-                            obs::count("store.delta_reuse");
-                    }
-                    result.mapped = std::move(hit->mapped);
-                    // Prefer the PST recorded at store time; an
-                    // artifact stored by a non-scoring batch
-                    // carries 0 and is re-scored (deterministic —
-                    // the analytic model needs no sampling).
-                    result.analyticPst =
-                        !_options.scoreResults ? 0.0
-                        : hit->analyticPst != 0.0
-                            ? hit->analyticPst
-                            : scoreAttempt(result.mapped, job,
-                                           state);
-                    result.status = JobStatus::Ok;
-                    result.attempts = 0;
-                    result.fromStore = true;
-                    result.policyUsed = std::move(hit->policyUsed);
-                    result.mappedLintErrors = hit->mappedLintErrors;
-                    result.mappedLintWarnings =
-                        hit->mappedLintWarnings;
-                    finish(i, std::move(result));
-                    return;
-                }
-                if (telemetry)
-                    obs::count("store.misses");
-            }
-
-            const calibration::Snapshot &effective =
-                state.kind == SnapshotState::Kind::Degraded
-                    ? state.sanitized->snapshot
-                    : snapshots[job.snapshot];
-            if (linter) {
-                // Pre-compile pass on the logical circuit. Usage
-                // findings are deterministic rejections (the same
-                // circuit fails on this machine under every policy),
-                // so they fail the job before any compile attempt —
-                // same taxonomy bucket the mapper itself would use.
-                const analysis::LintReport pre = linter->lint(
-                    circuits[job.circuit], &_graph, &effective);
-                result.lintErrors = pre.errorCount();
-                result.lintWarnings = pre.warningCount();
-                const auto fatal = std::find_if(
-                    pre.diagnostics.begin(), pre.diagnostics.end(),
-                    [](const analysis::Diagnostic &d) {
-                        return d.severity ==
-                                   analysis::Severity::Error &&
-                               d.category ==
-                                   analysis::RuleCategory::Usage;
-                    });
-                if (fatal != pre.diagnostics.end()) {
-                    if (_options.failFast) {
-                        throw VaqError("lint rejected job: [" +
-                                       fatal->ruleId + "] " +
-                                       fatal->message);
-                    }
-                    result.status = JobStatus::Failed;
-                    result.errorCategory = ErrorCategory::Usage;
-                    result.error = "[" + fatal->ruleId + "] " +
-                                   fatal->message;
-                    result.attempts = 0;
-                    finish(i, std::move(result));
-                    return;
-                }
-            }
-
-            const std::size_t totalAttempts =
-                _options.failFast ? 1 : 1 + fallbacks.size();
-            for (std::size_t attempt = 0; attempt < totalAttempts;
-                 ++attempt) {
-                const Mapper &mapper =
-                    attempt == 0 ? _mapper : fallbacks[attempt - 1];
-                if (telemetry && attempt > 0)
-                    obs::count("batch.retries");
-                try {
-                    const CancellationToken token =
-                        _options.jobDeadlineMs > 0.0
-                            ? CancellationToken::withDeadline(
-                                  _options.jobDeadlineMs)
-                            : CancellationToken();
-                    const CancellationScope deadline(token);
-                    MappedCircuit mapped =
-                        compileAttempt(mapper, job, state);
-                    result.analyticPst =
-                        scoreAttempt(mapped, job, state);
-                    result.mapped = std::move(mapped);
-                    result.attempts =
-                        static_cast<int>(attempt) + 1;
-                    result.policyUsed = mapper.name();
-                    if (state.kind ==
-                            SnapshotState::Kind::Degraded ||
-                        attempt > 0) {
-                        result.status = JobStatus::Degraded;
-                        std::string note;
-                        if (attempt > 0)
-                            note = "fell back to policy '" +
-                                   mapper.name() + "'";
-                        if (state.kind ==
-                            SnapshotState::Kind::Degraded) {
-                            if (!note.empty())
-                                note += "; ";
-                            note += state.note;
-                        }
-                        result.note = std::move(note);
-                    } else {
-                        result.status = JobStatus::Ok;
-                    }
-                    result.error.clear();
-                    break;
-                } catch (const std::exception &e) {
-                    if (_options.failFast)
-                        throw;
-                    const ErrorCategory category = categorize(e);
-                    result.status =
-                        category == ErrorCategory::Timeout
-                            ? JobStatus::TimedOut
-                            : JobStatus::Failed;
-                    result.errorCategory = category;
-                    result.error = e.what();
-                    result.attempts =
-                        static_cast<int>(attempt) + 1;
-                    if (!retryable(category))
-                        break;
-                }
-            }
-            if (linter && result.ok()) {
-                // Post-compile pass over the routed circuit: SWAP
-                // hygiene, idle exposure, and the static reliability
-                // budget on what will actually execute. Advisory
-                // only — the job already compiled.
-                const analysis::LintReport post =
-                    linter->lintPhysical(result.mapped.physical,
-                                         _graph, &effective);
-                result.mappedLintErrors = post.errorCount();
-                result.mappedLintWarnings = post.warningCount();
-            }
-            finish(i, std::move(result));
+            CompileContext context;
+            context.mapper = &_mapper;
+            context.fallbacks = &fallbacks;
+            context.linter = linter ? &*linter : nullptr;
+            context.health = &health;
+            context.artifactCache = _options.artifactCache;
+            finish(i, BatchResult(
+                          job.circuit, job.snapshot,
+                          compileCircuit(circuits[job.circuit],
+                                         proto, _graph,
+                                         snapshots[job.snapshot],
+                                         context)));
         });
 
     if (_options.failFast) {
@@ -487,8 +201,8 @@ BatchCompiler::compile(
                 result.status != JobStatus::Ok ||
                 result.attempts != 1)
                 continue;
-            const SnapshotState &state = *states[result.snapshot];
-            if (state.kind != SnapshotState::Kind::Clean)
+            const SnapshotHealth &health = *states[result.snapshot];
+            if (health.kind != SnapshotHealth::Kind::Clean)
                 continue;
             _options.artifactCache->record(
                 circuits[result.circuit],
@@ -503,7 +217,7 @@ BatchCompiler::compile(
         if (slots[i].has_value() || !errors[i])
             continue;
         BatchResult result(jobs[i].circuit, jobs[i].snapshot,
-                           placeholderMapped(), 0.0);
+                           MappedCircuit(1, 1), 0.0);
         result.status = JobStatus::Failed;
         try {
             std::rethrow_exception(errors[i]);

@@ -50,6 +50,7 @@
 #include "circuit/circuit.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "core/compile_request.hpp"
 #include "core/mapped_circuit.hpp"
 #include "core/mapper.hpp"
 #include "topology/coupling_graph.hpp"
@@ -57,69 +58,17 @@
 namespace vaq::core
 {
 
+// JobStatus, ArtifactHit, ArtifactCacheHook and the per-job
+// pipeline itself moved to core/compile_request.hpp with the
+// CompileRequest redesign; this header re-exports them through the
+// include above, and BatchCompiler is now an adapter that runs
+// core::compile() per job with batch-level shared state.
+
 /** One compile order: circuits[circuit] on snapshots[snapshot]. */
 struct BatchJob
 {
     std::size_t circuit = 0;
     std::size_t snapshot = 0;
-};
-
-struct BatchResult;
-
-/** A compile served out of an artifact cache instead of running
- *  the mapper (see ArtifactCacheHook). */
-struct ArtifactHit
-{
-    MappedCircuit mapped;
-    /** PST estimate recorded when the artifact was stored. */
-    double analyticPst = 0.0;
-    /** Mapped-circuit lint counts recorded at store time. */
-    std::size_t mappedLintErrors = 0;
-    std::size_t mappedLintWarnings = 0;
-    /** Policy that produced the stored mapping. */
-    std::string policyUsed;
-    /** True when the hit came through delta reuse (the stored
-     *  artifact's calibration dependencies survived a snapshot
-     *  change) rather than an exact key match. */
-    bool viaDelta = false;
-
-    explicit ArtifactHit(MappedCircuit mapped_in)
-        : mapped(std::move(mapped_in))
-    {}
-};
-
-/**
- * Compile-artifact cache consulted by BatchCompiler around each
- * job. Implemented by store::ArtifactCacheAdapter over the
- * persistent content-addressed store (store/artifact_store.hpp);
- * core only sees this interface so the store library can depend on
- * core types without a cycle.
- *
- * Threading contract: lookup() is called concurrently from worker
- * threads and must be thread-safe; record() is only called from
- * the thread running BatchCompiler::compile, after every worker
- * has finished. BatchCompiler defers all record() calls to the end
- * of the batch so lookups observe the store exactly as it was when
- * the batch started — that is what keeps batch results
- * bit-identical across thread counts even when one batch contains
- * duplicate jobs.
- */
-class ArtifactCacheHook
-{
-  public:
-    virtual ~ArtifactCacheHook() = default;
-
-    /** Best stored artifact for (logical, snapshot) under the
-     *  machine and policy the cache was configured with, or
-     *  nullopt on a miss. */
-    virtual std::optional<ArtifactHit>
-    lookup(const circuit::Circuit &logical,
-           const calibration::Snapshot &snapshot) = 0;
-
-    /** Persist one freshly compiled Ok result. */
-    virtual void record(const circuit::Circuit &logical,
-                        const calibration::Snapshot &snapshot,
-                        const BatchResult &result) = 0;
 };
 
 /** Batch-compiler knobs. */
@@ -166,66 +115,31 @@ struct BatchOptions
     ArtifactCacheHook *artifactCache = nullptr;
 };
 
-/** Terminal state of one batch job. */
-enum class JobStatus
-{
-    Ok,       ///< primary policy, full machine
-    Degraded, ///< fallback policy and/or quarantined-machine region
-    Failed,   ///< no attempt produced a mapping
-    TimedOut, ///< every viable attempt hit the per-job deadline
-};
-
-/** Stable lowercase name ("ok", "degraded", "failed", "timed-out"). */
-const char *jobStatusName(JobStatus status);
-
-/** One compiled job. */
-struct BatchResult
+/**
+ * One compiled job: the unified CompileResult plus the job indices
+ * that tie it back to the batch's circuit/snapshot lists. Deriving
+ * keeps every historical field access (`result.mapped`,
+ * `result.status`, `result.ok()`, ...) source-compatible.
+ */
+struct BatchResult : CompileResult
 {
     std::size_t circuit;
     std::size_t snapshot;
-    /** Meaningful only when ok(); failed jobs hold a 1x1 stub. */
-    MappedCircuit mapped;
-    /** Compile-time PST estimate; 0 when scoring is disabled. */
-    double analyticPst;
-    JobStatus status = JobStatus::Ok;
-    /** Category of the final failure; meaningful when !ok(). */
-    ErrorCategory errorCategory = ErrorCategory::Usage;
-    /** Final failure message; empty when ok(). */
-    std::string error;
-    /** Why a Degraded result is degraded (fallback policy and/or
-     *  quarantine summary); empty otherwise. */
-    std::string note;
-    /** Compile attempts consumed (>= 1 unless rejected up front
-     *  or served from the artifact cache — both report 0). */
-    int attempts = 1;
-    /** Name of the policy that produced `mapped`; empty on failure. */
-    std::string policyUsed;
-    /** Diagnostic counts from the pre-compile (logical) lint pass;
-     *  zero when BatchOptions::lint is off. */
-    std::size_t lintErrors = 0;
-    std::size_t lintWarnings = 0;
-    /** Diagnostic counts from the post-compile pass over the mapped
-     *  circuit; zero when linting is off or the job failed. */
-    std::size_t mappedLintErrors = 0;
-    std::size_t mappedLintWarnings = 0;
-    /** True when `mapped` came from the artifact cache (exact or
-     *  delta hit) instead of a compile; attempts is 0 then. */
-    bool fromStore = false;
+
+    BatchResult(std::size_t circuit_index,
+                std::size_t snapshot_index, CompileResult result)
+        : CompileResult(std::move(result)),
+          circuit(circuit_index),
+          snapshot(snapshot_index)
+    {}
 
     BatchResult(std::size_t circuit_index,
                 std::size_t snapshot_index, MappedCircuit mapped_in,
                 double pst)
-        : circuit(circuit_index),
-          snapshot(snapshot_index),
-          mapped(std::move(mapped_in)),
-          analyticPst(pst)
-    {}
-
-    /** True when `mapped` is executable (Ok or Degraded). */
-    bool ok() const
+        : circuit(circuit_index), snapshot(snapshot_index)
     {
-        return status == JobStatus::Ok ||
-               status == JobStatus::Degraded;
+        mapped = std::move(mapped_in);
+        analyticPst = pst;
     }
 };
 

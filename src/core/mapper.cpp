@@ -7,6 +7,7 @@
 #include "common/cancellation.hpp"
 #include "common/error.hpp"
 #include "core/compile_cache.hpp"
+#include "core/compile_request.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/fault_sim.hpp"
@@ -89,6 +90,29 @@ Mapper::compile(const Circuit &logical,
                 const topology::CouplingGraph &graph,
                 const calibration::Snapshot &snapshot,
                 const CompileOptions &options) const
+{
+    // Thin adapter over the unified pipeline in Trust / fail-fast
+    // mode: no snapshot validation, no retries, no lint, no store,
+    // errors rethrown raw — the historical contract of this entry
+    // point, now expressed as a CompileRequest.
+    CompileRequest request;
+    request.options = options;
+    request.maxRetries = 0;
+    request.calibration = CalibrationHandling::Trust;
+    request.scoreResult = false;
+    request.failFast = true;
+    CompileContext context;
+    context.mapper = this;
+    return std::move(
+        compileCircuit(logical, request, graph, snapshot, context)
+            .mapped);
+}
+
+MappedCircuit
+Mapper::compileRaw(const Circuit &logical,
+                   const topology::CouplingGraph &graph,
+                   const calibration::Snapshot &snapshot,
+                   const CompileOptions &options) const
 {
     require(logical.numQubits() <= graph.numQubits(),
             "program needs more qubits than the machine has");

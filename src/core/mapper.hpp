@@ -83,14 +83,31 @@ class Mapper
      * is returned. The result's physical circuit is executable:
      * every two-qubit gate acts on a coupled pair.
      *
-     * `options` scopes the shared path caches and telemetry to this
-     * one compile (a PathCacheScope makes the deeper layers that
-     * read pathCacheEnabled() honor options.cacheEnabled).
+     * Since the CompileRequest redesign this is a one-line adapter
+     * over core::compile (core/compile_request.hpp) in Trust /
+     * fail-fast mode: no snapshot validation, no retries, no lint,
+     * errors thrown raw — byte-for-byte the historical semantics.
+     * New call sites should build a CompileRequest instead.
      */
     MappedCircuit compile(const circuit::Circuit &logical,
                           const topology::CouplingGraph &graph,
                           const calibration::Snapshot &snapshot,
                           const CompileOptions &options = {}) const;
+
+    /**
+     * The raw single-pass portfolio compile underneath
+     * core::compile: no validation, no containment, exactly one
+     * walk over the configured policy portfolio. `options` scopes
+     * the shared path caches and telemetry to this one compile (a
+     * PathCacheScope makes the deeper layers that read
+     * pathCacheEnabled() honor options.cacheEnabled). Everything
+     * above this — quarantine, retry ladder, artifact cache,
+     * lint — lives in core::compile.
+     */
+    MappedCircuit compileRaw(const circuit::Circuit &logical,
+                             const topology::CouplingGraph &graph,
+                             const calibration::Snapshot &snapshot,
+                             const CompileOptions &options = {}) const;
 
     /** compile() with default options (snapshots the globals). */
     MappedCircuit map(const circuit::Circuit &logical,

@@ -34,7 +34,7 @@ ArtifactCacheAdapter::lookup(const circuit::Circuit &logical,
 void
 ArtifactCacheAdapter::record(const circuit::Circuit &logical,
                              const calibration::Snapshot &snapshot,
-                             const core::BatchResult &result)
+                             const core::CompileResult &result)
 {
     recordMapped(logical, snapshot, result.mapped,
                  result.analyticPst, result.mappedLintErrors,

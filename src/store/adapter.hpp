@@ -32,10 +32,10 @@ class ArtifactCacheAdapter final : public core::ArtifactCacheHook
     lookup(const circuit::Circuit &logical,
            const calibration::Snapshot &snapshot) override;
 
-    /** Persist one fresh JobStatus::Ok batch result. */
+    /** Persist one fresh JobStatus::Ok compile result. */
     void record(const circuit::Circuit &logical,
                 const calibration::Snapshot &snapshot,
-                const core::BatchResult &result) override;
+                const core::CompileResult &result) override;
 
     /** Persist one mapped result directly (vaqc single-compile). */
     void recordMapped(const circuit::Circuit &logical,

@@ -64,6 +64,7 @@
 #include "common/table.hpp"
 #include "core/batch_compiler.hpp"
 #include "core/compile_cache.hpp"
+#include "core/compile_request.hpp"
 #include "core/mapper.hpp"
 #include "core/explain.hpp"
 #include "core/verify.hpp"
@@ -776,22 +777,38 @@ run(const Options &options)
     const std::unique_ptr<store::ArtifactStore> artifacts =
         openArtifactStore(options);
     std::unique_ptr<store::ArtifactCacheAdapter> artifactCache;
-    std::optional<core::ArtifactHit> hit;
     if (artifacts != nullptr) {
         artifactCache =
             std::make_unique<store::ArtifactCacheAdapter>(
                 *artifacts, machine,
                 policySpecByName(options.policy, options.mah));
-        hit = artifactCache->lookup(logical, snapshot);
     }
-    core::MappedCircuit mapped =
-        hit.has_value()
-            ? std::move(hit->mapped)
-            : mapper.compile(logical, machine, snapshot,
-                             compileOptionsFor(options));
-    if (artifactCache != nullptr && !hit.has_value())
-        artifactCache->recordMapped(logical, snapshot, mapped,
-                                    0.0);
+
+    // Single compiles go through the same unified entry point as
+    // the batch compiler and the vaqd daemon. Trust + no retries +
+    // no scoring is exactly the historical vaqc pipeline (the
+    // Monte-Carlo report below computes the analytic PST itself);
+    // the deadline stays with the ambient scope above so it also
+    // bounds the simulation.
+    core::CompileRequest request;
+    request.policy = policySpecByName(options.policy, options.mah);
+    request.options = compileOptionsFor(options);
+    request.maxRetries = 0;
+    request.calibration = core::CalibrationHandling::Trust;
+    request.scoreResult = false;
+    core::CompileContext context;
+    context.mapper = &mapper;
+    context.artifactCache = artifactCache.get();
+    core::CompileResult compiled =
+        core::compileCircuit(logical, request, machine, snapshot,
+                             context);
+    // Containment off: vaqc reports single-compile failures through
+    // the exception exit path, category and message intact.
+    if (!compiled.ok())
+        throw VaqError(compiled.error, compiled.errorCategory);
+    if (artifactCache != nullptr && !compiled.fromStore)
+        artifactCache->record(logical, snapshot, compiled);
+    core::MappedCircuit mapped = std::move(compiled.mapped);
 
     if (options.verify) {
         const core::VerificationReport report =
@@ -848,9 +865,9 @@ run(const Options &options)
     std::cout << "policy    : " << mapper.name() << "\n";
     if (artifacts != nullptr) {
         std::cout << "store     : "
-                  << (hit.has_value()
-                          ? hit->viaDelta ? "delta-reuse hit"
-                                          : "exact hit"
+                  << (compiled.fromStore
+                          ? compiled.viaDelta ? "delta-reuse hit"
+                                              : "exact hit"
                           : "miss (result recorded)")
                   << "\n";
         if (options.storeStats)
@@ -920,8 +937,20 @@ run(const Options &options)
 int
 main(int argc, char **argv)
 {
+    Options options;
+    // Failure exits still owe the operator whatever telemetry the
+    // run accumulated: a timed-out or failed compile is exactly the
+    // run whose stage latencies and counters get inspected. Swallow
+    // secondary export errors (e.g. a bad --metrics-format was the
+    // primary failure already).
+    const auto flushTelemetry = [&options]() {
+        try {
+            exportTelemetry(options);
+        } catch (...) { // NOLINT(bugprone-empty-catch)
+        }
+    };
     try {
-        const Options options = parseArgs(argc, argv);
+        options = parseArgs(argc, argv);
         if (options.help || argc == 1) {
             printUsage();
             return 0;
@@ -942,16 +971,19 @@ main(int argc, char **argv)
         exportTelemetry(options);
         return code;
     } catch (const VaqError &e) {
+        flushTelemetry();
         // One line, category-tagged, exit code from the taxonomy.
         std::cerr << "vaqc: "
                   << errorCategoryName(e.category())
                   << " error: " << e.what() << "\n";
         return exitCodeFor(e.category());
     } catch (const VaqInternalError &e) {
+        flushTelemetry();
         std::cerr << "vaqc: internal error (please report): "
                   << e.what() << "\n";
         return exitCodeFor(ErrorCategory::Internal);
     } catch (const std::exception &e) {
+        flushTelemetry();
         std::cerr << "vaqc: unexpected error: " << e.what()
                   << "\n";
         return exitCodeFor(ErrorCategory::Internal);
