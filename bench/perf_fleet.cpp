@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Fleet-robustness bench: sweep injected fault rates over the
+ * standard heterogeneous fleet and report the STPT / deadline-hit
+ * degradation of the failover scheduler against (a) a fault-free
+ * run and (b) the no-failover baseline at the same fault rate.
+ *
+ * Modes:
+ *
+ *   perf_fleet                      # the fault-rate sweep table
+ *   perf_fleet --policy least-loaded --jobs 300 --fault-rate 4
+ *   perf_fleet --chaos-smoke --seed 11 --threads 8
+ *       # print ONLY the summary fingerprint JSON of one seeded
+ *       # chaos run; byte-identical across runs and thread counts
+ *       # (scripts/ci.sh diffs thread 1 vs thread 8 output)
+ */
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fleet/backend.hpp"
+#include "fleet/fault_plan.hpp"
+#include "fleet/policy.hpp"
+#include "fleet/sim.hpp"
+#include "fleet/stats.hpp"
+#include "workloads/workloads.hpp"
+
+namespace
+{
+
+using namespace vaq;
+
+std::vector<circuit::Circuit>
+fleetWorkload()
+{
+    // Small enough for every machine in the fleet (Q5 included).
+    std::vector<circuit::Circuit> circuits;
+    circuits.push_back(workloads::ghz(4));
+    circuits.push_back(workloads::bernsteinVazirani(4));
+    circuits.push_back(workloads::qft(4));
+    circuits.push_back(workloads::grover(3, 5));
+    return circuits;
+}
+
+struct RunConfig
+{
+    fleet::PlacementPolicy policy =
+        fleet::PlacementPolicy::BestPst;
+    bool failover = true;
+    std::size_t jobs = 200;
+    double faultsPerMachine = 0.0;
+    std::uint64_t seed = 7;
+    std::size_t threads = 1;
+};
+
+fleet::FleetSummary
+runFleet(const RunConfig &config)
+{
+    const std::vector<circuit::Circuit> workload = fleetWorkload();
+
+    fleet::JobStreamParams stream;
+    stream.count = config.jobs;
+    stream.meanInterarrivalUs = 2500.0;
+    stream.relativeDeadlineUs = 80000.0;
+    stream.shots = 512;
+    const std::vector<fleet::FleetJob> jobs = fleet::makeJobStream(
+        workload.size(), stream, config.seed);
+    const double horizonUs =
+        jobs.empty() ? 1.0 : jobs.back().arrivalUs;
+
+    fleet::FaultPlanParams faults;
+    faults.horizonUs = horizonUs;
+    faults.faultsPerMachine = config.faultsPerMachine;
+    faults.meanOutageUs = 40000.0;
+    faults.meanSpikeUs = 50000.0;
+    fleet::FaultPlan plan;
+    if (config.faultsPerMachine > 0.0)
+        plan = fleet::generateFaultPlan(4, faults,
+                                        config.seed * 31 + 5);
+
+    fleet::FleetOptions options;
+    options.policy = config.policy;
+    options.failover = config.failover;
+    options.calibrationPeriodUs = horizonUs / 2.0;
+    options.threads = config.threads;
+    options.seed = config.seed;
+    fleet::FleetSim sim(fleet::standardFleet(config.seed),
+                        workload, options, plan);
+    return sim.run(jobs);
+}
+
+double
+pct(std::size_t part, std::size_t whole)
+{
+    return whole == 0 ? 0.0
+                      : 100.0 * static_cast<double>(part) /
+                            static_cast<double>(whole);
+}
+
+int
+chaosSmoke(const RunConfig &config)
+{
+    RunConfig chaos = config;
+    chaos.faultsPerMachine =
+        chaos.faultsPerMachine > 0.0 ? chaos.faultsPerMachine : 3.0;
+    const fleet::FleetSummary summary = runFleet(chaos);
+    // Fingerprint only: the smoke diffs this output byte-for-byte
+    // across runs and thread counts.
+    std::printf("%s\n", summary.fingerprint().c_str());
+    return 0;
+}
+
+void
+sweep(const RunConfig &base)
+{
+    std::printf("# fleet fault-rate sweep: policy=%s jobs=%zu "
+                "seed=%llu\n",
+                fleet::placementPolicyName(base.policy), base.jobs,
+                static_cast<unsigned long long>(base.seed));
+    std::printf("%-12s %-10s %10s %12s %10s %10s %10s\n", "faults",
+                "scheduler", "completed", "in-deadline", "stpt",
+                "stpt-deg", "retries");
+
+    RunConfig faultFree = base;
+    faultFree.faultsPerMachine = 0.0;
+    faultFree.failover = true;
+    const fleet::FleetSummary clean = runFleet(faultFree);
+    const double cleanStpt = clean.stpt;
+
+    const double rates[] = {0.0, 1.5, 3.0, 6.0};
+    for (double rate : rates) {
+        for (bool failover : {true, false}) {
+            RunConfig config = base;
+            config.faultsPerMachine = rate;
+            config.failover = failover;
+            const fleet::FleetSummary s = runFleet(config);
+            const double degradation =
+                cleanStpt > 0.0
+                    ? 100.0 * (1.0 - s.stpt / cleanStpt)
+                    : 0.0;
+            std::printf(
+                "%-12.1f %-10s %9.1f%% %11.1f%% %10.4f %9.1f%% "
+                "%10zu\n",
+                rate, failover ? "failover" : "baseline",
+                pct(s.completed, s.jobs),
+                pct(s.withinDeadline, s.jobs), s.stpt, degradation,
+                s.retries);
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    RunConfig config;
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--chaos-smoke") {
+            smoke = true;
+        } else if (arg == "--policy") {
+            config.policy =
+                vaq::fleet::placementPolicyFromName(next());
+        } else if (arg == "--no-failover") {
+            config.failover = false;
+        } else if (arg == "--jobs") {
+            config.jobs = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--fault-rate") {
+            config.faultsPerMachine = std::strtod(next(), nullptr);
+        } else if (arg == "--seed") {
+            config.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--threads") {
+            config.threads = std::strtoull(next(), nullptr, 10);
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: perf_fleet [--chaos-smoke] [--policy "
+                "best-pst|least-loaded|replicate] [--no-failover] "
+                "[--jobs N] [--fault-rate F] [--seed S] "
+                "[--threads T]\n");
+            return 2;
+        }
+    }
+    if (smoke)
+        return chaosSmoke(config);
+    sweep(config);
+    return 0;
+}

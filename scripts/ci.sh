@@ -7,8 +7,9 @@
 #   scripts/ci.sh --asan   # also run the address+UB sanitizer leg
 #
 # The default ctest run includes every label (robustness, parallel,
-# analysis, store, router, obs, sim, ...). The TSan leg rebuilds
-# into build-tsan/ and runs only `-L "parallel|analysis|store|sim"`
+# analysis, store, router, obs, sim, fleet, ...). The TSan leg
+# rebuilds into build-tsan/ and runs only
+# `-L "parallel|analysis|store|sim|service|fleet"`
 # — the tests that exercise the thread pool, the shared path caches,
 # the batch fault paths, the lint determinism checks, the shared
 # artifact store, and the Pauli-frame cross-validation suite (whose
@@ -55,6 +56,28 @@ ctest --test-dir build -L sim --output-on-failure -j "$JOBS"
 echo "== tier-1: service label smoke (must select tests) =="
 ctest --test-dir build -L service --output-on-failure -j "$JOBS"
 
+echo "== tier-1: fleet label smoke (must select tests) =="
+ctest --test-dir build -L fleet --output-on-failure -j "$JOBS"
+
+echo "== tier-1: seeded chaos smoke (byte-identical summaries) =="
+# The same FaultPlan seed must produce byte-identical fleet
+# summaries across repeat runs and across thread counts.
+CHAOS_A="$(mktemp)"
+CHAOS_B="$(mktemp)"
+build/bench/perf_fleet --chaos-smoke --seed 11 --threads 1 >"$CHAOS_A"
+build/bench/perf_fleet --chaos-smoke --seed 11 --threads 1 >"$CHAOS_B"
+cmp "$CHAOS_A" "$CHAOS_B" || {
+    echo "ci: chaos smoke diverged across repeat runs" >&2
+    exit 1
+}
+build/bench/perf_fleet --chaos-smoke --seed 11 --threads 8 >"$CHAOS_B"
+cmp "$CHAOS_A" "$CHAOS_B" || {
+    echo "ci: chaos smoke diverged across thread counts" >&2
+    exit 1
+}
+rm -f "$CHAOS_A" "$CHAOS_B"
+echo "ci: chaos smoke deterministic (threads 1 vs 8)"
+
 echo "== tier-1: vaqd daemon smoke (compile + rollover over HTTP) =="
 # Start vaqd on an ephemeral port, parse the port it prints, then
 # drive one compile / rollover / recompile cycle through the
@@ -81,11 +104,11 @@ trap - EXIT
 echo "ci: vaqd smoke passed (port $VAQD_PORT)"
 
 if [ "$RUN_TSAN" -eq 1 ]; then
-    echo "== tsan leg: -DVAQ_SANITIZE=thread, ctest -L parallel|analysis|store|sim|service =="
+    echo "== tsan leg: -DVAQ_SANITIZE=thread, ctest -L parallel|analysis|store|sim|service|fleet =="
     cmake -B build-tsan -S . -DVAQ_SANITIZE=thread >/dev/null
     cmake --build build-tsan -j "$JOBS"
     ctest --test-dir build-tsan \
-        -L "parallel|analysis|store|sim|service" \
+        -L "parallel|analysis|store|sim|service|fleet" \
         --output-on-failure -j "$JOBS"
 fi
 
@@ -109,6 +132,10 @@ if [ "$RUN_ASAN" -eq 1 ]; then
     echo "== asan leg: service label smoke (must select tests) =="
     UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
         ctest --test-dir build-asan -L service --output-on-failure \
+        -j "$JOBS"
+    echo "== asan leg: fleet label smoke (must select tests) =="
+    UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+        ctest --test-dir build-asan -L fleet --output-on-failure \
         -j "$JOBS"
 fi
 

@@ -367,12 +367,21 @@ compileCircuit(const circuit::Circuit &logical,
             // actually requested — a request without one must not
             // mask an ambient CancellationScope the caller set up
             // (Mapper::compile historically ran under whatever
-            // token was current).
+            // token was current). The budget is per job, not per
+            // attempt: whatever a failed attempt burned is gone,
+            // so a retry after the deadline expires cancels at its
+            // first checkpoint instead of succeeding late as a
+            // deceptively healthy-looking Degraded result.
             std::optional<CancellationToken> token;
             std::optional<CancellationScope> deadline;
             if (request.deadlineMs > 0.0) {
+                // withDeadline requires a positive budget; an
+                // exhausted one becomes a token that expires at
+                // the first checkpoint.
+                const double remainingMs =
+                    request.deadlineMs - elapsedMs(start);
                 token.emplace(CancellationToken::withDeadline(
-                    request.deadlineMs));
+                    std::max(remainingMs, 1e-6)));
                 deadline.emplace(*token);
             }
             MappedCircuit mapped = compileAttempt(attemptMapper);

@@ -1,0 +1,75 @@
+#include "fleet/policy.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace vaq::fleet
+{
+
+const char *
+placementPolicyName(PlacementPolicy policy)
+{
+    switch (policy) {
+    case PlacementPolicy::BestPst: return "best-pst";
+    case PlacementPolicy::LeastLoaded: return "least-loaded";
+    case PlacementPolicy::Replicate: return "replicate";
+    }
+    return "best-pst";
+}
+
+PlacementPolicy
+placementPolicyFromName(const std::string &name)
+{
+    if (name == "best-pst")
+        return PlacementPolicy::BestPst;
+    if (name == "least-loaded")
+        return PlacementPolicy::LeastLoaded;
+    if (name == "replicate")
+        return PlacementPolicy::Replicate;
+    throw VaqError("unknown placement policy '" + name +
+                   "' (expected best-pst, least-loaded or "
+                   "replicate)");
+}
+
+double
+stptOf(const CandidateBackend &candidate)
+{
+    const double totalUs =
+        candidate.queueDelayUs + candidate.serviceUs;
+    if (totalUs <= 0.0)
+        return 0.0;
+    return candidate.predictedPst / totalUs;
+}
+
+std::vector<CandidateBackend>
+rankCandidates(std::vector<CandidateBackend> candidates,
+               PlacementPolicy policy)
+{
+    const auto byPst = [](const CandidateBackend &a,
+                          const CandidateBackend &b) {
+        if (a.predictedPst != b.predictedPst)
+            return a.predictedPst > b.predictedPst;
+        return a.index < b.index;
+    };
+    const auto byLoad = [](const CandidateBackend &a,
+                           const CandidateBackend &b) {
+        if (a.queueDelayUs != b.queueDelayUs)
+            return a.queueDelayUs < b.queueDelayUs;
+        if (a.predictedPst != b.predictedPst)
+            return a.predictedPst > b.predictedPst;
+        return a.index < b.index;
+    };
+    switch (policy) {
+    case PlacementPolicy::BestPst:
+    case PlacementPolicy::Replicate:
+        std::sort(candidates.begin(), candidates.end(), byPst);
+        break;
+    case PlacementPolicy::LeastLoaded:
+        std::sort(candidates.begin(), candidates.end(), byLoad);
+        break;
+    }
+    return candidates;
+}
+
+} // namespace vaq::fleet

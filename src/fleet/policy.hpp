@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fleet placement policies — Section 8 generalized from "which half
+ * of one machine" to "which machine(s) in a fleet".
+ *
+ *  - BestPst: the variability-aware default — place on the machine
+ *    whose predicted PST for this circuit is highest (Murali et
+ *    al.'s multi-machine mapping objective).
+ *  - LeastLoaded: throughput-first — place where the queue drains
+ *    soonest, breaking ties by PST.
+ *  - Replicate: the paper's strong-copy-vs-weak-copies tradeoff. At
+ *    admission the scheduler compares the best single machine's
+ *    STPT (pst / service time) against the summed STPT of the top
+ *    two machines; when the two weak copies win, the job runs as
+ *    two independent copies and succeeds if either does.
+ *
+ * Ranking is deterministic: scores tie-break on backend index, so a
+ * fleet summary never depends on map iteration order or threads.
+ */
+#ifndef VAQ_FLEET_POLICY_HPP
+#define VAQ_FLEET_POLICY_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vaq::fleet
+{
+
+/** Placement policy selector. */
+enum class PlacementPolicy
+{
+    BestPst,
+    LeastLoaded,
+    Replicate,
+};
+
+/** Stable name ("best-pst", "least-loaded", "replicate"). */
+const char *placementPolicyName(PlacementPolicy policy);
+
+/** Parse a placementPolicyName spelling; throws if unknown. */
+PlacementPolicy placementPolicyFromName(const std::string &name);
+
+/** One machine's offer for a job, as seen at placement time. */
+struct CandidateBackend
+{
+    std::size_t index = 0;      ///< backend index within the fleet
+    double predictedPst = 0.0;  ///< compile-time PST estimate
+    double queueDelayUs = 0.0;  ///< wait until the queue drains
+    double serviceUs = 0.0;     ///< compile + shots (incl. spikes)
+};
+
+/**
+ * Order candidates best-first under `policy`. Replicate ranks like
+ * BestPst — the copy-splitting decision is made by the scheduler
+ * with stptOf() before ranking the copies' homes.
+ */
+std::vector<CandidateBackend>
+rankCandidates(std::vector<CandidateBackend> candidates,
+               PlacementPolicy policy);
+
+/** Successful trials per microsecond: pst / (queue + service). */
+double stptOf(const CandidateBackend &candidate);
+
+} // namespace vaq::fleet
+
+#endif // VAQ_FLEET_POLICY_HPP

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -61,6 +62,8 @@ renderResponse(const HttpResponse &response)
                       std::to_string(response.status) + " " +
                       httpStatusReason(response.status) + "\r\n";
     out += "Content-Type: " + response.contentType + "\r\n";
+    for (const auto &[key, value] : response.headers)
+        out += key + ": " + value + "\r\n";
     out += "Content-Length: " +
            std::to_string(response.body.size()) + "\r\n";
     out += "Connection: close\r\n\r\n";
@@ -111,6 +114,26 @@ HttpRequest::header(const std::string &name) const
             return &value;
     }
     return nullptr;
+}
+
+const std::string *
+HttpResponse::header(const std::string &name) const
+{
+    for (const auto &[key, value] : headers) {
+        if (iequals(key, name))
+            return &value;
+    }
+    return nullptr;
+}
+
+void
+HttpResponse::retryAfter(double seconds)
+{
+    long long rounded =
+        static_cast<long long>(std::ceil(seconds));
+    if (rounded < 1)
+        rounded = 1;
+    headers.emplace_back("Retry-After", std::to_string(rounded));
 }
 
 const char *
@@ -242,8 +265,17 @@ HttpServer::acceptLoop()
             _shed.fetch_add(1);
             if (obs::enabled())
                 obs::count("service.queue.shed");
-            respondAndClose(
-                fd, errorResponse(503, "admission queue full"));
+            HttpResponse response =
+                errorResponse(503, "admission queue full");
+            // Queue-drain estimate: a full queue across the worker
+            // pool, assuming ~queueDepth/workers exchanges each at
+            // well under a second on localhost — one second is the
+            // honest lower bound the header can express.
+            response.retryAfter(
+                static_cast<double>(_options.queueDepth) /
+                static_cast<double>(_options.workerThreads) /
+                64.0);
+            respondAndClose(fd, response);
             continue;
         }
         _ready.notify_one();
@@ -448,23 +480,33 @@ httpExchange(int port, const std::string &method,
     response.status = std::stoi(data.substr(sp + 1, 3));
     response.body = data.substr(headerEnd + 4);
 
-    // Surface Content-Type for callers that check it (tests).
-    const std::string lower = [&] {
-        std::string text = data.substr(0, headerEnd);
-        std::transform(text.begin(), text.end(), text.begin(),
-                       [](unsigned char c) {
+    // Surface every response header for callers that check them
+    // (Content-Type, Retry-After, ... in the tests).
+    std::size_t cursor = data.find("\r\n") + 2;
+    while (cursor < headerEnd) {
+        const std::size_t end = data.find("\r\n", cursor);
+        const std::string line = data.substr(cursor, end - cursor);
+        cursor = end + 2;
+        const std::size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            continue;
+        std::string key = line.substr(0, colon);
+        std::string value = line.substr(colon + 1);
+        while (!value.empty() &&
+               (value.front() == ' ' || value.front() == '\t'))
+            value.erase(value.begin());
+        response.headers.emplace_back(std::move(key),
+                                      std::move(value));
+    }
+    if (const std::string *type =
+            response.header("Content-Type")) {
+        std::string lowered = *type;
+        std::transform(lowered.begin(), lowered.end(),
+                       lowered.begin(), [](unsigned char c) {
                            return static_cast<char>(
                                std::tolower(c));
                        });
-        return text;
-    }();
-    const std::size_t ct = lower.find("content-type:");
-    if (ct != std::string::npos) {
-        std::size_t start = ct + 13;
-        while (start < lower.size() && lower[start] == ' ')
-            ++start;
-        const std::size_t end = lower.find("\r\n", start);
-        response.contentType = lower.substr(start, end - start);
+        response.contentType = std::move(lowered);
     }
     return response;
 }

@@ -53,6 +53,17 @@ struct HttpResponse
     int status = 200;
     std::string contentType = "application/json";
     std::string body;
+    /** Extra headers (e.g. Retry-After on 429/503), rendered after
+     *  Content-Type. On the client side httpExchange fills this
+     *  with every response header it read. */
+    std::vector<std::pair<std::string, std::string>> headers;
+
+    /** Header value by case-insensitive name, or nullptr. */
+    const std::string *header(const std::string &name) const;
+
+    /** Attach a Retry-After header of `seconds` (rounded up,
+     *  floored at 1 — zero would tell clients to hammer). */
+    void retryAfter(double seconds);
 };
 
 /** Standard reason phrase for the status codes the daemon uses. */

@@ -8,6 +8,7 @@
 #include "circuit/qasm.hpp"
 #include "common/json.hpp"
 #include "core/compile_cache.hpp"
+#include "fleet/stats.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 
@@ -154,7 +155,8 @@ CompileService::policyEntry(const core::PolicySpec &spec)
 }
 
 bool
-CompileService::admitClient(const std::string &clientId)
+CompileService::admitClient(const std::string &clientId,
+                            double *retryAfterSeconds)
 {
     if (_options.quotaRps <= 0.0)
         return true;
@@ -171,8 +173,14 @@ CompileService::admitClient(const std::string &clientId)
         std::min(_options.quotaBurst,
                  bucket.tokens + elapsed * _options.quotaRps);
     bucket.last = now;
-    if (bucket.tokens < 1.0)
+    if (bucket.tokens < 1.0) {
+        // Time until the bucket refills to one whole token — the
+        // honest Retry-After for this client.
+        if (retryAfterSeconds != nullptr)
+            *retryAfterSeconds =
+                (1.0 - bucket.tokens) / _options.quotaRps;
         return false;
+    }
     bucket.tokens -= 1.0;
     return true;
 }
@@ -203,10 +211,28 @@ CompileService::handle(const HttpRequest &request)
 {
     if (obs::enabled())
         obs::count("service.requests");
+    HttpResponse response = route(request);
+    // Every 503 is a retryable condition (calibration epoch
+    // unusable, store backpressure); tell well-behaved clients
+    // when to come back instead of leaving them to guess. The
+    // admission-queue 503 never reaches this point — http.cpp
+    // sheds it with its own queue-drain estimate.
+    if (response.status == 503 &&
+        response.header("Retry-After") == nullptr)
+        response.retryAfter(1.0);
+    return response;
+}
+
+HttpResponse
+CompileService::route(const HttpRequest &request)
+{
     if (request.method == "GET" && request.path == "/healthz")
         return handleHealth();
     if (request.method == "GET" && request.path == "/metrics")
         return handleMetrics();
+    if (request.method == "GET" &&
+        request.path == "/v1/fleet/stats")
+        return handleFleetStats();
     if (request.method == "POST" && request.path == "/v1/compile")
         return handleCompile(request);
     if (request.method == "POST" && request.path == "/v1/batch")
@@ -215,6 +241,7 @@ CompileService::handle(const HttpRequest &request)
         request.path == "/v1/calibration")
         return handleCalibration(request);
     if (request.path == "/healthz" || request.path == "/metrics" ||
+        request.path == "/v1/fleet/stats" ||
         request.path == "/v1/compile" ||
         request.path == "/v1/batch" ||
         request.path == "/v1/calibration") {
@@ -242,6 +269,59 @@ CompileService::handleHealth() const
                          core::SnapshotHealth::Kind::Degraded
                      ? "degraded"
                      : "clean"));
+    // The quarantine summary: which qubits/links this epoch's
+    // sanitize pass pruned and why (empty lists on a clean epoch).
+    json::Value quarantine = json::Value::object();
+    json::Value qubits = json::Value::array();
+    json::Value links = json::Value::array();
+    if (epoch->health.sanitized.has_value()) {
+        const calibration::QuarantineReport &report =
+            epoch->health.sanitized->report;
+        for (const calibration::QuarantinedQubit &q :
+             report.qubits) {
+            json::Value entry = json::Value::object();
+            entry.set("qubit",
+                      json::Value::number(
+                          static_cast<std::int64_t>(q.qubit)));
+            entry.set("reason", json::Value::string(q.reason));
+            qubits.push(std::move(entry));
+        }
+        for (const calibration::QuarantinedLink &l : report.links) {
+            json::Value entry = json::Value::object();
+            entry.set("a", json::Value::number(
+                               static_cast<std::int64_t>(l.a)));
+            entry.set("b", json::Value::number(
+                               static_cast<std::int64_t>(l.b)));
+            entry.set("reason", json::Value::string(l.reason));
+            links.push(std::move(entry));
+        }
+        quarantine.set(
+            "healthyQubits",
+            json::Value::number(static_cast<std::int64_t>(
+                epoch->health.sanitized->healthyRegion.size())));
+    }
+    quarantine.set("qubits", std::move(qubits));
+    quarantine.set("links", std::move(links));
+    body.set("quarantine", std::move(quarantine));
+    return jsonResponse(200, std::move(body));
+}
+
+HttpResponse
+CompileService::handleFleetStats() const
+{
+    json::Value body = fleet::StatsHub::global().snapshot();
+    // Ambient fleet.* counters ride along so one GET shows both
+    // the published summaries and the live counter state.
+    json::Value counters = json::Value::object();
+    const obs::MetricsSnapshot metrics =
+        obs::Registry::global().snapshot();
+    for (const auto &[name, value] : metrics.counters) {
+        if (name.rfind("fleet.", 0) == 0)
+            counters.set(name,
+                         json::Value::number(
+                             static_cast<std::int64_t>(value)));
+    }
+    body.set("counters", std::move(counters));
     return jsonResponse(200, std::move(body));
 }
 
@@ -268,12 +348,15 @@ CompileService::handleCompile(const HttpRequest &httpRequest)
         return errorJson(statusForCategory(e.category()),
                          e.message(), e.category());
     }
-    if (!admitClient(request.clientId)) {
+    double retryAfterSeconds = 0.0;
+    if (!admitClient(request.clientId, &retryAfterSeconds)) {
         if (obs::enabled())
             obs::count("service.quota.rejected");
-        return errorJson(429,
-                         "client quota exhausted, retry later",
-                         ErrorCategory::Usage);
+        HttpResponse response = errorJson(
+            429, "client quota exhausted, retry later",
+            ErrorCategory::Usage);
+        response.retryAfter(retryAfterSeconds);
+        return response;
     }
     sanitizeRequest(request);
 
@@ -339,12 +422,16 @@ CompileService::handleBatch(const HttpRequest &httpRequest)
                          e.message(), e.category());
     }
 
-    if (!admitClient(requests.front().clientId)) {
+    double retryAfterSeconds = 0.0;
+    if (!admitClient(requests.front().clientId,
+                     &retryAfterSeconds)) {
         if (obs::enabled())
             obs::count("service.quota.rejected");
-        return errorJson(429,
-                         "client quota exhausted, retry later",
-                         ErrorCategory::Usage);
+        HttpResponse response = errorJson(
+            429, "client quota exhausted, retry later",
+            ErrorCategory::Usage);
+        response.retryAfter(retryAfterSeconds);
+        return response;
     }
     for (core::CompileRequest &request : requests)
         sanitizeRequest(request);

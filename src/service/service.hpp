@@ -21,7 +21,10 @@
  *    artifact store's delta scan re-serves untouched circuits on
  *    the next compile (store.delta_reuse counts them).
  *  - `GET /metrics`      Prometheus text off the vaq_obs registry.
- *  - `GET /healthz`      liveness + current epoch.
+ *  - `GET /healthz`      liveness + current epoch + the epoch's
+ *    quarantine summary (pruned qubits/links with reasons).
+ *  - `GET /v1/fleet/stats`  published fleet summaries
+ *    (fleet::StatsHub) + the fleet.* counters.
  *
  * Every response carries the PR-4 error taxonomy mapped onto HTTP
  * status codes (statusForCategory): Usage -> 400, Calibration ->
@@ -147,15 +150,20 @@ class CompileService
         {}
     };
 
+    HttpResponse route(const HttpRequest &request);
     HttpResponse handleCompile(const HttpRequest &request);
     HttpResponse handleBatch(const HttpRequest &request);
     HttpResponse handleCalibration(const HttpRequest &request);
     HttpResponse handleMetrics() const;
     HttpResponse handleHealth() const;
+    HttpResponse handleFleetStats() const;
 
     std::shared_ptr<const Epoch> currentEpoch() const;
     const PolicyEntry &policyEntry(const core::PolicySpec &spec);
-    bool admitClient(const std::string &clientId);
+    /** True when the client has a token. On rejection fills
+     *  `retryAfterSeconds` with the bucket's refill time. */
+    bool admitClient(const std::string &clientId,
+                     double *retryAfterSeconds);
     void sanitizeRequest(core::CompileRequest &request) const;
 
     const topology::CouplingGraph &_graph;

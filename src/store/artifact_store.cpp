@@ -6,6 +6,9 @@
 #include <sstream>
 #include <utility>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include "obs/metrics.hpp"
 
 namespace fs = std::filesystem;
@@ -28,6 +31,24 @@ readFile(const fs::path &path)
     if (in.bad())
         return std::nullopt;
     return buffer.str();
+}
+
+/**
+ * fsync one file (its bytes) or directory (its entry table).
+ * Best-effort: a failed sync must never lose an in-memory write —
+ * the record is still served from the index; only crash durability
+ * weakens, which the warm-start corruption sweep handles.
+ */
+void
+syncPath(const fs::path &path, bool directory)
+{
+    const int flags =
+        directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY;
+    const int fd = ::open(path.c_str(), flags);
+    if (fd < 0)
+        return;
+    ::fsync(fd);
+    ::close(fd);
 }
 
 } // namespace
@@ -55,6 +76,16 @@ ArtifactStore::warmStart()
     std::vector<fs::path> records;
     for (const fs::directory_entry &entry :
          fs::directory_iterator(_options.directory, ec)) {
+        if (entry.path().extension() == ".tmp") {
+            // A crash between the tmp write and the rename leaves
+            // the tmp behind. It was never published; drop it so
+            // it cannot shadow a later publish of the same key.
+            std::error_code removeEc;
+            fs::remove(entry.path(), removeEc);
+            ++_stats.staleTmpCleaned;
+            obs::count("store.stale_tmp");
+            continue;
+        }
         if (entry.path().extension() == ".vaqart")
             records.push_back(entry.path());
     }
@@ -69,6 +100,11 @@ ArtifactStore::warmStart()
         if (!record.has_value()) {
             ++_stats.corruptRecords;
             obs::count("store.corrupt");
+            // A damaged record would stay a miss forever (its key
+            // is unreadable); remove it so the next publish of
+            // that circuit starts from a clean slate.
+            std::error_code removeEc;
+            fs::remove(path, removeEc);
             continue;
         }
         Entry entry;
@@ -221,13 +257,20 @@ ArtifactStore::persist(const ArtifactKey &key,
             return;
         }
     }
+    // Durable publish: flush the record's bytes before the rename
+    // (so the published name can never point at a half-written
+    // file after a crash) and the directory entry after it (so the
+    // rename itself survives).
+    syncPath(tmp_path, false);
     // Atomic publish: readers see the old record or the new one,
     // never a torn write.
     fs::rename(tmp_path, final_path, ec);
     if (ec) {
         ++_stats.writeFailures;
         fs::remove(tmp_path, ec);
+        return;
     }
+    syncPath(_options.directory, true);
 }
 
 void

@@ -68,10 +68,11 @@ struct StoreStats
     std::size_t misses = 0;
     std::size_t writes = 0;         ///< records put()
     std::size_t evictions = 0;      ///< LRU evictions (file removed)
-    std::size_t corruptRecords = 0; ///< damaged records skipped
+    std::size_t corruptRecords = 0; ///< damaged records removed
     std::size_t writeFailures = 0;  ///< filesystem errors swallowed
     std::size_t warmLoaded = 0;     ///< records loaded at startup
-    std::size_t entries = 0;        ///< current index size
+    std::size_t staleTmpCleaned = 0; ///< crash droppings removed
+    std::size_t entries = 0;         ///< current index size
 };
 
 /**

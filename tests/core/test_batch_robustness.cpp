@@ -307,6 +307,68 @@ TEST(BatchRobustness, ExpiredDeadlineTimesJobsOut)
 }
 
 /**
+ * Burns most of wall-clock budget before throwing a retryable
+ * fault: the ladder's next rung then starts with the job deadline
+ * already spent.
+ */
+class SlowThrowingAllocator final : public core::Allocator
+{
+  public:
+    explicit SlowThrowingAllocator(double burnMs) : _burnMs(burnMs)
+    {}
+
+    core::Layout allocate(
+        const circuit::Circuit &,
+        const topology::CouplingGraph &,
+        const calibration::Snapshot &) const override
+    {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(_burnMs));
+        throw CompileError("injected slow allocator fault");
+    }
+
+    std::string name() const override { return "slowpoke"; }
+
+  private:
+    double _burnMs;
+};
+
+TEST(BatchRobustness, DeadlineSpentByFirstAttemptTimesOutTheRetry)
+{
+    const topology::CouplingGraph q5 = topology::ibmQ5Tenerife();
+    const auto snapshot = vaq::test::uniformSnapshot(q5);
+    Rng rng(7);
+    std::vector<circuit::Circuit> circuits{
+        vaq::test::randomCircuit(3, 12, rng)};
+
+    // The job deadline is shared across ladder attempts: attempt 1
+    // burns it all before failing, so the baseline retry gets a
+    // zero budget and must cancel at its first checkpoint — NOT
+    // succeed late and report a deceptively healthy Degraded.
+    BatchOptions options = optionsWithThreads(1);
+    options.jobDeadlineMs = 20.0;
+    const core::Mapper mapper(
+        "slowpoke",
+        std::make_unique<SlowThrowingAllocator>(80.0),
+        core::CostKind::SwapCount);
+    BatchCompiler compiler(mapper, q5, options);
+    const auto results =
+        compiler.compileAll(circuits, {snapshot});
+
+    ASSERT_EQ(results.size(), 1u);
+    const BatchResult &r = results[0];
+    EXPECT_EQ(r.status, JobStatus::TimedOut);
+    EXPECT_NE(r.status, JobStatus::Degraded);
+    EXPECT_EQ(r.errorCategory, ErrorCategory::Timeout);
+    EXPECT_NE(r.error.find("deadline"), std::string::npos)
+        << r.error;
+    // Both rungs ran and count: the slow primary plus the
+    // zero-budget baseline retry.
+    EXPECT_EQ(r.attempts, 2);
+    EXPECT_FALSE(r.ok());
+}
+
+/**
  * The acceptance gate of the robustness layer: a ~100-job batch
  * with injected failures (throwing mapper at one circuit, one
  * NaN-poisoned snapshot) completes with exactly the faulty jobs

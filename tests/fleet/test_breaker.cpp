@@ -1,0 +1,140 @@
+/**
+ * @file
+ * CircuitBreaker state-machine tests: Closed -> Open on failure
+ * rate over the window, lazy Open -> HalfOpen after the cooldown,
+ * HalfOpen probe accounting (all-succeed closes, any-fail
+ * reopens), wouldAllow never mutating, and window eviction.
+ */
+#include "fleet/breaker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vaq::fleet
+{
+namespace
+{
+
+BreakerOptions
+tightOptions()
+{
+    BreakerOptions options;
+    options.windowSize = 8;
+    options.minSamples = 4;
+    options.failureThreshold = 0.5;
+    options.cooldownUs = 1000.0;
+    options.halfOpenProbes = 2;
+    return options;
+}
+
+TEST(CircuitBreaker, StaysClosedUnderMinSamples)
+{
+    CircuitBreaker breaker(tightOptions());
+    // Three straight failures: 100% failure rate but below
+    // minSamples, so the breaker must not open.
+    for (int i = 0; i < 3; ++i)
+        breaker.recordFailure(10.0 * i);
+    EXPECT_EQ(breaker.state(100.0), BreakerState::Closed);
+    EXPECT_TRUE(breaker.wouldAllow(100.0));
+    EXPECT_EQ(breaker.opens(), 0u);
+}
+
+TEST(CircuitBreaker, OpensAtFailureThreshold)
+{
+    CircuitBreaker breaker(tightOptions());
+    breaker.recordSuccess(1.0);
+    breaker.recordSuccess(2.0);
+    breaker.recordFailure(3.0);
+    EXPECT_EQ(breaker.state(4.0), BreakerState::Closed);
+    breaker.recordFailure(4.0); // 2/4 = threshold
+    EXPECT_EQ(breaker.state(5.0), BreakerState::Open);
+    EXPECT_FALSE(breaker.wouldAllow(5.0));
+    EXPECT_FALSE(breaker.acquire(5.0));
+    EXPECT_EQ(breaker.opens(), 1u);
+}
+
+TEST(CircuitBreaker, CooldownAdmitsHalfOpenProbes)
+{
+    const BreakerOptions options = tightOptions();
+    CircuitBreaker breaker(options);
+    breaker.forceOpen(0.0);
+    EXPECT_FALSE(breaker.wouldAllow(options.cooldownUs - 1.0));
+    // Cooldown elapsed: wouldAllow flips true without committing a
+    // probe slot (const observer), acquire takes the slots.
+    EXPECT_TRUE(breaker.wouldAllow(options.cooldownUs + 1.0));
+    EXPECT_EQ(breaker.state(options.cooldownUs + 1.0),
+              BreakerState::HalfOpen);
+    EXPECT_TRUE(breaker.acquire(options.cooldownUs + 1.0));
+    EXPECT_TRUE(breaker.acquire(options.cooldownUs + 2.0));
+    // Both probe slots taken.
+    EXPECT_FALSE(breaker.acquire(options.cooldownUs + 3.0));
+}
+
+TEST(CircuitBreaker, HalfOpenClosesWhenEveryProbeSucceeds)
+{
+    const BreakerOptions options = tightOptions();
+    CircuitBreaker breaker(options);
+    breaker.forceOpen(0.0);
+    const double probeAt = options.cooldownUs + 1.0;
+    ASSERT_TRUE(breaker.acquire(probeAt));
+    ASSERT_TRUE(breaker.acquire(probeAt));
+    breaker.recordSuccess(probeAt + 10.0);
+    EXPECT_EQ(breaker.state(probeAt + 11.0),
+              BreakerState::HalfOpen);
+    breaker.recordSuccess(probeAt + 20.0);
+    EXPECT_EQ(breaker.state(probeAt + 21.0),
+              BreakerState::Closed);
+    EXPECT_TRUE(breaker.wouldAllow(probeAt + 21.0));
+}
+
+TEST(CircuitBreaker, HalfOpenReopensOnAnyProbeFailure)
+{
+    const BreakerOptions options = tightOptions();
+    CircuitBreaker breaker(options);
+    breaker.forceOpen(0.0);
+    const double probeAt = options.cooldownUs + 1.0;
+    ASSERT_TRUE(breaker.acquire(probeAt));
+    breaker.recordFailure(probeAt + 5.0);
+    EXPECT_EQ(breaker.state(probeAt + 6.0), BreakerState::Open);
+    EXPECT_EQ(breaker.opens(), 2u);
+    // The reopened cooldown restarts from the failure.
+    EXPECT_FALSE(
+        breaker.wouldAllow(probeAt + options.cooldownUs - 1.0));
+    EXPECT_TRUE(
+        breaker.wouldAllow(probeAt + 5.0 + options.cooldownUs +
+                           1.0));
+}
+
+TEST(CircuitBreaker, WindowEvictsOldOutcomes)
+{
+    BreakerOptions options = tightOptions();
+    options.windowSize = 4;
+    CircuitBreaker breaker(options);
+    // Two early failures, then a run of successes long enough to
+    // push them out of the ring: the rate must recover.
+    breaker.recordFailure(1.0);
+    breaker.recordSuccess(2.0);
+    breaker.recordFailure(3.0);
+    for (int i = 0; i < 4; ++i)
+        breaker.recordSuccess(4.0 + i);
+    EXPECT_EQ(breaker.state(10.0), BreakerState::Closed);
+    // One new failure over a clean window of 4 is 25% < 50%.
+    breaker.recordFailure(11.0);
+    EXPECT_EQ(breaker.state(12.0), BreakerState::Closed);
+}
+
+TEST(CircuitBreaker, OpenIgnoresStaleOutcomes)
+{
+    const BreakerOptions options = tightOptions();
+    CircuitBreaker breaker(options);
+    breaker.forceOpen(0.0);
+    // In-flight work finishing after the trip must not perturb the
+    // probe accounting.
+    breaker.recordSuccess(1.0);
+    breaker.recordFailure(2.0);
+    EXPECT_EQ(breaker.state(3.0), BreakerState::Open);
+    EXPECT_EQ(breaker.opens(), 1u);
+    EXPECT_TRUE(breaker.wouldAllow(options.cooldownUs + 1.0));
+}
+
+} // namespace
+} // namespace vaq::fleet

@@ -22,6 +22,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <set>
 #include <sstream>
@@ -133,6 +134,43 @@ TEST(ServiceEndpoints, HealthzReportsTheCurrentEpoch)
     const json::Value body = parseBody(response);
     EXPECT_EQ(body.find("status")->asString(), "ok");
     EXPECT_EQ(body.find("epoch")->asNumber(), 1.0);
+    // A clean epoch still carries the quarantine summary shape,
+    // with nothing pruned.
+    const json::Value *quarantine = body.find("quarantine");
+    ASSERT_NE(quarantine, nullptr) << response.body;
+    EXPECT_EQ(json::write(*quarantine->find("qubits")), "[]");
+    EXPECT_EQ(json::write(*quarantine->find("links")), "[]");
+}
+
+TEST(ServiceEndpoints, HealthzListsQuarantineAfterDegradedEpoch)
+{
+    ServiceFixture fx;
+    calibration::Snapshot poisoned = fx.snapshot;
+    poisoned.qubit(0).t1Us =
+        std::numeric_limits<double>::quiet_NaN();
+    fx.service.rollover(poisoned); // sanitizes, prunes qubit 0
+
+    const HttpResponse response =
+        httpExchange(fx.port(), "GET", "/healthz");
+    ASSERT_EQ(response.status, 200);
+    const json::Value body = parseBody(response);
+    EXPECT_EQ(body.find("epoch")->asNumber(), 2.0);
+    EXPECT_EQ(body.find("calibration")->asString(), "degraded");
+
+    const json::Value *quarantine = body.find("quarantine");
+    ASSERT_NE(quarantine, nullptr) << response.body;
+    const json::Value *qubits = quarantine->find("qubits");
+    ASSERT_EQ(qubits->size(), 1u) << response.body;
+    EXPECT_EQ(qubits->item(0).find("qubit")->asNumber(), 0.0);
+    EXPECT_NE(qubits->item(0)
+                  .find("reason")
+                  ->asString()
+                  .find("non-finite"),
+              std::string::npos)
+        << response.body;
+    // The healthy region shrank by the pruned qubit.
+    EXPECT_LT(quarantine->find("healthyQubits")->asNumber(),
+              static_cast<double>(fx.graph.numQubits()));
 }
 
 TEST(ServiceEndpoints, CompileMatchesInProcessResultBitIdentically)
@@ -264,6 +302,11 @@ TEST(ServiceQuota, TokenBucketReturns429PerClient)
     const HttpResponse third =
         httpExchange(fx.port(), "POST", "/v1/compile", alice);
     EXPECT_EQ(third.status, 429) << third.body;
+    // Rejections tell the client when to come back: integral
+    // seconds, never below 1.
+    const std::string *retryAfter = third.header("Retry-After");
+    ASSERT_NE(retryAfter, nullptr);
+    EXPECT_GE(std::stol(*retryAfter), 1);
 
     // Quotas are per clientId: bob is unaffected by alice's spend.
     EXPECT_EQ(httpExchange(
@@ -529,16 +572,24 @@ TEST(ServiceTransport, AdmissionQueueShedsWith503UnderFlood)
 
     std::atomic<int> ok{0};
     std::atomic<int> shed{0};
+    std::atomic<int> shedWithoutRetryAfter{0};
     std::vector<std::thread> clients;
     for (int c = 0; c < 8; ++c) {
         clients.emplace_back([&]() {
             try {
                 const HttpResponse r =
                     httpExchange(slow.port(), "GET", "/");
-                if (r.status == 200)
+                if (r.status == 200) {
                     ++ok;
-                else if (r.status == 503)
+                } else if (r.status == 503) {
                     ++shed;
+                    // Sheds advertise when to come back.
+                    const std::string *retryAfter =
+                        r.header("Retry-After");
+                    if (retryAfter == nullptr ||
+                        std::stol(*retryAfter) < 1)
+                        ++shedWithoutRetryAfter;
+                }
             } catch (...) {
                 // A connection reset during shedding also counts
                 // as contained behavior; the assertions below only
@@ -553,6 +604,7 @@ TEST(ServiceTransport, AdmissionQueueShedsWith503UnderFlood)
     EXPECT_GT(ok.load(), 0);
     EXPECT_GT(shed.load() + static_cast<int>(slow.shedCount()), 0);
     EXPECT_EQ(ok.load(), served.load());
+    EXPECT_EQ(shedWithoutRetryAfter.load(), 0);
 }
 
 #ifdef VAQ_VAQC_BIN

@@ -117,9 +117,15 @@ TEST_F(ArtifactStoreTest, CorruptAndTruncatedRecordsAreMisses)
     EXPECT_EQ(corrupted.stats().warmLoaded, 0u);
     EXPECT_EQ(corrupted.stats().corruptRecords, 1u);
     EXPECT_FALSE(corrupted.get(key).has_value());
+    // ... and warm start removed the damaged file.
+    EXPECT_TRUE(test::storeRecords(dir.path()).empty());
 
-    // Truncate it instead.
-    fs::resize_file(records[0], 64);
+    // Truncate a fresh copy instead.
+    {
+        ArtifactStore store(StoreOptions{.directory = dir.str()});
+        store.put(key, compileArtifact());
+    }
+    fs::resize_file(test::storeRecords(dir.path()).at(0), 64);
     ArtifactStore truncated(StoreOptions{.directory = dir.str()});
     EXPECT_EQ(truncated.stats().corruptRecords, 1u);
     EXPECT_FALSE(truncated.get(key).has_value());
@@ -128,6 +134,43 @@ TEST_F(ArtifactStoreTest, CorruptAndTruncatedRecordsAreMisses)
     truncated.put(key, compileArtifact());
     ArtifactStore healed(StoreOptions{.directory = dir.str()});
     EXPECT_TRUE(healed.get(key).has_value());
+}
+
+TEST_F(ArtifactStoreTest, CrashRecoverySweepsDroppings)
+{
+    // Simulate a crash mid-publish: a truncated .tmp that never
+    // reached its rename, next to a half-written published record.
+    const ArtifactKey key = keyFor(snapshot);
+    {
+        ArtifactStore store(StoreOptions{.directory = dir.str()});
+        store.put(key, compileArtifact());
+    }
+    const auto records = test::storeRecords(dir.path());
+    ASSERT_EQ(records.size(), 1u);
+    const fs::path tmp = records[0].string() + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary);
+        out << "vaqart half-writ";
+    }
+    fs::resize_file(records[0], 32); // torn published record
+
+    ArtifactStore recovered(
+        StoreOptions{.directory = dir.str()});
+    // Both casualties are misses, counted, and swept from disk.
+    EXPECT_EQ(recovered.stats().warmLoaded, 0u);
+    EXPECT_EQ(recovered.stats().corruptRecords, 1u);
+    EXPECT_EQ(recovered.stats().staleTmpCleaned, 1u);
+    EXPECT_FALSE(recovered.get(key).has_value());
+    EXPECT_FALSE(fs::exists(tmp));
+    EXPECT_TRUE(test::storeRecords(dir.path()).empty());
+
+    // The store keeps working in the swept directory, and the
+    // re-published record survives the next warm start.
+    recovered.put(key, compileArtifact());
+    ArtifactStore reopened(StoreOptions{.directory = dir.str()});
+    EXPECT_EQ(reopened.stats().warmLoaded, 1u);
+    EXPECT_EQ(reopened.stats().staleTmpCleaned, 0u);
+    EXPECT_TRUE(reopened.get(key).has_value());
 }
 
 TEST_F(ArtifactStoreTest, EvictionRemovesFilesLru)

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * vaqfleet — drive the fleet scheduler from the command line.
+ *
+ * Runs a seeded job stream over the standard heterogeneous fleet
+ * (Q5, Q20, Falcon-27, 4x4 grid) under an optional chaos plan and
+ * prints the deterministic run summary as JSON. The same seed and
+ * flags always produce byte-identical output, at any --threads.
+ *
+ * Usage:
+ *   vaqfleet [--policy best-pst|least-loaded|replicate]
+ *            [--no-failover] [--jobs N] [--shots N]
+ *            [--interarrival-us X] [--deadline-us X]
+ *            [--fault-rate F | --plan plan.json]
+ *            [--plan-out plan.json] [--seed S] [--threads T]
+ *            [--fingerprint] [--summary-out FILE]
+ *
+ *   --fault-rate F   generate a seeded FaultPlan with F faults per
+ *                    machine over the arrival horizon
+ *   --plan FILE      replay a scripted FaultPlan instead (JSON,
+ *                    same schema --plan-out writes)
+ *   --plan-out FILE  write the plan that was used (replay input)
+ *   --fingerprint    print the compact one-line summary instead of
+ *                    pretty JSON (the byte-identity surface)
+ *
+ * Exit codes: 0 on a run where every job completed, 1 when jobs
+ * failed or timed out, 2 on usage errors.
+ *
+ * Example:
+ *   vaqfleet --jobs 200 --fault-rate 4 --seed 11 --plan-out p.json
+ *   vaqfleet --plan p.json --no-failover --seed 11   # same chaos
+ */
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "fleet/backend.hpp"
+#include "fleet/fault_plan.hpp"
+#include "fleet/policy.hpp"
+#include "fleet/sim.hpp"
+#include "fleet/stats.hpp"
+#include "workloads/workloads.hpp"
+
+namespace
+{
+
+using namespace vaq;
+
+struct Config
+{
+    fleet::PlacementPolicy policy =
+        fleet::PlacementPolicy::BestPst;
+    bool failover = true;
+    std::size_t jobs = 200;
+    std::size_t shots = 512;
+    double interarrivalUs = 2500.0;
+    double deadlineUs = 80000.0;
+    double faultRate = 0.0;
+    std::string planPath;
+    std::string planOutPath;
+    std::string summaryOutPath;
+    bool fingerprintOnly = false;
+    std::uint64_t seed = 7;
+    std::size_t threads = 1;
+};
+
+void
+printUsage()
+{
+    std::fprintf(
+        stderr,
+        "usage: vaqfleet [--policy best-pst|least-loaded|"
+        "replicate]\n"
+        "                [--no-failover] [--jobs N] [--shots N]\n"
+        "                [--interarrival-us X] [--deadline-us X]\n"
+        "                [--fault-rate F | --plan plan.json]\n"
+        "                [--plan-out plan.json] [--seed S]\n"
+        "                [--threads T] [--fingerprint]\n"
+        "                [--summary-out FILE]\n");
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw vaq::VaqError("cannot open " + path,
+                            vaq::ErrorCategory::Usage);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        throw vaq::VaqError("cannot write " + path,
+                            vaq::ErrorCategory::Usage);
+    out << text;
+}
+
+int
+run(const Config &config)
+{
+    // Small enough for every machine in the fleet (Q5 included).
+    std::vector<circuit::Circuit> workload;
+    workload.push_back(workloads::ghz(4));
+    workload.push_back(workloads::bernsteinVazirani(4));
+    workload.push_back(workloads::qft(4));
+    workload.push_back(workloads::grover(3, 5));
+
+    fleet::JobStreamParams stream;
+    stream.count = config.jobs;
+    stream.meanInterarrivalUs = config.interarrivalUs;
+    stream.relativeDeadlineUs = config.deadlineUs;
+    stream.shots = config.shots;
+    const std::vector<fleet::FleetJob> jobs = fleet::makeJobStream(
+        workload.size(), stream, config.seed);
+    const double horizonUs =
+        jobs.empty() ? 1.0 : jobs.back().arrivalUs;
+
+    fleet::FaultPlan plan;
+    if (!config.planPath.empty()) {
+        plan = fleet::faultPlanFromJson(json::Cursor(json::parse(
+            readFile(config.planPath), config.planPath)));
+    } else if (config.faultRate > 0.0) {
+        fleet::FaultPlanParams faults;
+        faults.horizonUs = horizonUs;
+        faults.faultsPerMachine = config.faultRate;
+        faults.meanOutageUs = 40000.0;
+        faults.meanSpikeUs = 50000.0;
+        plan = fleet::generateFaultPlan(4, faults,
+                                        config.seed * 31 + 5);
+    }
+    if (!config.planOutPath.empty())
+        writeFile(config.planOutPath,
+                  json::writePretty(fleet::toJson(plan)));
+
+    fleet::FleetOptions options;
+    options.policy = config.policy;
+    options.failover = config.failover;
+    options.calibrationPeriodUs = horizonUs / 2.0;
+    options.threads = config.threads;
+    options.seed = config.seed;
+    fleet::FleetSim sim(fleet::standardFleet(config.seed),
+                        workload, options, plan);
+    const fleet::FleetSummary summary = sim.run(jobs);
+
+    const std::string output =
+        config.fingerprintOnly
+            ? summary.fingerprint() + "\n"
+            : json::writePretty(summary.toJson());
+    if (!config.summaryOutPath.empty())
+        writeFile(config.summaryOutPath, output);
+    else
+        std::fputs(output.c_str(), stdout);
+    return summary.completed == summary.jobs ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config config;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--policy") {
+            try {
+                config.policy =
+                    fleet::placementPolicyFromName(next());
+            } catch (const vaq::VaqError &e) {
+                std::fprintf(stderr, "%s\n", e.what());
+                return 2;
+            }
+        } else if (arg == "--no-failover") {
+            config.failover = false;
+        } else if (arg == "--jobs") {
+            config.jobs = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--shots") {
+            config.shots = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--interarrival-us") {
+            config.interarrivalUs = std::strtod(next(), nullptr);
+        } else if (arg == "--deadline-us") {
+            config.deadlineUs = std::strtod(next(), nullptr);
+        } else if (arg == "--fault-rate") {
+            config.faultRate = std::strtod(next(), nullptr);
+        } else if (arg == "--plan") {
+            config.planPath = next();
+        } else if (arg == "--plan-out") {
+            config.planOutPath = next();
+        } else if (arg == "--summary-out") {
+            config.summaryOutPath = next();
+        } else if (arg == "--fingerprint") {
+            config.fingerprintOnly = true;
+        } else if (arg == "--seed") {
+            config.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--threads") {
+            config.threads = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n",
+                         arg.c_str());
+            printUsage();
+            return 2;
+        }
+    }
+    try {
+        return run(config);
+    } catch (const vaq::VaqError &e) {
+        std::fprintf(stderr, "vaqfleet: %s\n", e.what());
+        return e.category() == vaq::ErrorCategory::Usage ? 2 : 1;
+    }
+}
