@@ -5,6 +5,8 @@
 #   scripts/ci.sh          # tier-1: full build + full ctest
 #   scripts/ci.sh --tsan   # also run the -DVAQ_SANITIZE=thread leg
 #   scripts/ci.sh --asan   # also run the address+UB sanitizer leg
+#   scripts/ci.sh --tidy   # also gate on scripts/lint.sh
+#                          # (clang-tidy over the default dirs)
 #
 # The default ctest run includes every label (robustness, parallel,
 # analysis, store, router, obs, sim, fleet, ...). The TSan leg
@@ -26,12 +28,14 @@ cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 RUN_TSAN=0
 RUN_ASAN=0
+RUN_TIDY=0
 for arg in "$@"; do
     case "$arg" in
     --tsan) RUN_TSAN=1 ;;
     --asan) RUN_ASAN=1 ;;
+    --tidy) RUN_TIDY=1 ;;
     *)
-        echo "usage: scripts/ci.sh [--tsan] [--asan]" >&2
+        echo "usage: scripts/ci.sh [--tsan] [--asan] [--tidy]" >&2
         exit 2
         ;;
     esac
@@ -40,6 +44,15 @@ done
 echo "== tier-1: configure + build =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
+
+if [ "$RUN_TIDY" -eq 1 ]; then
+    echo "== tidy leg: scripts/lint.sh over the default dirs =="
+    # Gating: clang-tidy findings (profile .clang-tidy, including
+    # the WarningsAsErrors hard gates) fail CI. lint.sh exits 0
+    # with a clear message when clang-tidy is not installed, so
+    # environments without it skip rather than fail.
+    scripts/lint.sh
+fi
 
 echo "== tier-1: full test suite (all labels) =="
 ctest --test-dir build --output-on-failure -j "$JOBS"

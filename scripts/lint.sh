@@ -4,8 +4,9 @@
 # exports (CMAKE_EXPORT_COMPILE_COMMANDS=ON in CMakeLists.txt).
 #
 #   scripts/lint.sh                # lint src/core, src/circuit,
-#                                  # src/service
-#   scripts/lint.sh src/analysis   # lint specific director(y/ies)
+#                                  # src/service, src/fleet,
+#                                  # src/analysis
+#   scripts/lint.sh src/store      # lint specific director(y/ies)
 #
 # Exits 0 when clang-tidy finds nothing (or is not installed —
 # reported clearly, so CI environments without it skip instead of
@@ -38,7 +39,7 @@ fi
 
 DIRS=("$@")
 if [ "${#DIRS[@]}" -eq 0 ]; then
-    DIRS=(src/core src/circuit src/service)
+    DIRS=(src/core src/circuit src/service src/fleet src/analysis)
 fi
 
 FILES=()

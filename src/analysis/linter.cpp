@@ -74,9 +74,14 @@ Linter::run(const LintInput &input) const
             : calibration::GateDurations{};
     const DataflowAnalysis dataflow(*input.circuit, durations);
 
-    LintContext context{*input.circuit, dataflow,
-                        input.physical,  input.graph,
-                        input.snapshot,  input.gateLines,
+    LintContext context{*input.circuit,
+                        dataflow,
+                        input.physical,
+                        input.graph,
+                        input.snapshot,
+                        input.baselineSnapshot,
+                        input.linkVariance,
+                        input.gateLines,
                         _options.params};
 
     LintReport report;

@@ -42,6 +42,12 @@ struct LintInput
     bool physical = false;
     const topology::CouplingGraph *graph = nullptr;
     const calibration::Snapshot *snapshot = nullptr;
+    /** Baseline calibration the mapping was compiled against
+     *  (enables VL011 stale-mapping), optional. */
+    const calibration::Snapshot *baselineSnapshot = nullptr;
+    /** Historical per-link error std-dev aligned with
+     *  graph->links() (enables VL012 fragile-placement), optional. */
+    const std::vector<double> *linkVariance = nullptr;
     /** Per-gate source lines (circuit::parseQasm), optional. */
     const std::vector<int> *gateLines = nullptr;
     /** Artifact name for reports ("bell.qasm", "<mapped>"). */

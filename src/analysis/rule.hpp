@@ -79,6 +79,16 @@ struct RuleParams
      *  calibration sanitizer (calibration/sanitize.hpp). */
     double deadErrorThreshold = 0.95;
     double minCoherenceUs = 1e-3;
+    /** VL011: certified staleness bound (analysis/staleness.hpp)
+     *  above which a mapping counts as stale. Matches the store's
+     *  default --staleness-tol. */
+    double stalenessTol = 1e-3;
+    /** VL012: warn when one link carries at least this fraction of
+     *  the circuit's total drift-mass (|coefficient| * sigma). */
+    double fragileMassFraction = 0.5;
+    /** VL013: report when one calibration parameter contributes at
+     *  least this fraction of the total |logPST| mass. */
+    double dominantFraction = 0.5;
 };
 
 /**
@@ -96,6 +106,15 @@ struct LintContext
     bool physical = false;
     const topology::CouplingGraph *graph = nullptr;
     const calibration::Snapshot *snapshot = nullptr;
+    /** Calibration the mapping was originally compiled against.
+     *  When present (and `snapshot` holds the *current* cycle),
+     *  VL011 checks the certified staleness bound between the two;
+     *  absent = no staleness check. */
+    const calibration::Snapshot *baselineSnapshot = nullptr;
+    /** Historical per-link error standard deviation, aligned with
+     *  graph->links() (e.g. over a CalibrationSeries). Enables
+     *  VL012's fragile-placement check; absent = skipped. */
+    const std::vector<double> *linkVariance = nullptr;
     /** Per-gate 1-based source line (circuit::parseQasm). */
     const std::vector<int> *gateLines = nullptr;
     RuleParams params;
@@ -179,7 +198,7 @@ class RuleRegistry
     std::vector<Entry> _entries;
 };
 
-/** Register the ~10 shipped rules into `registry` (idempotent only
+/** Register the ~13 shipped rules into `registry` (idempotent only
  *  via RuleRegistry::global(); direct calls add duplicates). */
 void registerBuiltinRules(RuleRegistry &registry);
 

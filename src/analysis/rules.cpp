@@ -1,6 +1,6 @@
 /**
  * @file
- * The shipped lint rules (VL001..VL010).
+ * The shipped lint rules (VL001..VL013).
  *
  * Every rule reads the precomputed DataflowAnalysis facts; none
  * re-walks the gate list except where the fact itself is per-gate
@@ -9,11 +9,16 @@
  * so one rule set serves both logical (pre-compile) and physical
  * (post-compile) circuits.
  */
+#include <algorithm>
 #include <cmath>
+#include <optional>
 #include <set>
 #include <utility>
 
 #include "analysis/rule.hpp"
+#include "analysis/sensitivity.hpp"
+#include "analysis/staleness.hpp"
+#include "common/error.hpp"
 #include "common/strings.hpp"
 
 namespace vaq::analysis
@@ -560,6 +565,268 @@ class WidthExceedsMachineRule final : public AnalysisRule
     }
 };
 
+/** Build the sensitivity profile against `snapshot`, or nullopt
+ *  when the circuit is not executable there (VL005/VL010 report
+ *  those cases; the sensitivity rules stay silent). */
+std::optional<SensitivityProfile>
+tryProfile(const LintContext &context,
+           const calibration::Snapshot &snapshot)
+{
+    if (!context.physical || context.graph == nullptr)
+        return std::nullopt;
+    if (snapshot.numQubits() != context.graph->numQubits() ||
+        snapshot.numLinks() != context.graph->linkCount())
+        return std::nullopt;
+    try {
+        return analyzeSensitivity(context.dataflow, *context.graph,
+                                  snapshot);
+    } catch (const VaqError &) {
+        return std::nullopt;
+    }
+}
+
+/** VL011: the certified staleness bound between the mapping's
+ *  baseline calibration and the current one exceeds tolerance. */
+class StaleMappingRule final : public AnalysisRule
+{
+  public:
+    std::string id() const override { return "VL011"; }
+    std::string name() const override { return "stale-mapping"; }
+    Severity severity() const override
+    {
+        return Severity::Warning;
+    }
+    RuleCategory category() const override
+    {
+        return RuleCategory::Reliability;
+    }
+    std::string description() const override
+    {
+        return "the certified |delta logPST| bound between the "
+               "mapping's baseline calibration and the current "
+               "snapshot exceeds the staleness tolerance";
+    }
+
+    void run(const LintContext &context,
+             std::vector<Diagnostic> &out) const override
+    {
+        if (context.snapshot == nullptr ||
+            context.baselineSnapshot == nullptr)
+            return;
+        const std::optional<SensitivityProfile> profile =
+            tryProfile(context, *context.baselineSnapshot);
+        if (!profile)
+            return;
+        const StalenessAssessment assess =
+            assessStaleness(*profile, *context.snapshot);
+        const double tol = context.params.stalenessTol;
+        if (assess.within(tol))
+            return;
+        if (!assess.certifiable) {
+            out.push_back(make(
+                context,
+                "mapping was compiled against a calibration whose "
+                "model premises have since changed (gate durations "
+                "or parameter domains); the staleness certificate "
+                "is void — recompile"));
+            return;
+        }
+        out.push_back(make(
+            context,
+            "mapping is stale: certified |delta logPST| bound " +
+                formatDouble(assess.bound(), 6) +
+                " exceeds the staleness tolerance " +
+                formatDouble(tol, 6) +
+                " (exact shift " +
+                formatDouble(assess.deltaLogPst, 6) +
+                "); recompile against the current calibration"));
+    }
+};
+
+/** VL012: the circuit's drift-mass is concentrated on one
+ *  historically high-variance link. */
+class FragilePlacementRule final : public AnalysisRule
+{
+  public:
+    std::string id() const override { return "VL012"; }
+    std::string name() const override
+    {
+        return "fragile-placement";
+    }
+    Severity severity() const override
+    {
+        return Severity::Warning;
+    }
+    RuleCategory category() const override
+    {
+        return RuleCategory::Reliability;
+    }
+    std::string description() const override
+    {
+        return "sensitivity mass is concentrated on a single "
+               "coupling link whose error rate is historically "
+               "high-variance; small drift there moves the whole "
+               "PST estimate";
+    }
+
+    void run(const LintContext &context,
+             std::vector<Diagnostic> &out) const override
+    {
+        if (context.snapshot == nullptr ||
+            context.linkVariance == nullptr ||
+            context.graph == nullptr ||
+            context.linkVariance->size() !=
+                context.graph->linkCount())
+            return;
+        const std::optional<SensitivityProfile> profile =
+            tryProfile(context, *context.snapshot);
+        if (!profile || profile->links.empty())
+            return;
+        const std::vector<double> &sigma = *context.linkVariance;
+
+        // Drift mass of a link = |dlogPST/d(error2q)| * its
+        // historical std-dev: how much PST estimate one typical
+        // drift step on that link moves.
+        double total = 0.0;
+        std::size_t worst = 0;
+        double worstMass = -1.0;
+        for (std::size_t i = 0; i < profile->links.size(); ++i) {
+            const LinkSensitivity &l = profile->links[i];
+            const double s = sigma[l.link];
+            if (!std::isfinite(s) || s < 0.0)
+                return; // unusable history
+            const double mass = std::abs(l.dError2q()) * s;
+            total += mass;
+            if (mass > worstMass) {
+                worstMass = mass;
+                worst = i;
+            }
+        }
+        if (total <= 0.0)
+            return;
+        const double share = worstMass / total;
+        if (share < context.params.fragileMassFraction)
+            return;
+
+        // Only flag links that are volatile *for this machine*:
+        // above the machine-wide median link std-dev.
+        std::vector<double> sorted(sigma);
+        std::sort(sorted.begin(), sorted.end());
+        const double median = sorted[sorted.size() / 2];
+        const LinkSensitivity &l = profile->links[worst];
+        if (sigma[l.link] <= median)
+            return;
+        out.push_back(make(
+            context,
+            "link {" + std::to_string(l.q0) + "," +
+                std::to_string(l.q1) + "} carries " +
+                formatDouble(100.0 * share, 1) +
+                "% of the circuit's drift mass and its 2q error "
+                "is historically volatile (std-dev " +
+                formatDouble(sigma[l.link], 5) +
+                " vs machine median " + formatDouble(median, 5) +
+                "); prefer a placement off this link",
+            -1, l.q0, l.q1));
+    }
+};
+
+/** VL013: one calibration parameter dominates the error budget. */
+class DominantErrorSourceRule final : public AnalysisRule
+{
+  public:
+    std::string id() const override { return "VL013"; }
+    std::string name() const override
+    {
+        return "dominant-error-source";
+    }
+    Severity severity() const override { return Severity::Info; }
+    RuleCategory category() const override
+    {
+        return RuleCategory::Reliability;
+    }
+    std::string description() const override
+    {
+        return "a single calibration parameter accounts for most "
+               "of the circuit's predicted reliability loss";
+    }
+
+    void run(const LintContext &context,
+             std::vector<Diagnostic> &out) const override
+    {
+        if (context.snapshot == nullptr)
+            return;
+        const std::optional<SensitivityProfile> profile =
+            tryProfile(context, *context.snapshot);
+        if (!profile)
+            return;
+        const double total = profile->totalMass();
+        if (!(total > 0.0) || !std::isfinite(total))
+            return;
+
+        // Scan parameters in a fixed order (links ascending, then
+        // per-qubit error1q/readout/t1) keeping the first maximum,
+        // so the pick is deterministic.
+        double best = 0.0;
+        std::string site;
+        int q0 = -1;
+        int q1 = -1;
+        for (const LinkSensitivity &l : profile->links) {
+            const double mass = l.contribution();
+            if (mass > best) {
+                best = mass;
+                site = "2q error on link {" + std::to_string(l.q0) +
+                       "," + std::to_string(l.q1) + "}";
+                q0 = l.q0;
+                q1 = l.q1;
+            }
+        }
+        for (const QubitSensitivity &q : profile->qubits) {
+            const std::string at =
+                " on qubit " + std::to_string(q.qubit);
+            if (q.oneQubitGates > 0.0) {
+                const double mass =
+                    -q.oneQubitGates * std::log1p(-q.error1q);
+                if (mass > best) {
+                    best = mass;
+                    site = "1q error" + at;
+                    q0 = q.qubit;
+                    q1 = -1;
+                }
+            }
+            if (q.measurements > 0.0) {
+                const double mass =
+                    -q.measurements * std::log1p(-q.readoutError);
+                if (mass > best) {
+                    best = mass;
+                    site = "readout error" + at;
+                    q0 = q.qubit;
+                    q1 = -1;
+                }
+            }
+            if (q.busyNs > 0.0) {
+                const double mass = q.busyNs / (1000.0 * q.t1Us);
+                if (mass > best) {
+                    best = mass;
+                    site = "T1 relaxation" + at;
+                    q0 = q.qubit;
+                    q1 = -1;
+                }
+            }
+        }
+        if (site.empty() ||
+            best < context.params.dominantFraction * total)
+            return;
+        out.push_back(make(
+            context,
+            site + " accounts for " +
+                formatDouble(100.0 * best / total, 1) +
+                "% of the predicted reliability loss; improving "
+                "that one parameter (or avoiding it) moves the "
+                "whole PST",
+            -1, q0, q1));
+    }
+};
+
 } // namespace
 
 void
@@ -585,6 +852,12 @@ registerBuiltinRules(RuleRegistry &registry)
     registry.add([] {
         return std::make_unique<WidthExceedsMachineRule>();
     });
+    registry.add(
+        [] { return std::make_unique<StaleMappingRule>(); });
+    registry.add(
+        [] { return std::make_unique<FragilePlacementRule>(); });
+    registry.add(
+        [] { return std::make_unique<DominantErrorSourceRule>(); });
 }
 
 } // namespace vaq::analysis

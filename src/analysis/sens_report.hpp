@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Renderers for the drift-sensitivity analysis (`vaqc sens`, the
+ * vaqd `sensitivity` response block).
+ *
+ * All forms are deterministic — same profile in, same bytes out,
+ * independent of thread count or locale — so the CLI output can be
+ * golden-tested and diffed across runs. Parameters are ranked by
+ * |logPST| mass with a fixed tie-break (kind, then index), never by
+ * anything address- or hash-ordered.
+ */
+#ifndef VAQ_ANALYSIS_SENS_REPORT_HPP
+#define VAQ_ANALYSIS_SENS_REPORT_HPP
+
+#include <cstddef>
+#include <string>
+
+#include "analysis/sensitivity.hpp"
+#include "analysis/staleness.hpp"
+#include "common/json.hpp"
+
+namespace vaq::analysis
+{
+
+/** One `vaqc sens` run: the profile, plus the optional staleness
+ *  assessment against a drifted snapshot. */
+struct SensReport
+{
+    SensitivityProfile profile;
+    /** True when a drifted snapshot was assessed. */
+    bool hasAssessment = false;
+    StalenessAssessment assessment;
+    /** The reuse tolerance the assessment verdict is judged by. */
+    double stalenessTol = 1e-3;
+    /** Artifact name for headers ("bell.qasm", "<mapped>"). */
+    std::string artifact = "<circuit>";
+};
+
+/** Human-readable report: closed-form PST, ranked parameter table,
+ *  assessment verdict when present. */
+std::string renderSensText(const SensReport &report);
+
+/** Deterministic JSON dump of the full report. */
+std::string renderSensJson(const SensReport &report);
+
+/**
+ * The vaqd response block: logPst/pst/opCount plus the `top_k`
+ * highest-mass parameters with their first-order coefficients.
+ * `top_k` = 0 includes every parameter.
+ */
+json::Value sensitivityJson(const SensitivityProfile &profile,
+                            std::size_t top_k = 8);
+
+} // namespace vaq::analysis
+
+#endif // VAQ_ANALYSIS_SENS_REPORT_HPP

@@ -251,8 +251,12 @@ compileCircuit(const circuit::Circuit &logical,
                 obs::count("store.hits");
                 if (hit->viaDelta)
                     obs::count("store.delta_reuse");
+                if (hit->boundReuse)
+                    obs::count("store.bound_serves");
             }
             result.viaDelta = hit->viaDelta;
+            result.boundReuse = hit->boundReuse;
+            result.stalenessBound = hit->stalenessBound;
             result.mapped = std::move(hit->mapped);
             // Prefer the PST recorded at store time; an artifact
             // stored by a non-scoring batch carries 0 and is

@@ -214,6 +214,13 @@ struct CompileResult
      *  artifact's calibration dependencies survived a snapshot
      *  change) rather than an exact key match. */
     bool viaDelta = false;
+    /** True when the store hit was served on a certified staleness
+     *  bound (store::StoreOptions::stalenessTol); analyticPst then
+     *  carries the exact analytic shift. In-process knob like
+     *  failFast: not serialized by toJson. */
+    bool boundReuse = false;
+    /** Certified |delta logPST| bound of a boundReuse serve. */
+    double stalenessBound = 0.0;
     /** Wall-clock time spent in compile(), milliseconds. */
     double compileMs = 0.0;
 
@@ -241,6 +248,14 @@ struct ArtifactHit
      *  artifact's calibration dependencies survived a snapshot
      *  change) rather than an exact key match. */
     bool viaDelta = false;
+    /** True when the hit was served on a certified staleness bound;
+     *  analyticPst is then already shifted by the exact analytic
+     *  delta. */
+    bool boundReuse = false;
+    /** Certified |delta logPST| bound of a boundReuse serve. */
+    double stalenessBound = 0.0;
+    /** Exact analytic shift folded into analyticPst. */
+    double deltaLogPst = 0.0;
 
     explicit ArtifactHit(MappedCircuit mapped_in)
         : mapped(std::move(mapped_in))

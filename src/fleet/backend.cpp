@@ -12,7 +12,8 @@ namespace vaq::fleet
 {
 
 Backend::Backend(BackendSpec spec, const core::PolicySpec &policy,
-                 std::size_t storeEntries, BreakerOptions breaker_in)
+                 std::size_t storeEntries, BreakerOptions breaker_in,
+                 double stalenessTol)
     : breaker(breaker_in),
       _spec(std::move(spec)),
       _policy(policy),
@@ -24,7 +25,8 @@ Backend::Backend(BackendSpec spec, const core::PolicySpec &policy,
       _store(store::StoreOptions{
           .directory = "", // memory-only; the fleet is a simulation
           .maxEntries = storeEntries,
-          .deltaReuse = true})
+          .deltaReuse = true,
+          .stalenessTol = stalenessTol})
 {
     require(_spec.serviceRate > 0.0,
             "backend service rate must be positive");

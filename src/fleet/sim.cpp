@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "analysis/staleness.hpp"
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -73,7 +74,8 @@ FleetSim::FleetSim(std::vector<BackendSpec> specs,
     for (BackendSpec &spec : specs)
         _backends.push_back(std::make_unique<Backend>(
             std::move(spec), _options.compilePolicy,
-            _options.storeEntries, _options.breaker));
+            _options.storeEntries, _options.breaker,
+            _options.stalenessTol));
     for (const FaultEvent &event : _plan.events)
         require(event.machine < _backends.size(),
                 "fault plan references machine " +
@@ -102,13 +104,37 @@ const FleetSim::Prediction &
 FleetSim::predict(std::size_t circuitIdx, std::size_t machineIdx)
 {
     Backend &backend = *_backends[machineIdx];
-    const auto key = std::make_tuple(circuitIdx, machineIdx,
-                                     backend.calVersion());
+    const auto key = std::make_pair(circuitIdx, machineIdx);
     auto it = _predictions.find(key);
-    if (it != _predictions.end())
-        return it->second;
+    if (it != _predictions.end()) {
+        PredictionEntry &entry = it->second;
+        if (entry.calVersion == backend.calVersion())
+            return entry.pred;
+        // The calibration moved. Instead of discarding outright
+        // (the legacy calVersion rule), revalidate through the
+        // certified staleness bound: when the drift provably moved
+        // this prediction's logPST by less than the tolerance,
+        // shift the PST by the exact analytic delta and keep it.
+        if (_options.stalenessTol > 0.0 && entry.hasProfile &&
+            backend.health().kind ==
+                core::SnapshotHealth::Kind::Clean) {
+            const analysis::StalenessAssessment assess =
+                analysis::assessStaleness(entry.profile,
+                                          backend.snapshot());
+            if (assess.within(_options.stalenessTol)) {
+                entry.pred.pst = std::exp(entry.profile.logPst +
+                                          assess.deltaLogPst);
+                entry.calVersion = backend.calVersion();
+                obs::count("fleet.predict.bound_reuse");
+                return entry.pred;
+            }
+        }
+        _predictions.erase(it);
+    }
     obs::Span span("fleet.predict", obs::enabled());
-    Prediction prediction;
+    PredictionEntry entry;
+    entry.calVersion = backend.calVersion();
+    Prediction &prediction = entry.pred;
     const core::CompileResult result =
         backend.compile(_workload[circuitIdx]);
     prediction.fromStore = result.fromStore;
@@ -120,6 +146,26 @@ FleetSim::predict(std::size_t circuitIdx, std::size_t machineIdx)
         prediction.trialUs = backend.trialLatencyUs(result.mapped);
         obs::count(result.fromStore ? "fleet.compile.store_hits"
                                     : "fleet.compile.fresh");
+        // Profile the mapping for later certified revalidation —
+        // only clean, undegraded compiles (a degraded snapshot was
+        // sanitized; the published values are not what the mapping
+        // was scored against).
+        if (_options.stalenessTol > 0.0 &&
+            result.status == core::JobStatus::Ok &&
+            backend.health().kind ==
+                core::SnapshotHealth::Kind::Clean &&
+            prediction.pst > 0.0) {
+            try {
+                const analysis::DataflowAnalysis dataflow(
+                    result.mapped.physical,
+                    backend.snapshot().durations);
+                entry.profile = analysis::analyzeSensitivity(
+                    dataflow, backend.graph(), backend.snapshot());
+                entry.hasProfile = true;
+            } catch (const VaqError &) {
+                entry.hasProfile = false;
+            }
+        }
     } else {
         prediction.category = result.errorCategory;
         prediction.error = result.error.empty()
@@ -127,8 +173,8 @@ FleetSim::predict(std::size_t circuitIdx, std::size_t machineIdx)
                                : result.error;
         obs::count("fleet.compile.failed");
     }
-    return _predictions.emplace(key, std::move(prediction))
-        .first->second;
+    return _predictions.insert_or_assign(key, std::move(entry))
+        .first->second.pred;
 }
 
 double

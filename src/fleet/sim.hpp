@@ -40,9 +40,10 @@
 #include <memory>
 #include <queue>
 #include <string>
-#include <tuple>
+#include <utility>
 #include <vector>
 
+#include "analysis/sensitivity.hpp"
 #include "circuit/circuit.hpp"
 #include "common/rng.hpp"
 #include "core/mapper.hpp"
@@ -115,6 +116,17 @@ struct FleetOptions
      *  best (the weak copy is worth its fleet capacity). */
     double replicateThreshold = 0.5;
     std::uint64_t seed = 7;
+    /**
+     * Certified-staleness tolerance for prediction reuse across
+     * calibration epochs. When > 0, a cached prediction whose
+     * certified |delta logPST| bound (analysis/staleness.hpp) is
+     * within tolerance survives a calVersion bump with its PST
+     * shifted by the exact analytic delta, instead of forcing a
+     * recompile; the per-backend artifact stores get the same
+     * tolerance. 0 (default) = invalidate on every calVersion bump
+     * (the legacy rule).
+     */
+    double stalenessTol = 0.0;
     /** Compile policy every backend maps with. */
     core::PolicySpec compilePolicy{.name = "vqm"};
     BreakerOptions breaker;
@@ -207,6 +219,19 @@ class FleetSim
         std::string error;
     };
 
+    /** Cached prediction plus the material to revalidate it across
+     *  calibration epochs without recompiling. */
+    struct PredictionEntry
+    {
+        Prediction pred;
+        /** Backend::calVersion the prediction is valid for. */
+        std::uint64_t calVersion = 0;
+        /** Sensitivity profile of the predicted mapping against its
+         *  compile-time snapshot; only for clean Ok compiles. */
+        bool hasProfile = false;
+        analysis::SensitivityProfile profile;
+    };
+
     void push(Event event);
     const Prediction &predict(std::size_t circuitIdx,
                               std::size_t machineIdx);
@@ -250,8 +275,9 @@ class FleetSim
     std::vector<std::vector<std::pair<std::size_t, std::size_t>>>
         _assigned;
     std::vector<double> _downSinceUs;
-    std::map<std::tuple<std::size_t, std::size_t, std::uint64_t>,
-             Prediction>
+    /** (circuit, machine) -> cached prediction. Entries outlive
+     *  calVersion bumps; predict() revalidates or replaces them. */
+    std::map<std::pair<std::size_t, std::size_t>, PredictionEntry>
         _predictions;
     FleetSummary _summary;
     double _latencySumUs = 0.0;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "analysis/dataflow.hpp"
+#include "analysis/sens_report.hpp"
+#include "analysis/sensitivity.hpp"
 #include "calibration/csv_io.hpp"
 #include "calibration/synthetic.hpp"
 #include "circuit/qasm.hpp"
@@ -392,7 +395,36 @@ CompileService::handleCompile(const HttpRequest &httpRequest)
     const int status = result.ok()
                            ? 200
                            : statusForCategory(result.errorCategory);
-    return jsonResponse(status, core::toJson(result));
+    json::Value body = core::toJson(result);
+    // Successful compiles against a clean snapshot also report the
+    // drift-sensitivity block: closed-form logPST, the top
+    // first-order coefficients, and (for staleness-bound serves)
+    // the certified bound. Clients decide recompile cadence from
+    // this without a second round trip.
+    if (result.ok() &&
+        epoch->health.kind == core::SnapshotHealth::Kind::Clean) {
+        try {
+            const analysis::DataflowAnalysis dataflow(
+                result.mapped.physical,
+                epoch->snapshot.durations);
+            const analysis::SensitivityProfile profile =
+                analysis::analyzeSensitivity(dataflow, _graph,
+                                             epoch->snapshot);
+            json::Value block = analysis::sensitivityJson(profile);
+            if (result.boundReuse) {
+                block.set("servedOnBound",
+                          json::Value::boolean(true));
+                block.set(
+                    "stalenessBound",
+                    json::Value::number(result.stalenessBound));
+            }
+            body.set("sensitivity", std::move(block));
+        } catch (const VaqError &) {
+            // Unexecutable mapping (should not happen for ok()
+            // results); serve the response without the block.
+        }
+    }
+    return jsonResponse(status, std::move(body));
 }
 
 HttpResponse

@@ -17,9 +17,9 @@ ArtifactCacheAdapter::lookup(const circuit::Circuit &logical,
 {
     const ArtifactKey key =
         makeArtifactKey(logical, _graph, snapshot, _spec);
-    bool via_delta = false;
+    DeltaServeInfo info;
     const std::optional<CompileArtifact> artifact =
-        _store.getOrDelta(key, snapshot, &via_delta);
+        _store.getOrDelta(key, snapshot, info);
     if (!artifact.has_value())
         return std::nullopt;
     core::ArtifactHit hit(toMapped(*artifact));
@@ -27,7 +27,10 @@ ArtifactCacheAdapter::lookup(const circuit::Circuit &logical,
     hit.mappedLintErrors = artifact->mappedLintErrors;
     hit.mappedLintWarnings = artifact->mappedLintWarnings;
     hit.policyUsed = artifact->policyUsed;
-    hit.viaDelta = via_delta;
+    hit.viaDelta = info.viaDelta;
+    hit.boundReuse = info.boundReuse;
+    hit.stalenessBound = info.stalenessBound;
+    hit.deltaLogPst = info.deltaLogPst;
     return hit;
 }
 

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <set>
 #include <sstream>
 #include <stdexcept>
 
 #include "analysis/dataflow.hpp"
+#include "analysis/sensitivity.hpp"
 #include "common/hashing.hpp"
 
 namespace vaq::store
@@ -182,29 +182,31 @@ makeArtifact(const core::MappedCircuit &mapped, double analytic_pst,
     artifact.mappedLintWarnings = mapped_lint_warnings;
     artifact.durations = snapshot.durations;
 
-    // Touched qubits from the dataflow chains over the physical
-    // circuit; touched links from its two-qubit gates. These sets —
-    // not the full machine — are what the artifact depends on.
+    // Touched qubits/links and their usage weights come from the
+    // sensitivity pass over the physical circuit (its touched sets
+    // are exactly the dataflow chains + two-qubit gate links this
+    // code used to collect by hand). The weights are what let a
+    // later cycle certify a staleness bound without recompiling.
     const analysis::DataflowAnalysis dataflow(mapped.physical,
                                               snapshot.durations);
-    for (int q = 0; q < mapped.physical.numQubits(); ++q) {
-        if (!dataflow.chain(q).touched())
-            continue;
-        artifact.touchedQubits.push_back(q);
-        const calibration::QubitCalibration &cal = snapshot.qubit(q);
+    const analysis::SensitivityProfile profile =
+        analysis::analyzeSensitivity(dataflow, graph, snapshot);
+    for (const analysis::QubitSensitivity &q : profile.qubits) {
+        artifact.touchedQubits.push_back(q.qubit);
+        const calibration::QubitCalibration &cal =
+            snapshot.qubit(q.qubit);
         artifact.qubitDeps.push_back(cal.t1Us);
         artifact.qubitDeps.push_back(cal.t2Us);
         artifact.qubitDeps.push_back(cal.error1q);
         artifact.qubitDeps.push_back(cal.readoutError);
+        artifact.qubitWeights.push_back(q.oneQubitGates);
+        artifact.qubitWeights.push_back(q.measurements);
+        artifact.qubitWeights.push_back(q.busyNs);
     }
-    std::set<std::size_t> links;
-    for (const circuit::Gate &gate : mapped.physical.gates()) {
-        if (gate.isTwoQubit())
-            links.insert(graph.linkIndex(gate.q0, gate.q1));
-    }
-    for (const std::size_t l : links) {
-        artifact.touchedLinks.push_back(l);
-        artifact.linkDeps.push_back(snapshot.linkError(l));
+    for (const analysis::LinkSensitivity &l : profile.links) {
+        artifact.touchedLinks.push_back(l.link);
+        artifact.linkDeps.push_back(l.error2q);
+        artifact.linkWeights.push_back(l.effectiveGates);
     }
     return artifact;
 }
@@ -252,6 +254,59 @@ reusableUnder(const CompileArtifact &artifact,
     return true;
 }
 
+analysis::StalenessAssessment
+assessArtifactStaleness(const CompileArtifact &artifact,
+                        const calibration::Snapshot &snapshot)
+{
+    analysis::StalenessAccumulator acc;
+    const calibration::GateDurations &d = snapshot.durations;
+    const bool shapes_ok =
+        artifact.qubitWeights.size() ==
+            3 * artifact.touchedQubits.size() &&
+        artifact.linkWeights.size() == artifact.touchedLinks.size();
+    if (!shapes_ok || d.oneQubitNs != artifact.durations.oneQubitNs ||
+        d.twoQubitNs != artifact.durations.twoQubitNs ||
+        d.measureNs != artifact.durations.measureNs) {
+        acc.uncertifiable();
+    } else {
+        for (std::size_t i = 0; i < artifact.touchedQubits.size();
+             ++i) {
+            const int q = artifact.touchedQubits[i];
+            if (q < 0 || q >= snapshot.numQubits()) {
+                acc.uncertifiable();
+                break;
+            }
+            const calibration::QubitCalibration &cal =
+                snapshot.qubit(q);
+            const double *deps = &artifact.qubitDeps[i * 4];
+            const double *w = &artifact.qubitWeights[i * 3];
+            acc.errorParam(w[0], deps[2], cal.error1q);
+            acc.errorParam(w[1], deps[3], cal.readoutError);
+            acc.coherenceParam(w[2], deps[0], cal.t1Us);
+            // deps[1] (T2) deliberately not consulted: the PerOp
+            // coherence model charges T1 only, so T2-only drift
+            // certifies at bound zero.
+        }
+        for (std::size_t i = 0; i < artifact.touchedLinks.size();
+             ++i) {
+            const std::size_t l = artifact.touchedLinks[i];
+            if (l >= snapshot.numLinks()) {
+                acc.uncertifiable();
+                break;
+            }
+            acc.errorParam(artifact.linkWeights[i],
+                           artifact.linkDeps[i],
+                           snapshot.linkError(l));
+        }
+    }
+    std::size_t ops = 0;
+    for (const circuit::Gate &gate : artifact.physical.gates()) {
+        if (gate.kind != circuit::GateKind::BARRIER)
+            ++ops;
+    }
+    return acc.finish(ops);
+}
+
 std::string
 serializeArtifact(const ArtifactKey &key,
                   const CompileArtifact &artifact)
@@ -294,12 +349,16 @@ serializeArtifact(const ArtifactKey &key,
         out << "q " << artifact.touchedQubits[i];
         for (std::size_t j = 0; j < 4; ++j)
             out << ' ' << hexDouble(artifact.qubitDeps[i * 4 + j]);
+        for (std::size_t j = 0; j < 3; ++j)
+            out << ' '
+                << hexDouble(artifact.qubitWeights[i * 3 + j]);
         out << '\n';
     }
     out << "ldeps " << artifact.touchedLinks.size() << '\n';
     for (std::size_t i = 0; i < artifact.touchedLinks.size(); ++i) {
         out << "l " << artifact.touchedLinks[i] << ' '
-            << hexDouble(artifact.linkDeps[i]) << '\n';
+            << hexDouble(artifact.linkDeps[i]) << ' '
+            << hexDouble(artifact.linkWeights[i]) << '\n';
     }
     std::string payload = out.str();
     payload += "sum " + hexWord(checksumBytes(payload)) + '\n';
@@ -443,12 +502,15 @@ parseArtifact(const std::string &text)
             parseCount(qdep_count[0], kMaxListLength);
         for (long i = 0; i < num_qdeps; ++i) {
             const std::vector<std::string> q = reader.line("q");
-            if (q.size() != 5)
+            if (q.size() != 8)
                 return std::nullopt;
             artifact.touchedQubits.push_back(static_cast<int>(
                 parseCount(q[0], artifact.numPhysQubits - 1)));
             for (std::size_t j = 1; j < 5; ++j)
                 artifact.qubitDeps.push_back(parseHexDouble(q[j]));
+            for (std::size_t j = 5; j < 8; ++j)
+                artifact.qubitWeights.push_back(
+                    parseHexDouble(q[j]));
         }
 
         const std::vector<std::string> ldep_count =
@@ -459,11 +521,12 @@ parseArtifact(const std::string &text)
             parseCount(ldep_count[0], kMaxListLength);
         for (long i = 0; i < num_ldeps; ++i) {
             const std::vector<std::string> l = reader.line("l");
-            if (l.size() != 2)
+            if (l.size() != 3)
                 return std::nullopt;
             artifact.touchedLinks.push_back(static_cast<std::size_t>(
                 parseCount(l[0], kMaxListLength)));
             artifact.linkDeps.push_back(parseHexDouble(l[1]));
+            artifact.linkWeights.push_back(parseHexDouble(l[2]));
         }
 
         // Reconstruct the layouts once here so a damaged-but-

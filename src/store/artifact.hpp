@@ -43,6 +43,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/staleness.hpp"
 #include "calibration/snapshot.hpp"
 #include "circuit/circuit.hpp"
 #include "core/mapped_circuit.hpp"
@@ -53,8 +54,9 @@ namespace vaq::store
 {
 
 /** On-disk format version (bumped on any layout change; older
- *  records parse as misses). */
-inline constexpr int kArtifactVersion = 1;
+ *  records parse as misses). Version 2 added the sensitivity
+ *  weights to the dependency lines. */
+inline constexpr int kArtifactVersion = 2;
 
 /** Content-address of one compile artifact. */
 struct ArtifactKey
@@ -120,6 +122,23 @@ struct CompileArtifact
     std::vector<double> qubitDeps;
     /** 2q error per touched link, aligned with touchedLinks. */
     std::vector<double> linkDeps;
+    /** Sensitivity usage weights, 3 per touched qubit (1q gate
+     *  count, measurement count, T1-charged busy ns), aligned with
+     *  touchedQubits. Together with the deps these let
+     *  assessArtifactStaleness() certify a |delta logPST| bound
+     *  under a new snapshot without recompiling. */
+    std::vector<double> qubitWeights;
+    /** Effective 2q gates (nCX + nCZ + 3*nSWAP) per touched link,
+     *  aligned with touchedLinks. */
+    std::vector<double> linkWeights;
+
+    /** Set on the copy a bound-based staleness serve returns:
+     *  the certified |delta logPST| bound and the exact analytic
+     *  shift already folded into analyticPst. In-process only;
+     *  never serialized (the stored record keeps its compile-time
+     *  baseline so bounds never accumulate across serves). */
+    double servedStalenessBound = 0.0;
+    double servedDeltaLogPst = 0.0;
 };
 
 /**
@@ -148,6 +167,18 @@ core::MappedCircuit toMapped(const CompileArtifact &artifact);
  */
 bool reusableUnder(const CompileArtifact &artifact,
                    const calibration::Snapshot &snapshot);
+
+/**
+ * Certify how far the artifact's stored PST estimate can drift
+ * under `snapshot`, from the serialized weights alone
+ * (analysis/staleness.hpp — no recompile, no profile rebuild).
+ * Uncertifiable (bound +inf) when durations changed, a touched
+ * qubit/link fell outside the snapshot, the weights are missing
+ * (pre-version-2 artifact shapes), or a parameter left its domain.
+ */
+analysis::StalenessAssessment
+assessArtifactStaleness(const CompileArtifact &artifact,
+                        const calibration::Snapshot &snapshot);
 
 /** Serialize to the versioned, checksummed on-disk format. */
 std::string serializeArtifact(const ArtifactKey &key,

@@ -1,6 +1,7 @@
 #include "store/artifact_store.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -150,8 +151,20 @@ ArtifactStore::getOrDelta(const ArtifactKey &key,
                           const calibration::Snapshot &snapshot,
                           bool *via_delta)
 {
+    DeltaServeInfo info;
+    std::optional<CompileArtifact> result =
+        getOrDelta(key, snapshot, info);
     if (via_delta != nullptr)
-        *via_delta = false;
+        *via_delta = info.viaDelta || info.boundReuse;
+    return result;
+}
+
+std::optional<CompileArtifact>
+ArtifactStore::getOrDelta(const ArtifactKey &key,
+                          const calibration::Snapshot &snapshot,
+                          DeltaServeInfo &info)
+{
+    info = DeltaServeInfo{};
     const std::lock_guard<std::mutex> lock(_mutex);
     const auto exact = _entries.find(key.combined());
     if (exact != _entries.end() && exact->second.key == key) {
@@ -199,8 +212,48 @@ ArtifactStore::getOrDelta(const ArtifactKey &key,
                         alias_combined);
                     evictIfNeeded();
                 }
-                if (via_delta != nullptr)
-                    *via_delta = true;
+                info.viaDelta = true;
+                return artifact;
+            }
+        }
+    }
+    // Second fallback: certified-staleness serving. The touched-set
+    // scan above found no artifact with *identical* dependencies;
+    // serve the first whose certified |delta logPST| bound is
+    // within tolerance, PST shifted by the exact analytic delta.
+    // No alias entry: the bound must always be measured against the
+    // compile-time baseline (aliasing a shifted copy would let
+    // repeated serves accumulate drift past the tolerance).
+    if (_options.stalenessTol > 0.0) {
+        const auto bucket = _byBase.find(key.baseHash());
+        if (bucket != _byBase.end()) {
+            for (const std::uint64_t combined : bucket->second) {
+                const auto it = _entries.find(combined);
+                if (it == _entries.end())
+                    continue;
+                Entry &candidate = it->second;
+                if (candidate.key.circuitHash != key.circuitHash ||
+                    candidate.key.topologyHash != key.topologyHash ||
+                    candidate.key.policyHash != key.policyHash)
+                    continue;
+                const analysis::StalenessAssessment assess =
+                    assessArtifactStaleness(candidate.artifact,
+                                            snapshot);
+                if (!assess.within(_options.stalenessTol))
+                    continue;
+                touchEntry(candidate);
+                ++_stats.boundReuse;
+                ++_stats.hits;
+                obs::count("store.bound_reuse");
+                CompileArtifact artifact = candidate.artifact;
+                if (artifact.analyticPst > 0.0)
+                    artifact.analyticPst *=
+                        std::exp(assess.deltaLogPst);
+                artifact.servedStalenessBound = assess.bound();
+                artifact.servedDeltaLogPst = assess.deltaLogPst;
+                info.boundReuse = true;
+                info.stalenessBound = assess.bound();
+                info.deltaLogPst = assess.deltaLogPst;
                 return artifact;
             }
         }

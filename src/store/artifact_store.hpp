@@ -57,14 +57,25 @@ struct StoreOptions
     std::size_t maxEntries = 4096;
     /** Enable the delta-reuse fallback in getOrDelta(). */
     bool deltaReuse = true;
+    /**
+     * Certified-staleness serving tolerance. When > 0, a getOrDelta
+     * miss under the touched-set rule may still be served from an
+     * artifact whose certified |delta logPST| bound
+     * (assessArtifactStaleness) is within this tolerance; the
+     * served copy's PST is shifted by the exact analytic delta.
+     * 0 (default) disables the fallback — behavior is then
+     * byte-identical to the pure touched-set rule.
+     */
+    double stalenessTol = 0.0;
 };
 
 /** Store counters (monotonic over the store's lifetime). */
 struct StoreStats
 {
-    std::size_t hits = 0;       ///< exactHits + deltaReuse
+    std::size_t hits = 0;       ///< exactHits + deltaReuse + boundReuse
     std::size_t exactHits = 0;  ///< full-key matches
     std::size_t deltaReuse = 0; ///< served across a snapshot change
+    std::size_t boundReuse = 0; ///< served on a certified bound
     std::size_t misses = 0;
     std::size_t writes = 0;         ///< records put()
     std::size_t evictions = 0;      ///< LRU evictions (file removed)
@@ -73,6 +84,22 @@ struct StoreStats
     std::size_t warmLoaded = 0;     ///< records loaded at startup
     std::size_t staleTmpCleaned = 0; ///< crash droppings removed
     std::size_t entries = 0;         ///< current index size
+};
+
+/** How a getOrDelta() result was served. */
+struct DeltaServeInfo
+{
+    /** Served across a snapshot change with every touched value
+     *  unchanged (the exact touched-set rule). */
+    bool viaDelta = false;
+    /** Served on a certified staleness bound within
+     *  StoreOptions::stalenessTol; PST shifted by the exact
+     *  analytic delta. */
+    bool boundReuse = false;
+    /** The certified |delta logPST| bound of a boundReuse serve. */
+    double stalenessBound = 0.0;
+    /** The exact analytic shift folded into the served PST. */
+    double deltaLogPst = 0.0;
 };
 
 /**
@@ -103,11 +130,26 @@ class ArtifactStore
      * memory, so the rest of the cycle hits exactly without
      * re-scanning; the alias writes no new file (no store bloat).
      * Sets *via_delta when the result came from the fallback.
+     *
+     * When StoreOptions::stalenessTol > 0, a second fallback runs
+     * after the touched-set scan: serve the first base-bucket
+     * artifact whose certified staleness bound
+     * (assessArtifactStaleness) is within the tolerance, with its
+     * PST shifted by the exact analytic delta. Bound serves are
+     * never aliased under the new key — the bound is always
+     * measured against the compile-time baseline, so repeated
+     * serves can never accumulate drift past the tolerance.
      */
     std::optional<CompileArtifact>
     getOrDelta(const ArtifactKey &key,
                const calibration::Snapshot &snapshot,
                bool *via_delta = nullptr);
+
+    /** getOrDelta with the full serve classification. */
+    std::optional<CompileArtifact>
+    getOrDelta(const ArtifactKey &key,
+               const calibration::Snapshot &snapshot,
+               DeltaServeInfo &info);
 
     /**
      * Insert (or overwrite) the record for `key` and persist it

@@ -125,7 +125,7 @@ TEST(Diagnostics, TextRenderingCleanCircuit)
     input.artifact = "bell.qasm";
     const LintReport report = Linter().run(input);
     EXPECT_TRUE(report.diagnostics.empty());
-    EXPECT_EQ(renderText(report), "bell.qasm: clean (10 rules)\n");
+    EXPECT_EQ(renderText(report), "bell.qasm: clean (13 rules)\n");
 }
 
 TEST(Diagnostics, JsonIsWellFormedAndCounts)

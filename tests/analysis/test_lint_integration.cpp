@@ -89,7 +89,7 @@ TEST(LintIntegration, DisabledRulesAreDropped)
     options.disabled = {"VL003", "redundant-swap"};
     const Linter linter(options);
     const std::vector<std::string> ids = linter.ruleIds();
-    EXPECT_EQ(ids.size(), 8u);
+    EXPECT_EQ(ids.size(), 11u);
     EXPECT_EQ(std::find(ids.begin(), ids.end(), "VL003"),
               ids.end());
     EXPECT_EQ(std::find(ids.begin(), ids.end(), "VL006"),

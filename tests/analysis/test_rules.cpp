@@ -354,13 +354,13 @@ TEST(Rules, WidthExceedsMachineSilentWhenItFits)
 
 // --- Registry ------------------------------------------------------
 
-TEST(Rules, RegistryShipsTenRules)
+TEST(Rules, RegistryShipsThirteenRules)
 {
     const std::vector<std::string> ids =
         RuleRegistry::global().ids();
-    ASSERT_EQ(ids.size(), 10u);
+    ASSERT_EQ(ids.size(), 13u);
     EXPECT_EQ(ids.front(), "VL001");
-    EXPECT_EQ(ids.back(), "VL010");
+    EXPECT_EQ(ids.back(), "VL013");
     EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
 }
 

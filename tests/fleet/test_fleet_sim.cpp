@@ -345,5 +345,67 @@ TEST(FleetSim, FailoverBeatsBaselineUnderOutageCorruptionMix)
     EXPECT_LT(downtimeUs / fleetCapacityUs, 0.5);
 }
 
+/** Fleet whose rollovers redraw little hardware, so certified
+ *  prediction revalidation has something to certify. */
+std::vector<BackendSpec>
+gentleDriftFleet()
+{
+    std::vector<BackendSpec> specs = pairFleet();
+    for (BackendSpec &spec : specs)
+        spec.sparseDriftFraction = 0.1;
+    return specs;
+}
+
+FleetSummary
+predictionReuseRun(double staleness_tol, std::size_t threads)
+{
+    const std::vector<FleetJob> jobs = steadyJobs(60);
+    FleetOptions options;
+    options.seed = 17;
+    options.threads = threads;
+    options.stalenessTol = staleness_tol;
+    options.calibrationPeriodUs = jobs.back().arrivalUs / 4.0;
+    return runScenario(options, FaultPlan{}, jobs,
+                       gentleDriftFleet());
+}
+
+std::uint64_t
+counterValue(const char *name)
+{
+    const auto counters =
+        obs::Registry::global().snapshot().counters;
+    return counters.count(name) ? counters.at(name) : 0;
+}
+
+TEST(FleetSim, CertifiedPredictionReuseAcrossRollovers)
+{
+    obs::setEnabled(true);
+    obs::Registry::global().reset();
+
+    // With a tolerance, predictions whose certified bound survives
+    // a calibration rollover are revalidated instead of recompiled.
+    const FleetSummary tolerant = predictionReuseRun(1e-3, 1);
+    EXPECT_EQ(tolerant.completed, tolerant.jobs);
+    EXPECT_GT(counterValue("fleet.predict.bound_reuse"), 0u);
+
+    // tol = 0 (the default) never takes the certified path.
+    obs::Registry::global().reset();
+    const FleetSummary legacy = predictionReuseRun(0.0, 1);
+    EXPECT_EQ(legacy.completed, legacy.jobs);
+    EXPECT_EQ(counterValue("fleet.predict.bound_reuse"), 0u);
+    obs::setEnabled(false);
+}
+
+TEST(FleetSim, CertifiedReuseKeepsSummariesByteIdentical)
+{
+    // The determinism contract holds with the certified path on:
+    // byte-equal summaries across prewarm thread counts.
+    const FleetSummary t1 = predictionReuseRun(1e-3, 1);
+    const FleetSummary t4 = predictionReuseRun(1e-3, 4);
+    const FleetSummary t8 = predictionReuseRun(1e-3, 8);
+    EXPECT_EQ(t1.fingerprint(), t4.fingerprint());
+    EXPECT_EQ(t1.fingerprint(), t8.fingerprint());
+}
+
 } // namespace
 } // namespace vaq::fleet

@@ -196,6 +196,40 @@ TEST(ServiceEndpoints, CompileMatchesInProcessResultBitIdentically)
     EXPECT_DOUBLE_EQ(wire.analyticPst, local.analyticPst);
 }
 
+TEST(ServiceEndpoints, CompileResponseCarriesSensitivityBlock)
+{
+    ServiceFixture fx;
+    const HttpResponse response = httpExchange(
+        fx.port(), "POST", "/v1/compile", compileBody("bv4"));
+    ASSERT_EQ(response.status, 200) << response.body;
+    const json::Value body = parseBody(response);
+
+    const json::Value *block = body.find("sensitivity");
+    ASSERT_NE(block, nullptr) << response.body;
+    // The closed form agrees with the pipeline's scored PST.
+    const double pst = body.find("analyticPst")->asNumber();
+    EXPECT_NEAR(block->find("pst")->asNumber(), pst,
+                1e-9 * pst + 1e-12);
+    EXPECT_LT(block->find("logPst")->asNumber(), 0.0);
+    EXPECT_GT(block->find("opCount")->asNumber(), 0.0);
+    const json::Value *params = block->find("parameters");
+    ASSERT_NE(params, nullptr) << response.body;
+    ASSERT_GT(params->size(), 0u);
+    // Ranked by mass, descending.
+    double prev = params->item(0).find("mass")->asNumber();
+    for (std::size_t i = 1; i < params->size(); ++i) {
+        const double mass =
+            params->item(i).find("mass")->asNumber();
+        EXPECT_LE(mass, prev);
+        prev = mass;
+    }
+    // The response stays parseable as a plain CompileResult
+    // (unknown-field tolerance on the wire format).
+    const core::CompileResult wire = core::compileResultFromJson(
+        json::Cursor(body));
+    EXPECT_EQ(wire.status, core::JobStatus::Ok);
+}
+
 TEST(ServiceEndpoints, MalformedJsonIs400WithLocation)
 {
     ServiceFixture fx;

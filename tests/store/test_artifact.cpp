@@ -117,6 +117,8 @@ TEST(Artifact, RoundTripsBitExactly)
     EXPECT_EQ(back.touchedLinks, artifact.touchedLinks);
     EXPECT_EQ(back.qubitDeps, artifact.qubitDeps);
     EXPECT_EQ(back.linkDeps, artifact.linkDeps);
+    EXPECT_EQ(back.qubitWeights, artifact.qubitWeights);
+    EXPECT_EQ(back.linkWeights, artifact.linkWeights);
 
     // And the reconstructed MappedCircuit matches the original.
     const core::MappedCircuit rebuilt = toMapped(back);
@@ -203,7 +205,7 @@ TEST(Artifact, VersionSkewIsAMiss)
     // checking the constant is what the format writes.
     const Compiled c;
     std::string text = serializeArtifact(c.key(), c.artifact());
-    ASSERT_EQ(text.rfind("vaqart 1\n", 0), 0u);
+    ASSERT_EQ(text.rfind("vaqart 2\n", 0), 0u);
     text[7] = '9';
     EXPECT_FALSE(parseArtifact(text).has_value());
 }
@@ -290,6 +292,76 @@ TEST(Artifact, ReusableUnderTracksOnlyTouchedHardware)
     zeroArtifact
         .linkDeps[it - zeroArtifact.touchedLinks.begin()] = -0.0;
     EXPECT_TRUE(reusableUnder(zeroArtifact, zero));
+}
+
+TEST(Artifact, StalenessAssessmentFromSerializedWeights)
+{
+    const Compiled c;
+    const CompileArtifact artifact = c.artifact();
+    ASSERT_EQ(artifact.qubitWeights.size(),
+              3 * artifact.touchedQubits.size());
+    ASSERT_EQ(artifact.linkWeights.size(),
+              artifact.touchedLinks.size());
+
+    // Unchanged snapshot: bound exactly 0 (touched-set parity).
+    {
+        const auto assess =
+            assessArtifactStaleness(artifact, c.snapshot);
+        EXPECT_TRUE(assess.certifiable);
+        EXPECT_EQ(assess.bound(), 0.0);
+    }
+
+    // T2-only recalibration: provably harmless, bound exactly 0 —
+    // where reusableUnder() already gives up.
+    {
+        calibration::Snapshot t2 = c.snapshot;
+        for (int q = 0; q < c.graph.numQubits(); ++q)
+            t2.qubit(q).t2Us *= 0.5;
+        EXPECT_FALSE(reusableUnder(artifact, t2));
+        const auto assess = assessArtifactStaleness(artifact, t2);
+        EXPECT_TRUE(assess.certifiable);
+        EXPECT_EQ(assess.bound(), 0.0);
+    }
+
+    // A small touched-parameter drift: finite bound containing the
+    // exact shift, and the round-tripped record assesses to the
+    // same certificate bit-for-bit.
+    {
+        calibration::Snapshot drifted = c.snapshot;
+        drifted.qubit(artifact.touchedQubits.front())
+            .readoutError += 1e-5;
+        const auto assess =
+            assessArtifactStaleness(artifact, drifted);
+        EXPECT_TRUE(assess.certifiable);
+        EXPECT_TRUE(assess.anyDelta);
+        EXPECT_GT(assess.bound(), 0.0);
+        EXPECT_LE(std::abs(assess.deltaLogPst), assess.bound());
+
+        const auto parsed = parseArtifact(
+            serializeArtifact(c.key(), artifact));
+        ASSERT_TRUE(parsed.has_value());
+        const auto reassessed =
+            assessArtifactStaleness(parsed->second, drifted);
+        EXPECT_EQ(reassessed.bound(), assess.bound());
+        EXPECT_EQ(reassessed.deltaLogPst, assess.deltaLogPst);
+    }
+
+    // Duration drift voids the certificate.
+    {
+        calibration::Snapshot slower = c.snapshot;
+        slower.durations.measureNs += 10.0;
+        EXPECT_FALSE(assessArtifactStaleness(artifact, slower)
+                         .certifiable);
+    }
+
+    // A record with malformed weight arrays (e.g. a version-skew
+    // survivor) is never certified.
+    {
+        CompileArtifact bad = artifact;
+        bad.qubitWeights.pop_back();
+        EXPECT_FALSE(assessArtifactStaleness(bad, c.snapshot)
+                         .certifiable);
+    }
 }
 
 } // namespace

@@ -248,6 +248,99 @@ TEST_F(ArtifactStoreTest, DeltaReuseServesAcrossCycles)
         strict.getOrDelta(keyFor(benign), benign).has_value());
 }
 
+TEST_F(ArtifactStoreTest, BoundReuseServesCertifiedStaleness)
+{
+    ArtifactStore store(
+        StoreOptions{.directory = dir.str(), .stalenessTol = 1e-3});
+    const CompileArtifact artifact = compileArtifact();
+    store.put(keyFor(snapshot), artifact);
+
+    // Drift a touched qubit's readout by 1e-6: the touched-set rule
+    // misses, the certificate stays far within 1e-3.
+    calibration::Snapshot drifted = snapshot;
+    drifted.qubit(artifact.touchedQubits.front()).readoutError +=
+        1e-6;
+    ASSERT_FALSE(reusableUnder(artifact, drifted));
+
+    DeltaServeInfo info;
+    const auto hit =
+        store.getOrDelta(keyFor(drifted), drifted, info);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_TRUE(info.boundReuse);
+    EXPECT_FALSE(info.viaDelta);
+    EXPECT_GT(info.stalenessBound, 0.0);
+    EXPECT_LE(info.stalenessBound, 1e-3);
+    // The served PST carries the exact analytic shift.
+    EXPECT_DOUBLE_EQ(hit->analyticPst,
+                     artifact.analyticPst *
+                         std::exp(info.deltaLogPst));
+    EXPECT_DOUBLE_EQ(hit->servedStalenessBound,
+                     info.stalenessBound);
+    EXPECT_EQ(store.stats().boundReuse, 1u);
+    EXPECT_EQ(store.stats().hits, 1u);
+
+    // Bound serves are never aliased: the same lookup serves on the
+    // bound again (always measured against the compile-time
+    // baseline), no exact-hit entry and no new file appear.
+    const auto again =
+        store.getOrDelta(keyFor(drifted), drifted, info);
+    ASSERT_TRUE(again.has_value());
+    EXPECT_TRUE(info.boundReuse);
+    EXPECT_EQ(store.stats().boundReuse, 2u);
+    EXPECT_EQ(store.stats().exactHits, 0u);
+    EXPECT_EQ(test::storeRecords(dir.path()).size(), 1u);
+}
+
+TEST_F(ArtifactStoreTest, BoundReuseRespectsTheTolerance)
+{
+    const CompileArtifact artifact = compileArtifact();
+
+    // T2-only recalibration certifies at bound 0 under any
+    // positive tolerance.
+    calibration::Snapshot t2Only = snapshot;
+    for (int q = 0; q < graph.numQubits(); ++q)
+        t2Only.qubit(q).t2Us *= 0.5;
+
+    // A hard excursion on a touched link exceeds every tolerance
+    // in the sweep.
+    calibration::Snapshot excursion = snapshot;
+    excursion.setLinkError(artifact.touchedLinks.front(), 0.2);
+
+    {
+        ArtifactStore store(StoreOptions{.stalenessTol = 1e-6});
+        store.put(keyFor(snapshot), artifact);
+        DeltaServeInfo info;
+        const auto hit =
+            store.getOrDelta(keyFor(t2Only), t2Only, info);
+        ASSERT_TRUE(hit.has_value());
+        EXPECT_TRUE(info.boundReuse);
+        EXPECT_EQ(info.stalenessBound, 0.0);
+        EXPECT_EQ(info.deltaLogPst, 0.0);
+        EXPECT_DOUBLE_EQ(hit->analyticPst, artifact.analyticPst);
+
+        EXPECT_FALSE(store
+                         .getOrDelta(keyFor(excursion), excursion,
+                                     info)
+                         .has_value());
+        EXPECT_FALSE(info.boundReuse);
+        EXPECT_EQ(store.stats().misses, 1u);
+    }
+
+    // tol = 0 (the default) disables the fallback entirely — the
+    // legacy touched-set behavior, even for the provably harmless
+    // T2-only cycle.
+    {
+        ArtifactStore store(StoreOptions{});
+        store.put(keyFor(snapshot), artifact);
+        DeltaServeInfo info;
+        EXPECT_FALSE(
+            store.getOrDelta(keyFor(t2Only), t2Only, info)
+                .has_value());
+        EXPECT_FALSE(info.boundReuse);
+        EXPECT_EQ(store.stats().boundReuse, 0u);
+    }
+}
+
 TEST_F(ArtifactStoreTest, DifferentPolicyNeverCrossesOver)
 {
     ArtifactStore store(StoreOptions{});

@@ -33,6 +33,14 @@
  * `--lint` runs the same pre-compile pass inside a compile or
  * batch run.
  *
+ * Sens mode derives the closed-form drift-sensitivity profile of a
+ * compiled mapping and certifies a staleness bound against a
+ * drifted calibration cycle (analysis/sensitivity.hpp):
+ *   vaqc sens prog.qasm [--machine NAME] [--policy NAME]
+ *        [--synthetic-seed N] [--drift-cycles N]
+ *        [--staleness-tol X] [--sens-format text|json|sarif]
+ *        [--sens-out FILE]
+ *
  * Exit codes map to the error taxonomy (common/error.hpp):
  *   0 success, 1 lint findings at/above --lint-fail-on, 2 usage,
  *   3 calibration, 4 compile/routing, 5 timeout, 6 internal. A
@@ -44,6 +52,7 @@
  *        --synthetic-seed 7 --out bell.mapped.qasm
  */
 #include <chrono>
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -52,7 +61,11 @@
 #include <string>
 #include <vector>
 
+#include "analysis/dataflow.hpp"
 #include "analysis/linter.hpp"
+#include "analysis/sens_report.hpp"
+#include "analysis/sensitivity.hpp"
+#include "analysis/staleness.hpp"
 #include "calibration/csv_io.hpp"
 #include "calibration/synthetic.hpp"
 #include "circuit/lower.hpp"
@@ -104,7 +117,16 @@ struct Options
     bool failFast = false;
     bool batch = false;
     bool lintMode = false; ///< `vaqc lint ...` subcommand
+    bool sensMode = false; ///< `vaqc sens ...` subcommand
     bool lint = false;     ///< --lint during compile / batch
+    /** `vaqc sens`: synthetic calibration cycles to advance past
+     *  the baseline before assessing staleness. */
+    std::size_t driftCycles = 1;
+    /** `vaqc sens`: reuse verdict threshold on the certified
+     *  |delta logPST| bound. */
+    double stalenessTol = 1e-3;
+    std::string sensFormat = "text";
+    std::string sensOut;
     bool lintPhysical = false;
     std::string lintFormat = "text";
     std::string lintOut;
@@ -217,7 +239,26 @@ printUsage()
         "  --lint-only RULE     run only the named rules "
         "(repeatable)\n"
         "  --lint-fail-on T     exit 1 at/above threshold: error "
-        "(default) | warning | never\n";
+        "(default) | warning | never\n"
+        "\n"
+        "sens mode: vaqc sens prog.qasm [flags]\n"
+        "  compile against a baseline calibration, derive the "
+        "closed-form logPST\n"
+        "  sensitivity profile, and certify a staleness bound "
+        "against a drifted\n"
+        "  cycle; exit 1 when the bound exceeds --staleness-tol\n"
+        "  --drift-cycles N     synthetic cycles between baseline "
+        "and 'today'\n"
+        "                       (default 1; 0 = profile only, no "
+        "verdict)\n"
+        "  --staleness-tol X    certified |dlogPST| reuse "
+        "threshold (default 1e-3)\n"
+        "  --sens-format F      report format: text (default) | "
+        "json | sarif\n"
+        "                       (sarif runs the VL011-VL013 "
+        "sensitivity rules)\n"
+        "  --sens-out FILE      write the report to FILE instead "
+        "of stdout\n";
 }
 
 Options
@@ -233,6 +274,18 @@ parseArgs(int argc, char **argv)
         };
         if (arg == "lint" && i == 1)
             options.lintMode = true;
+        else if (arg == "sens" && i == 1)
+            options.sensMode = true;
+        else if (arg == "--drift-cycles")
+            options.driftCycles =
+                parseSize(next("--drift-cycles"));
+        else if (arg == "--staleness-tol")
+            options.stalenessTol =
+                parseDouble(next("--staleness-tol"));
+        else if (arg == "--sens-format")
+            options.sensFormat = next("--sens-format");
+        else if (arg == "--sens-out")
+            options.sensOut = next("--sens-out");
         else if (arg == "--qasm")
             options.qasmPaths.push_back(next("--qasm"));
         else if (arg == "--lint")
@@ -249,7 +302,8 @@ parseArgs(int argc, char **argv)
             options.lintOnly.push_back(next("--lint-only"));
         else if (arg == "--lint-fail-on")
             options.lintFailOn = next("--lint-fail-on");
-        else if (options.lintMode && !startsWith(arg, "--"))
+        else if ((options.lintMode || options.sensMode) &&
+                 !startsWith(arg, "--"))
             options.qasmPaths.push_back(arg);
         else if (arg == "--batch")
             options.batch = true;
@@ -447,7 +501,8 @@ printStoreStats(const store::ArtifactStore &artifacts)
 {
     const store::StoreStats s = artifacts.stats();
     std::cout << "store     : " << s.exactHits << " exact hits, "
-              << s.deltaReuse << " delta reuse, " << s.misses
+              << s.deltaReuse << " delta reuse, " << s.boundReuse
+              << " bound reuse, " << s.misses
               << " misses, " << s.writes << " writes ("
               << s.entries << " entries, " << s.warmLoaded
               << " warm-loaded, " << s.corruptRecords
@@ -546,6 +601,134 @@ runLint(const Options &options)
 
     emitLintReport(options, report);
     return report.shouldFail(linter.options().failOn) ? 1 : 0;
+}
+
+/**
+ * Sens mode: compile against a baseline calibration, derive the
+ * closed-form logPST sensitivity profile (analysis/sensitivity.hpp)
+ * and certify a staleness bound against a drifted cycle — no
+ * recompile, no simulation. Exit 1 when the certified bound exceeds
+ * --staleness-tol (mirrors the store's reuse verdict); 0 otherwise.
+ */
+int
+runSens(const Options &options)
+{
+    require(options.qasmPaths.size() == 1,
+            "vaqc sens takes exactly one program");
+    const std::string &qasmPath = options.qasmPaths.front();
+    const circuit::ParsedQasm parsed = loadQasmWithLines(qasmPath);
+
+    const topology::CouplingGraph machine =
+        machineByName(options.machine);
+
+    // Baseline + drifted calibration. A CSV has no series to drift
+    // over (profile only); synthetic runs emit the baseline cycle
+    // and then --drift-cycles more, the last being "today".
+    std::vector<calibration::Snapshot> cycles;
+    if (options.calibrationPath.empty()) {
+        calibration::SyntheticSource source(
+            machine, calibration::SyntheticParams{},
+            options.syntheticSeed);
+        cycles.push_back(source.nextCycle());
+        for (std::size_t i = 0; i < options.driftCycles; ++i)
+            cycles.push_back(source.nextCycle());
+    } else {
+        cycles.push_back(
+            calibration::loadCsv(options.calibrationPath, machine));
+    }
+    const calibration::Snapshot &baseline = cycles.front();
+    const calibration::Snapshot &current = cycles.back();
+
+    // Compile against the baseline through the canonical pipeline
+    // (same entry point as run(); Trust + no retries).
+    const core::Mapper mapper =
+        policyByName(options.policy, options.mah);
+    core::CompileRequest request;
+    request.policy = policySpecByName(options.policy, options.mah);
+    request.options = compileOptionsFor(options);
+    request.maxRetries = 0;
+    request.calibration = core::CalibrationHandling::Trust;
+    request.scoreResult = false;
+    core::CompileContext context;
+    context.mapper = &mapper;
+    const core::CompileResult compiled = core::compileCircuit(
+        parsed.circuit, request, machine, baseline, context);
+    if (!compiled.ok())
+        throw VaqError(compiled.error, compiled.errorCategory);
+
+    const analysis::DataflowAnalysis dataflow(
+        compiled.mapped.physical, baseline.durations);
+    analysis::SensReport report;
+    report.artifact = qasmPath;
+    report.stalenessTol = options.stalenessTol;
+    report.profile =
+        analysis::analyzeSensitivity(dataflow, machine, baseline);
+    if (cycles.size() > 1) {
+        report.hasAssessment = true;
+        report.assessment =
+            analysis::assessStaleness(report.profile, current);
+    }
+
+    // Historical per-link error std-dev over the generated cycles
+    // (feeds the VL012 fragile-placement rule in sarif form).
+    std::vector<double> linkVariance;
+    if (cycles.size() > 1) {
+        linkVariance.resize(machine.linkCount(), 0.0);
+        for (std::size_t l = 0; l < machine.linkCount(); ++l) {
+            double mean = 0.0;
+            for (const calibration::Snapshot &cycle : cycles)
+                mean += cycle.linkError(l);
+            mean /= static_cast<double>(cycles.size());
+            double var = 0.0;
+            for (const calibration::Snapshot &cycle : cycles) {
+                const double d = cycle.linkError(l) - mean;
+                var += d * d;
+            }
+            linkVariance[l] = std::sqrt(
+                var / static_cast<double>(cycles.size()));
+        }
+    }
+
+    std::string text;
+    if (options.sensFormat == "text") {
+        text = analysis::renderSensText(report);
+    } else if (options.sensFormat == "json") {
+        text = analysis::renderSensJson(report);
+    } else if (options.sensFormat == "sarif") {
+        analysis::LintOptions lintOptions =
+            lintOptionsFor(options);
+        lintOptions.enabledOnly = {"VL011", "VL012", "VL013"};
+        lintOptions.params.stalenessTol = options.stalenessTol;
+        const analysis::Linter linter(lintOptions);
+        analysis::LintInput input;
+        input.circuit = &compiled.mapped.physical;
+        input.physical = true;
+        input.graph = &machine;
+        input.snapshot = &current;
+        input.baselineSnapshot =
+            cycles.size() > 1 ? &baseline : nullptr;
+        input.linkVariance =
+            linkVariance.empty() ? nullptr : &linkVariance;
+        input.artifact = qasmPath;
+        text = analysis::renderSarif(linter.run(input));
+    } else {
+        throw VaqError("unknown --sens-format: " +
+                       options.sensFormat +
+                       " (text | json | sarif)");
+    }
+    if (options.sensOut.empty()) {
+        std::cout << text;
+        if (!text.empty() && text.back() != '\n')
+            std::cout << "\n";
+    } else {
+        writeFile(options.sensOut, text);
+        std::cout << "sens      : " << options.sensOut << " ("
+                  << options.sensFormat << ")\n";
+    }
+    return report.hasAssessment &&
+                   !report.assessment.within(options.stalenessTol)
+               ? 1
+               : 0;
 }
 
 /**
@@ -961,6 +1144,8 @@ main(int argc, char **argv)
         int code = 0;
         if (options.lintMode) {
             code = runLint(options);
+        } else if (options.sensMode) {
+            code = runSens(options);
         } else if (options.batch) {
             require(!options.qasmPaths.empty(),
                     "--batch needs at least one --qasm program");
